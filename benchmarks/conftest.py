@@ -1,0 +1,113 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark follows the two-stage design from DESIGN.md: measure
+real service times of each engine configuration on a synthetic dataset,
+then feed the measured distributions into the open-loop cluster
+simulator to regenerate the paper's latency-vs-QPS curves. Reports are
+printed and also written under ``benchmarks/results/`` so they survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    ANOMALY_ROWS,
+    NUM_QUERIES,
+    SHARES_ROWS,
+    WVMP_ROWS,
+)
+
+
+@pytest.fixture(scope="session")
+def anomaly_engines():
+    """The four Fig 11/12 engines over the anomaly dataset, plus the
+    compiled query log."""
+    from repro.bench import (
+        compile_queries,
+        make_druid_executor,
+        make_segment_executor,
+        verify_engines_agree,
+    )
+    from repro.druid.segment import build_druid_segments
+    from repro.segment.builder import SegmentBuilder
+    from repro.workloads import anomaly
+
+    rows = anomaly.generate_records(ANOMALY_ROWS)
+    queries = compile_queries(anomaly.generate_queries(NUM_QUERIES))
+    schema = anomaly.schema()
+
+    engines = {}
+    for mode in ("none", "inverted", "startree"):
+        builder = SegmentBuilder(f"anomaly_{mode}", "anomaly", schema,
+                                 anomaly.segment_config(mode))
+        builder.add_all(rows)
+        segment = builder.build()
+        engines[f"pinot-{mode}"] = make_segment_executor(
+            [segment], allow_star_tree=(mode == "startree")
+        )
+    druid_segments = build_druid_segments("anomaly", schema, rows,
+                                          time_chunk=7)
+    engines["druid"] = make_druid_executor(druid_segments)
+    verify_engines_agree(queries, engines, sample=10)
+    return engines, queries
+
+
+@pytest.fixture(scope="session")
+def shares_engines():
+    """Fig 14: Pinot (sorted on itemId) vs Druid on share analytics."""
+    from repro.bench import (
+        compile_queries,
+        make_druid_executor,
+        make_segment_executor,
+        verify_engines_agree,
+    )
+    from repro.druid.segment import build_druid_segments
+    from repro.segment.builder import SegmentBuilder
+    from repro.workloads import share_analytics
+
+    rows = share_analytics.generate_records(SHARES_ROWS)
+    queries = compile_queries(
+        share_analytics.generate_queries(NUM_QUERIES)
+    )
+    schema = share_analytics.schema()
+
+    builder = SegmentBuilder("shares_pinot", "shares", schema,
+                             share_analytics.segment_config())
+    builder.add_all(rows)
+    engines = {
+        "pinot-sorted": make_segment_executor([builder.build()]),
+        "druid": make_druid_executor(
+            build_druid_segments("shares", schema, rows, time_chunk=4)
+        ),
+    }
+    verify_engines_agree(queries, engines, sample=10)
+    return engines, queries
+
+
+@pytest.fixture(scope="session")
+def wvmp_engines():
+    """Fig 15: sorted column vs roaring inverted index on WVMP."""
+    from repro.bench import (
+        compile_queries,
+        make_segment_executor,
+        verify_engines_agree,
+    )
+    from repro.segment.builder import SegmentBuilder
+    from repro.workloads import wvmp
+
+    rows = wvmp.generate_records(WVMP_ROWS)
+    queries = compile_queries(wvmp.generate_queries(NUM_QUERIES))
+    schema = wvmp.schema()
+
+    engines = {}
+    for mode in ("sorted", "inverted"):
+        builder = SegmentBuilder(f"wvmp_{mode}", "wvmp", schema,
+                                 wvmp.segment_config(mode))
+        builder.add_all(rows)
+        engines[f"pinot-{mode}"] = make_segment_executor(
+            [builder.build()]
+        )
+    verify_engines_agree(queries, engines, sample=10)
+    return engines, queries

@@ -1,0 +1,95 @@
+"""Ablation: the routing-table fitness metric of Algorithm 2 (§4.4).
+
+The paper keeps the routing tables with the lowest variance of
+per-server segment counts ("empirical testing has shown that the
+variance ... works well"). This ablation compares the kept tables'
+balance against (a) unfiltered random generation and (b) keeping the
+*worst* tables, quantifying what the selection step buys.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from benchmarks._common import write_report
+from repro.bench import render_table
+from repro.routing.base import TableRoutingSnapshot
+from repro.routing.large_cluster import (
+    filter_routing_tables,
+    generate_routing_table,
+    routing_table_metric,
+)
+
+NUM_SEGMENTS = 200
+NUM_SERVERS = 30
+REPLICATION = 3
+TARGET = 8
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    rng = random.Random(6)
+    servers = [f"server-{i}" for i in range(NUM_SERVERS)]
+    mapping = {
+        f"seg-{i}": rng.sample(servers, REPLICATION)
+        for i in range(NUM_SEGMENTS)
+    }
+    return TableRoutingSnapshot(segment_to_instances=mapping)
+
+
+def test_ablation_generation_speed(benchmark, snapshot):
+    rng = random.Random(1)
+    benchmark(lambda: generate_routing_table(snapshot, TARGET, rng))
+
+
+def test_ablation_selection_speed(benchmark, snapshot):
+    rng = random.Random(1)
+    benchmark.pedantic(
+        lambda: filter_routing_tables(snapshot, TARGET, keep=10,
+                                      generate=100, rng=rng),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_metric_report(benchmark, snapshot):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = random.Random(42)
+    candidates = [
+        generate_routing_table(snapshot, TARGET, rng) for __ in range(200)
+    ]
+    metrics = sorted(routing_table_metric(t) for t in candidates)
+    kept = filter_routing_tables(snapshot, TARGET, keep=10, generate=200,
+                                 rng=random.Random(42))
+    kept_metrics = sorted(routing_table_metric(t) for t in kept)
+
+    def imbalance(tables):
+        """Worst per-server load spread across a set of tables."""
+        spreads = []
+        for table in tables:
+            counts = [len(v) for v in table.values()]
+            spreads.append(max(counts) - min(counts))
+        return statistics.mean(spreads)
+
+    random_10 = candidates[:10]
+    worst_10 = sorted(candidates, key=routing_table_metric)[-10:]
+    report = render_table(
+        ["selection", "mean variance", "mean max-min spread"],
+        [
+            ("algorithm 2 (best 10)",
+             f"{statistics.mean(kept_metrics):.2f}",
+             f"{imbalance(kept):.2f}"),
+            ("random 10",
+             f"{statistics.mean(map(routing_table_metric, random_10)):.2f}",
+             f"{imbalance(random_10):.2f}"),
+            ("worst 10",
+             f"{statistics.mean(map(routing_table_metric, worst_10)):.2f}",
+             f"{imbalance(worst_10):.2f}"),
+        ],
+    )
+    write_report("ablation_routing_metric", report)
+
+    # Selection keeps tables at the low end of the metric distribution,
+    # and the variance metric correlates with actual load balance.
+    assert statistics.mean(kept_metrics) <= statistics.mean(metrics)
+    assert imbalance(kept) <= imbalance(worst_10)

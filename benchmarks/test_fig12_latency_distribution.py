@@ -1,0 +1,81 @@
+"""Figure 12: distribution of query latency, sequential execution.
+
+Paper shape (KDE over 10k sequential queries on the anomaly dataset):
+every system is interactive; Druid is comparable to un-indexed Pinot
+but with a heavier high-latency tail; adapted index types shift the
+distribution left.
+
+Reproduction: run the query log sequentially several times per engine
+and compare the latency distributions (text histograms stand in for
+the KDE plot).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import write_report
+from repro.bench import render_histogram
+
+ENGINES = ["druid", "pinot-none", "pinot-inverted", "pinot-startree"]
+REPEATS = 4  # x60 queries = 240 sequential executions per engine
+
+
+@pytest.fixture(scope="module")
+def measured(anomaly_engines):
+    engines, queries = anomaly_engines
+    from repro.bench.harness import measure_all
+
+    return measure_all({name: engines[name] for name in ENGINES},
+                       queries, passes=2, repeats=REPEATS // 2)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig12_sequential_latency(benchmark, anomaly_engines, engine):
+    engines, queries = anomaly_engines
+    execute = engines[engine]
+    cursor = iter([])
+
+    def one_query():
+        nonlocal cursor
+        query = next(cursor, None)
+        if query is None:
+            cursor = iter(queries)
+            query = next(cursor)
+        execute(query)
+
+    benchmark(one_query)
+
+
+def test_fig12_report(benchmark, measured):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    percentiles = {}
+    for name, workload in measured.items():
+        lat_ms = workload.service_times_s * 1e3
+        percentiles[name] = {
+            "p50": float(np.percentile(lat_ms, 50)),
+            "p90": float(np.percentile(lat_ms, 90)),
+            "p99": float(np.percentile(lat_ms, 99)),
+        }
+        lines.append(render_histogram(
+            lat_ms.tolist(), bins=15, width=40,
+            title=f"{name}: sequential latency (ms), n={len(lat_ms)}",
+        ))
+        lines.append("")
+    lines.append("percentiles (ms): " + "; ".join(
+        f"{name} p50={p['p50']:.2f} p90={p['p90']:.2f} p99={p['p99']:.2f}"
+        for name, p in percentiles.items()
+    ))
+    write_report("fig12_latency_distribution", "\n".join(lines))
+
+    # All systems interactive (paper: acceptable for user interaction).
+    for name in ENGINES:
+        assert percentiles[name]["p99"] < 100.0
+    # Indexes shift the distribution left.
+    assert percentiles["pinot-startree"]["p50"] < \
+        percentiles["pinot-none"]["p50"]
+    assert percentiles["pinot-inverted"]["p50"] < \
+        percentiles["pinot-none"]["p50"]
+    # Druid's tail is at least as heavy as un-indexed Pinot's.
+    assert percentiles["druid"]["p99"] >= \
+        0.9 * percentiles["pinot-none"]["p99"]

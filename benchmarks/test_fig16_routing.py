@@ -1,0 +1,156 @@
+"""Figure 16: routing optimizations on the impression-discounting dataset.
+
+Paper shape: Druid performs better here than on other datasets (point
+lookups suit its bitmap indexes) but does not scale as well as Pinot;
+Pinot's unpartitioned and partitioned tables are similar at low rates,
+but partition awareness on the broker limits per-query overhead as the
+rate grows, giving a significantly flatter latency curve.
+
+Reproduction: three configurations over the same records —
+
+* ``druid``: bitmap engine, every query fans out to all 9 servers;
+* ``pinot-balanced``: sorted segments, balanced routing (all servers);
+* ``pinot-partitioned``: segments partitioned by memberId with the
+  Kafka partition function; the broker routes each query to the one
+  partition it can match (fan-out 1).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import IMPRESSIONS_ROWS, write_report
+from repro.bench import (
+    LoadSimConfig,
+    compile_queries,
+    make_druid_executor,
+    make_segment_executor,
+    qps_sweep,
+    render_sweep,
+    saturation_qps,
+    verify_engines_agree,
+)
+from repro.druid.segment import build_druid_segments
+from repro.engine.executor import execute_segment
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.kafka.partitioner import kafka_partition
+from repro.routing.partition_aware import partitions_for_query
+from repro.segment.builder import SegmentBuilder
+from repro.workloads import impressions
+
+QPS_GRID = [int(1000 * 1.5**k) for k in range(15)]
+SIM = LoadSimConfig(duration_s=1.2, warmup_s=0.2, overhead_s=0.00003)
+ENGINES = ["druid", "pinot-balanced", "pinot-partitioned"]
+
+
+def make_partitioned_executor(segments_by_partition, partition_column,
+                              num_partitions):
+    """Execute only on the partition(s) a query can match (§4.4)."""
+
+    def execute(query):
+        partitions = partitions_for_query(query, partition_column,
+                                          num_partitions)
+        if partitions is None:
+            partitions = set(segments_by_partition)
+        results = [
+            execute_segment(segment, query)
+            for partition in sorted(partitions)
+            for segment in segments_by_partition.get(partition, ())
+        ]
+        server = combine_segment_results(query, results)
+        return reduce_server_results(query, [server])
+
+    return execute
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rows = impressions.generate_records(IMPRESSIONS_ROWS)
+    queries = compile_queries(impressions.generate_queries(60))
+    schema = impressions.schema()
+    num_partitions = impressions.NUM_PARTITIONS
+
+    # Unpartitioned: sequential chunks, every segment holds all members.
+    chunk = len(rows) // num_partitions
+    balanced_segments = []
+    for i in range(num_partitions):
+        builder = SegmentBuilder(f"imp_flat_{i}", "impressions", schema,
+                                 impressions.segment_config())
+        builder.add_all(rows[i * chunk:(i + 1) * chunk])
+        balanced_segments.append(builder.build())
+
+    # Partitioned: group records with the Kafka partition function.
+    by_partition = {}
+    for record in rows[:num_partitions * chunk]:
+        partition = kafka_partition(record["memberId"], num_partitions)
+        by_partition.setdefault(partition, []).append(record)
+    segments_by_partition = {}
+    for partition, group in sorted(by_partition.items()):
+        builder = SegmentBuilder(f"imp_part_{partition}", "impressions",
+                                 schema, impressions.segment_config())
+        builder.add_all(group)
+        segments_by_partition[partition] = [builder.build()]
+
+    engines = {
+        "druid": make_druid_executor(build_druid_segments(
+            "impressions", schema, rows[:num_partitions * chunk],
+            time_chunk=1,  # daily segments, comparable count to Pinot's
+        )),
+        "pinot-balanced": make_segment_executor(balanced_segments),
+        "pinot-partitioned": make_partitioned_executor(
+            segments_by_partition, "memberId", num_partitions),
+    }
+    verify_engines_agree(queries, engines, sample=10)
+
+    fanouts = {
+        "druid": np.full(len(queries), SIM.num_servers),
+        "pinot-balanced": np.full(len(queries), SIM.num_servers),
+        "pinot-partitioned": np.array([
+            len(partitions_for_query(q, "memberId", num_partitions) or
+                range(num_partitions))
+            for q in queries
+        ]),
+    }
+    return engines, queries, fanouts
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig16_service_time(benchmark, setup, engine):
+    engines, queries, __ = setup
+    execute = engines[engine]
+    benchmark(lambda: [execute(q) for q in queries[:20]])
+
+
+def test_fig16_report(benchmark, setup):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engines, queries, fanouts = setup
+    from repro.bench.harness import measure_all
+
+    series, saturation = {}, {}
+    measured = measure_all({name: engines[name] for name in ENGINES},
+                           queries, passes=2, repeats=2)
+    for name in ENGINES:
+        workload = measured[name]
+        per_query_fanout = np.tile(fanouts[name], 2)
+        series[name] = qps_sweep(workload.service_times_s,
+                                 per_query_fanout, QPS_GRID, SIM)
+        saturation[name] = saturation_qps(series[name],
+                                          latency_budget_ms=100)
+
+    lines = [render_sweep(series), ""]
+    lines.append("Mean service time (ms): " + ", ".join(
+        f"{n}={measured[n].mean_ms:.2f}" for n in ENGINES))
+    lines.append("Mean fan-out: " + ", ".join(
+        f"{n}={fanouts[n].mean():.1f}" for n in ENGINES))
+    lines.append("Max QPS at p99<=100ms: " + ", ".join(
+        f"{n}={saturation[n]:.0f}" for n in ENGINES))
+    write_report("fig16_routing", "\n".join(lines))
+
+    # Partition-aware routing scales past balanced routing, which in
+    # turn scales past Druid.
+    assert saturation["pinot-partitioned"] > saturation["pinot-balanced"]
+    assert saturation["pinot-balanced"] >= saturation["druid"]
+    # Low-rate latency of the two Pinot configs is comparable
+    # (the paper: "performance at low query rates is similar").
+    low_partitioned = series["pinot-partitioned"][0].p50_ms
+    low_balanced = series["pinot-balanced"][0].p50_ms
+    assert low_balanced < 8 * max(low_partitioned, 0.05)

@@ -1,0 +1,56 @@
+"""Table 1: qualitative comparison of OLAP techniques.
+
+The table is qualitative in the paper; this benchmark reprints it and
+additionally backs the Druid/Pinot rows with measured evidence from the
+anomaly dataset (Pinot sustains a higher query rate at low latency with
+equal ingest/indexing capability).
+"""
+
+import numpy as np
+
+from benchmarks._common import write_report
+from repro.bench import (
+    LoadSimConfig,
+    qps_sweep,
+    saturation_qps,
+    technique_comparison,
+)
+
+
+def test_table1_render(benchmark):
+    text = benchmark(technique_comparison)
+    assert "Pinot" in text
+
+
+def test_table1_report(benchmark, anomaly_engines):
+    engines, queries = anomaly_engines
+    lines = [technique_comparison(), ""]
+
+    grid = [500, 2000, 8000, 16000, 32000, 64000, 128000]
+    config = LoadSimConfig(duration_s=1.2, warmup_s=0.2,
+                           overhead_s=0.00003)
+    evidence = {}
+
+    def gather_evidence():
+        from repro.bench.harness import measure_all
+
+        measured = measure_all(
+            {name: engines[name] for name in ("druid", "pinot-startree")},
+            queries, passes=2,
+        )
+        for name, workload in measured.items():
+            fanouts = np.full(len(workload.service_times_s),
+                              config.num_servers)
+            stats = qps_sweep(workload.service_times_s, fanouts, grid,
+                              config)
+            evidence[name] = saturation_qps(stats, latency_budget_ms=100)
+
+    benchmark.pedantic(gather_evidence, rounds=1, iterations=1)
+    lines.append(
+        "Measured evidence (anomaly dataset, max QPS at p99<=100ms): "
+        f"druid={evidence['druid']:.0f}, "
+        f"pinot={evidence['pinot-startree']:.0f}"
+    )
+    write_report("table1_techniques", "\n".join(lines))
+    # The table's core claim: Pinot sustains a higher query rate.
+    assert evidence["pinot-startree"] >= evidence["druid"]

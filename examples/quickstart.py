@@ -1,0 +1,95 @@
+"""Quickstart: stand up a Pinot cluster, load data, run PQL queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the basics: creating an offline table, pushing segments the way
+a Hadoop job would, and running aggregation / group-by / selection
+queries through a broker.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster import PinotCluster, TableConfig
+from repro.common import DataType, Schema, dimension, metric, time_column
+from repro.segment import SegmentConfig
+
+
+def main() -> None:
+    # 1. A cluster: 3 servers, 1 broker, 3 controllers (one leader),
+    #    simulated Zookeeper + object store, all in this process.
+    cluster = PinotCluster(num_servers=3)
+
+    # 2. A table schema: dimensions, metrics, and a time column.
+    schema = Schema(
+        "pageviews",
+        [
+            dimension("country"),
+            dimension("browser"),
+            metric("views", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+    cluster.create_table(
+        TableConfig.offline(
+            "pageviews",
+            schema,
+            replication=2,
+            segment_config=SegmentConfig(
+                sorted_column="country",
+                inverted_columns=("browser",),
+            ),
+        )
+    )
+
+    # 3. Generate some data and push it; the facade chunks records into
+    #    segments and uploads them to the (leader) controller, which
+    #    assigns replicas to servers via Helix.
+    rng = random.Random(7)
+    records = [
+        {
+            "country": rng.choice(["us", "de", "in", "br", "jp"]),
+            "browser": rng.choice(["chrome", "firefox", "safari"]),
+            "views": rng.randint(1, 10),
+            "day": 17000 + rng.randrange(7),
+        }
+        for __ in range(50_000)
+    ]
+    segment_names = cluster.upload_records("pageviews", records,
+                                           rows_per_segment=10_000)
+    print(f"uploaded {len(segment_names)} segments: {segment_names}")
+
+    # 4. Query through the broker with PQL.
+    response = cluster.execute("SELECT count(*), sum(views) FROM pageviews")
+    print("\ntotal:", response.rows[0])
+
+    response = cluster.execute(
+        "SELECT sum(views) FROM pageviews "
+        "WHERE browser = 'chrome' AND day BETWEEN 17001 AND 17003 "
+        "GROUP BY country TOP 5"
+    )
+    print("\nchrome views by country (top 5):")
+    for row in response.rows:
+        print(f"  {row[0]:>3}: {row[1]:.0f}")
+
+    response = cluster.execute(
+        "SELECT country, browser, views FROM pageviews "
+        "WHERE views >= 9 ORDER BY views DESC LIMIT 5"
+    )
+    print("\nhighest-view rows:")
+    for row in response.rows:
+        print(f"  {row}")
+
+    stats = response.stats
+    print(
+        f"\nexecution stats: {stats.num_segments_queried} segments "
+        f"queried, {stats.num_docs_scanned} docs scanned, "
+        f"{stats.num_entries_scanned_in_filter} entries scanned in filter"
+    )
+
+
+if __name__ == "__main__":
+    main()

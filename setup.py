@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` uses the legacy
+``setup.py develop`` path through this file when PEP 660 editable
+builds are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

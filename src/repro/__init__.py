@@ -1,0 +1,47 @@
+"""repro — a from-scratch Python reproduction of Pinot (SIGMOD 2018).
+
+Pinot is LinkedIn's realtime distributed OLAP store. This package
+reimplements the system described in *Pinot: Realtime OLAP for 530
+Million Users*: columnar segments with dictionary encoding, bit packing
+and bitmap inverted indexes, sorted-column range indexes, star-tree
+pre-aggregation, a Helix-style managed cluster (controllers, brokers,
+servers, minions) over a simulated Zookeeper and object store, Kafka
+realtime ingestion with the segment-completion protocol, hybrid
+offline+realtime tables, pluggable query routing, token-bucket
+multitenancy, and a Druid-style baseline engine for the paper's
+performance comparisons.
+
+Quickstart::
+
+    from repro import PinotCluster, TableConfig
+    from repro.common import Schema, dimension, metric, time_column
+
+    cluster = PinotCluster(num_servers=3)
+    schema = Schema("events", [dimension("country"),
+                               metric("clicks"),
+                               time_column("day")])
+    cluster.create_table(TableConfig.offline("events", schema))
+    cluster.upload_records("events", records)
+    result = cluster.execute("SELECT sum(clicks) FROM events "
+                             "WHERE country = 'us'")
+"""
+
+from repro.errors import PinotError
+
+__version__ = "1.0.0"
+
+__all__ = ["PinotError", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light while exposing the
+    # cluster facade at the package root.
+    if name in ("PinotCluster", "TableConfig", "TableType"):
+        from repro.cluster import pinot, table
+
+        return {
+            "PinotCluster": pinot.PinotCluster,
+            "TableConfig": table.TableConfig,
+            "TableType": table.TableType,
+        }[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,163 @@
+"""Open-loop cluster load simulation for the QPS-sweep figures.
+
+The paper's Figs 11/14/15/16 plot query latency against offered query
+rate on a 9-host cluster. A pure-Python engine cannot serve tens of
+thousands of QPS, so per DESIGN.md we split the reproduction in two:
+
+1. *measure* the real per-query service time of each engine
+   configuration on the synthetic dataset (the harness does this);
+2. *simulate* a cluster under open-loop Poisson load, feeding it the
+   measured service-time distributions.
+
+The simulator models each server as a FIFO multi-worker station. One
+query fans out to ``fanout`` servers; each contacted server performs
+``total_work / fanout + overhead`` seconds of work, and the query
+completes when its slowest sub-request finishes. This reproduces the
+effects the paper discusses: heavier engines saturate at lower rates;
+high fan-out amplifies tail latency and burns capacity on per-request
+overhead (the §4.4 straggler/routing story).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LoadSimConfig:
+    """Cluster and experiment parameters (defaults mirror §6's setup:
+    nine query-processing hosts)."""
+
+    num_servers: int = 9
+    workers_per_server: int = 8
+    #: Fixed cost per sub-request (scatter/gather RPC, plan setup).
+    overhead_s: float = 0.0005
+    duration_s: float = 10.0
+    warmup_s: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class LatencyStats:
+    """Summary of one (engine, qps) simulation cell."""
+
+    offered_qps: float
+    completed: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    #: Fraction of offered queries that completed within the window —
+    #: < 1 indicates saturation (the latency "drops out" in the plots).
+    completion_ratio: float
+
+    def row(self) -> tuple:
+        return (
+            self.offered_qps, self.completed, round(self.mean_ms, 2),
+            round(self.p50_ms, 2), round(self.p95_ms, 2),
+            round(self.p99_ms, 2), round(self.completion_ratio, 3),
+        )
+
+
+def simulate_open_loop(
+    service_times_s: np.ndarray,
+    fanouts: np.ndarray,
+    qps: float,
+    config: LoadSimConfig = LoadSimConfig(),
+) -> LatencyStats:
+    """Simulate Poisson arrivals at ``qps`` and return latency stats.
+
+    ``service_times_s[i]`` is the *total* single-threaded work of query
+    shape ``i``; ``fanouts[i]`` is how many servers its routing strategy
+    contacts. Queries cycle through the shapes in randomized order.
+    """
+    if len(service_times_s) != len(fanouts):
+        raise ValueError("service_times and fanouts must align")
+    rng = np.random.default_rng(config.seed)
+    horizon = config.duration_s
+    num_arrivals = int(np.ceil(qps * horizon))
+    if num_arrivals == 0:
+        raise ValueError("qps too low for the simulation window")
+
+    inter = rng.exponential(1.0 / qps, size=num_arrivals)
+    arrivals = np.cumsum(inter)
+    arrivals = arrivals[arrivals < horizon]
+    shape_ids = rng.integers(0, len(service_times_s), size=len(arrivals))
+
+    # Each server is a heap of worker-free times (G/G/c FIFO station).
+    servers = [
+        [0.0] * config.workers_per_server for _ in range(config.num_servers)
+    ]
+    for worker_heap in servers:
+        heapq.heapify(worker_heap)
+
+    latencies: list[float] = []
+    cutoff = horizon  # sub-requests finishing past this are "timeouts"
+    server_cursor = 0
+    for arrival, shape in zip(arrivals, shape_ids):
+        total_work = float(service_times_s[shape])
+        fanout = int(fanouts[shape])
+        fanout = max(1, min(fanout, config.num_servers))
+        per_server = total_work / fanout + config.overhead_s
+
+        # Routing: rotate the contacted-server window so load spreads.
+        finish = 0.0
+        for i in range(fanout):
+            server = servers[(server_cursor + i) % config.num_servers]
+            free_at = heapq.heappop(server)
+            start = max(arrival, free_at)
+            done = start + per_server
+            heapq.heappush(server, done)
+            if done > finish:
+                finish = done
+        server_cursor = (server_cursor + fanout) % config.num_servers
+
+        if arrival >= config.warmup_s and finish <= cutoff:
+            latencies.append(finish - arrival)
+
+    offered_in_window = int(np.sum(arrivals >= config.warmup_s))
+    if not latencies:
+        return LatencyStats(qps, 0, float("inf"), float("inf"),
+                            float("inf"), float("inf"), float("inf"), 0.0)
+    lat_ms = np.asarray(latencies) * 1e3
+    return LatencyStats(
+        offered_qps=qps,
+        completed=len(latencies),
+        mean_ms=float(lat_ms.mean()),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p95_ms=float(np.percentile(lat_ms, 95)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        max_ms=float(lat_ms.max()),
+        completion_ratio=(len(latencies) / offered_in_window
+                          if offered_in_window else 0.0),
+    )
+
+
+def qps_sweep(
+    service_times_s: np.ndarray,
+    fanouts: np.ndarray,
+    qps_values: list[float],
+    config: LoadSimConfig = LoadSimConfig(),
+) -> list[LatencyStats]:
+    """Run :func:`simulate_open_loop` across a QPS grid."""
+    return [
+        simulate_open_loop(service_times_s, fanouts, qps, config)
+        for qps in qps_values
+    ]
+
+
+def saturation_qps(stats: list[LatencyStats],
+                   latency_budget_ms: float = 100.0,
+                   min_completion: float = 0.99) -> float:
+    """The highest offered QPS still meeting an interactive latency
+    budget — the scalar used to compare curves ("scales 2x further")."""
+    best = 0.0
+    for cell in stats:
+        if (cell.p99_ms <= latency_budget_ms
+                and cell.completion_ratio >= min_completion):
+            best = max(best, cell.offered_qps)
+    return best

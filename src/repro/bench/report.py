@@ -1,0 +1,90 @@
+"""Plain-text reporting for benchmark output (tables and ASCII series).
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; EXPERIMENTS.md records paper-vs-measured shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.bench.loadsim import LatencyStats
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows \
+        else [[str(h)] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in columns]
+
+    def fmt(cells: Sequence[Any]) -> str:
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        )
+
+    divider = "-+-".join("-" * width for width in widths)
+    lines = [fmt(headers), divider]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_sweep(series: dict[str, list[LatencyStats]],
+                 metric: str = "p99_ms") -> str:
+    """Render QPS-sweep results, one column per engine (a text Fig 11)."""
+    qps_values = sorted({
+        cell.offered_qps for cells in series.values() for cell in cells
+    })
+    names = list(series)
+    rows = []
+    for qps in qps_values:
+        row: list[Any] = [int(qps)]
+        for name in names:
+            cell = next(
+                (c for c in series[name] if c.offered_qps == qps), None
+            )
+            if cell is None:
+                row.append("-")
+            elif cell.completion_ratio < 0.99:
+                row.append("SATURATED")
+            else:
+                row.append(round(getattr(cell, metric), 1))
+        rows.append(row)
+    return render_table(["qps"] + [f"{n} ({metric})" for n in names], rows)
+
+
+def render_histogram(values: Sequence[float], bins: int = 20,
+                     width: int = 40, title: str = "") -> str:
+    """A text histogram (stands in for the Fig 12 KDE / Fig 13 plot)."""
+    import numpy as np
+
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        return f"{title}\n(no data)"
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines = [title] if title else []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{low:10.3f} - {high:10.3f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+#: Table 1 of the paper, reproduced verbatim as structured data so the
+#: Table 1 "benchmark" can print it and the docs can reference it.
+TECHNIQUE_COMPARISON = [
+    # technique, fast ingest+indexing, high query rate, flexibility, latency
+    ("RDBMS", "Not typically", "Yes", "High", "Low/moderate"),
+    ("KV stores", "Yes", "Yes", "None", "Low"),
+    ("Online OLAP", "No", "Not typically", "High", "Low/moderate"),
+    ('"Offline" OLAP', "No", "No", "High", "High"),
+    ("Druid", "Yes", "No", "Moderate", "Low/moderate"),
+    ("Pinot", "Yes", "Yes", "Moderate", "Low"),
+]
+
+
+def technique_comparison() -> str:
+    """Render Table 1."""
+    headers = ["Technique", "Fast ingest and indexing", "High query rate",
+               "Query flexibility", "Query latency"]
+    return render_table(headers, TECHNIQUE_COMPARISON)

@@ -1,0 +1,419 @@
+"""Pinot brokers (§3.2, §3.3.2-3.3.3).
+
+Brokers parse and optimize queries, pick a routing table, scatter the
+query to servers, gather the per-server partial results, and merge them
+into the final response. They listen to external-view changes and
+rebuild routing tables as replicas come and go. For hybrid tables the
+broker transparently rewrites one logical query into an offline and a
+realtime query split at the time boundary (Fig 6).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.cluster.table import TableConfig, TableType
+from repro.cluster.tenant import TenantQuotaManager
+from repro.common.timeutils import TimeGranularity, time_boundary
+from repro.engine.merge import reduce_server_results
+from repro.engine.results import BrokerResponse, ServerResult
+from repro.errors import ClusterError, RoutingError
+from repro.helix.manager import HelixManager
+from repro.helix.statemachine import SegmentState
+from repro.pql.ast_nodes import Query
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize, split_hybrid
+from repro.routing.balanced import BalancedRouting
+from repro.routing.base import RoutingStrategy, TableRoutingSnapshot
+from repro.routing.large_cluster import LargeClusterRouting
+from repro.routing.partition_aware import PartitionAwareRouting
+
+_QUERYABLE_STATES = frozenset(
+    {SegmentState.ONLINE.value, SegmentState.CONSUMING.value}
+)
+
+
+def _equality_constraints(predicate) -> dict[str, list]:
+    """Per-column EQ/IN values from the top-level AND of a predicate
+    (the shapes bloom filters can prune on)."""
+    from repro.pql.ast_nodes import And, CompareOp, Comparison, In
+
+    leaves = (predicate.children if isinstance(predicate, And)
+              else (predicate,))
+    out: dict[str, list] = {}
+    def clean(values):
+        # Floats hash differently from the ints/strings stored in the
+        # dictionary ("5.0" vs "5"), which could cause *wrong* pruning;
+        # leave float literals to server-side evaluation.
+        return [v for v in values if not isinstance(v, float)]
+
+    for leaf in leaves:
+        if isinstance(leaf, Comparison) and leaf.op is CompareOp.EQ:
+            values = clean([leaf.value])
+        elif isinstance(leaf, In) and not leaf.negated:
+            values = clean(leaf.values)
+            if len(values) != len(leaf.values):
+                continue  # partial coverage cannot prove absence
+        else:
+            continue
+        if values:
+            out.setdefault(leaf.column, []).extend(values)
+    return out
+
+
+def _make_strategy(config: TableConfig,
+                   rng: random.Random) -> RoutingStrategy:
+    name = config.routing_strategy
+    options = dict(config.routing_options)
+    if name == "balanced":
+        return BalancedRouting(rng=rng, **options)
+    if name == "large_cluster":
+        return LargeClusterRouting(rng=rng, **options)
+    if name == "partition_aware":
+        return PartitionAwareRouting(rng=rng, **options)
+    raise ClusterError(f"unknown routing strategy {name!r}")
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One executed query's footprint, mined for auto-indexing (§5.2)."""
+
+    table: str
+    filter_columns: frozenset[str]
+    entries_scanned_in_filter: int
+    docs_scanned: int
+
+
+class BrokerInstance:
+    """One Pinot broker."""
+
+    #: Bound on the retained query log (oldest entries are dropped).
+    QUERY_LOG_LIMIT = 10_000
+
+    def __init__(self, instance_id: str, helix: HelixManager,
+                 quotas: TenantQuotaManager | None = None,
+                 seed: int = 0):
+        self.instance_id = instance_id
+        self._helix = helix
+        self._quotas = quotas
+        self._rng = random.Random(seed)
+        self._strategies: dict[str, RoutingStrategy] = {}
+        self._dirty: set[str] = set()
+        self.queries_served = 0
+        self.query_log: list[QueryLogEntry] = []
+        helix.watch_external_view(self._on_view_change)
+
+    # -- routing-table maintenance (§3.3.2) -----------------------------------
+
+    def _on_view_change(self, event: str, path: str) -> None:
+        table = path.rsplit("/", 1)[-1]
+        self._dirty.add(table)
+
+    def _strategy_for(self, table: str) -> RoutingStrategy:
+        if table not in self._strategies:
+            config = self._table_config(table)
+            self._strategies[table] = _make_strategy(config, self._rng)
+            self._dirty.add(table)
+        if table in self._dirty:
+            self._rebuild(table)
+            self._dirty.discard(table)
+        return self._strategies[table]
+
+    def _rebuild(self, table: str) -> None:
+        config = self._table_config(table)
+        view = self._helix.external_view(table)
+        live = set(self._helix.live_instances())
+        segment_to_instances: dict[str, list[str]] = {}
+        for segment, replica_states in view.items():
+            replicas = [
+                instance for instance, state in replica_states.items()
+                if state in _QUERYABLE_STATES and instance in live
+            ]
+            if replicas:
+                segment_to_instances[segment] = sorted(replicas)
+        snapshot = TableRoutingSnapshot(
+            segment_to_instances=segment_to_instances,
+            segment_partitions=self._segment_partitions(
+                table, config, segment_to_instances
+            ),
+            partition_column=(config.partition.column
+                              if config.partition else None),
+            num_partitions=(config.partition.num_partitions
+                            if config.partition else None),
+        )
+        self._strategies[table].rebuild(snapshot)
+
+    def _segment_partitions(self, table: str, config: TableConfig,
+                            segments: dict[str, list[str]]) -> dict[str, int]:
+        if config.partition is None:
+            return {}
+        partitions: dict[str, int] = {}
+        for segment in segments:
+            meta = (
+                self._helix.get_property(f"segments/{table}/{segment}")
+                or self._helix.get_property(f"realtime/{table}/{segment}")
+                or {}
+            )
+            partition = meta.get("partition_id", meta.get("partition"))
+            if partition is not None:
+                partitions[segment] = partition
+        return partitions
+
+    def _table_config(self, table: str) -> TableConfig:
+        payload = self._helix.get_property(f"tableconfigs/{table}")
+        if payload is None:
+            raise ClusterError(f"no such table: {table!r}")
+        return TableConfig.from_dict(payload)
+
+    # -- query execution (§3.3.3) ------------------------------------------------
+
+    def execute(self, pql: str | Query, tenant: str | None = None,
+                now: float | None = None) -> BrokerResponse:
+        """Run one query end to end and return the broker response."""
+        started = time.perf_counter()
+        query = parse(pql) if isinstance(pql, str) else pql
+        query = optimize(query)
+
+        physical = self._resolve_physical_queries(query)
+        first_config = self._table_config(physical[0].table)
+        tenant = tenant or first_config.tenant
+        if self._quotas is not None:
+            clock = now if now is not None else time.monotonic()
+            self._quotas.admit(tenant, clock)
+
+        server_results: list[ServerResult] = []
+        pruned_total = 0
+        for physical_query in physical:
+            results, pruned = self._scatter(physical_query)
+            server_results.extend(results)
+            pruned_total += pruned
+            self._record_query_log(physical_query, results)
+
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if self._quotas is not None:
+            clock = now if now is not None else time.monotonic()
+            self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
+        self.queries_served += 1
+        response = reduce_server_results(query, server_results, elapsed_ms)
+        response.num_servers_queried = len(server_results)
+        response.num_servers_responded = sum(
+            1 for r in server_results if r.error is None
+        )
+        response.num_segments_pruned_by_broker = pruned_total
+        return response
+
+    def _resolve_physical_queries(self, query: Query) -> list[Query]:
+        """Map the logical table to physical queries, splitting hybrid
+        tables at the time boundary (§3.3.3, Fig 6)."""
+        logical = query.table
+        offline = f"{logical}_{TableType.OFFLINE.value}"
+        realtime = f"{logical}_{TableType.REALTIME.value}"
+        has_offline = self._helix.get_property(
+            f"tableconfigs/{offline}") is not None
+        has_realtime = self._helix.get_property(
+            f"tableconfigs/{realtime}") is not None
+        if not has_offline and not has_realtime:
+            # Allow physical names directly (e.g. "events_OFFLINE").
+            if self._helix.get_property(f"tableconfigs/{logical}") is not None:
+                return [query]
+            raise ClusterError(f"no such table: {logical!r}")
+        if has_offline and not has_realtime:
+            return [query.with_table(offline)]
+        if has_realtime and not has_offline:
+            return [query.with_table(realtime)]
+
+        config = self._table_config(offline)
+        time_column = config.time_column
+        if time_column is None:
+            raise ClusterError(
+                f"hybrid table {logical!r} requires a time column"
+            )
+        boundary = self._time_boundary(offline, config)
+        if boundary is None:
+            # No offline data yet; serve everything from realtime.
+            return [query.with_table(realtime)]
+        offline_query, realtime_query = split_hybrid(
+            query, time_column, boundary, offline, realtime
+        )
+        return [offline_query, realtime_query]
+
+    def _time_boundary(self, offline_table: str,
+                       config: TableConfig) -> int | None:
+        max_time: int | None = None
+        for segment in self._helix.list_properties(
+            f"segments/{offline_table}"
+        ):
+            meta = self._helix.get_property(
+                f"segments/{offline_table}/{segment}"
+            ) or {}
+            segment_max = meta.get("max_time")
+            if segment_max is not None:
+                max_time = (segment_max if max_time is None
+                            else max(max_time, segment_max))
+        if max_time is None:
+            return None
+        granularity = TimeGranularity(config.retention_granularity.unit, 1)
+        return time_boundary(max_time, granularity)
+
+    def _scatter(self, query: Query) -> tuple[list[ServerResult], int]:
+        strategy = self._strategy_for(query.table)
+        try:
+            routing_table = strategy.route(query)
+        except RoutingError as exc:
+            return ([ServerResult(server=self.instance_id,
+                                  error=str(exc))], 0)
+        routing_table, pruned = self._prune_by_time(query, routing_table)
+        routing_table, bloom_pruned = self._prune_by_bloom(query,
+                                                           routing_table)
+        pruned += bloom_pruned
+        results = []
+        for instance, segments in routing_table.items():
+            server = self._helix.participant(instance)
+            if server is None:
+                results.append(ServerResult(server=instance,
+                                            error="server unreachable"))
+                continue
+            results.append(server.execute(query, query.table, segments))
+        return results, pruned
+
+    def _prune_by_time(self, query: Query, routing_table):
+        """Drop segments whose time range cannot match the query before
+        contacting any server — servers left with no segments are not
+        contacted at all (reduces fan-out for time-scoped queries)."""
+        if query.where is None:
+            return routing_table, 0
+        config = self._table_config(query.table)
+        time_column = config.time_column
+        if time_column is None:
+            return routing_table, 0
+        from repro.engine.planner import time_bounds
+
+        low, high = time_bounds(query.where, time_column)
+        if low is None and high is None:
+            return routing_table, 0
+
+        pruned = 0
+        out: dict[str, list[str]] = {}
+        for instance, segments in routing_table.items():
+            kept = []
+            for segment in segments:
+                meta = (
+                    self._helix.get_property(
+                        f"segments/{query.table}/{segment}")
+                    or self._helix.get_property(
+                        f"realtime/{query.table}/{segment}")
+                    or {}
+                )
+                min_time = meta.get("min_time")
+                max_time = meta.get("max_time")
+                if (min_time is not None and high is not None
+                        and min_time > high):
+                    pruned += 1
+                    continue
+                if (max_time is not None and low is not None
+                        and max_time < low):
+                    pruned += 1
+                    continue
+                kept.append(segment)
+            if kept:
+                out[instance] = kept
+        return out, pruned
+
+    def _prune_by_bloom(self, query: Query, routing_table):
+        """Bloom-filter pruning: drop segments whose distinct-value
+        bloom filter proves an EQ/IN value cannot occur (never a false
+        negative, so pruning is always safe)."""
+        if query.where is None:
+            return routing_table, 0
+        constraints = _equality_constraints(query.where)
+        if not constraints:
+            return routing_table, 0
+        from repro.segment.bloom import BloomFilter
+
+        bloom_cache: dict[tuple[str, str], BloomFilter | None] = {}
+
+        def bloom_for(segment: str, column: str):
+            key = (segment, column)
+            if key not in bloom_cache:
+                meta = self._helix.get_property(
+                    f"segments/{query.table}/{segment}") or {}
+                payload = (meta.get("blooms") or {}).get(column)
+                bloom_cache[key] = (
+                    BloomFilter.from_payload(payload) if payload else None
+                )
+            return bloom_cache[key]
+
+        pruned = 0
+        out: dict[str, list[str]] = {}
+        for instance, segments in routing_table.items():
+            kept = []
+            for segment in segments:
+                skip = False
+                for column, values in constraints.items():
+                    bloom = bloom_for(segment, column)
+                    if bloom is None:
+                        continue
+                    if not any(bloom.might_contain(v) for v in values):
+                        skip = True
+                        break
+                if skip:
+                    pruned += 1
+                else:
+                    kept.append(segment)
+            if kept:
+                out[instance] = kept
+        return out, pruned
+
+    def _record_query_log(self, query: Query,
+                          results: list[ServerResult]) -> None:
+        """Record the query's filter footprint; the controller's
+        auto-index analysis mines this log (§5.2)."""
+        from repro.pql.ast_nodes import predicate_columns
+
+        if query.where is None:
+            return
+        entries = sum(r.stats.num_entries_scanned_in_filter
+                      for r in results if r.error is None)
+        docs = sum(r.stats.num_docs_scanned
+                   for r in results if r.error is None)
+        self.query_log.append(QueryLogEntry(
+            table=query.table,
+            filter_columns=frozenset(predicate_columns(query.where)),
+            entries_scanned_in_filter=entries,
+            docs_scanned=docs,
+        ))
+        if len(self.query_log) > self.QUERY_LOG_LIMIT:
+            del self.query_log[:len(self.query_log) // 2]
+
+    def explain(self, pql: str | Query) -> dict[str, dict[str, str]]:
+        """Per-server, per-segment physical plan descriptions for a
+        query, without executing it."""
+        query = optimize(parse(pql) if isinstance(pql, str) else pql)
+        out: dict[str, dict[str, str]] = {}
+        for physical_query in self._resolve_physical_queries(query):
+            strategy = self._strategy_for(physical_query.table)
+            try:
+                routing_table = strategy.route(physical_query)
+            except RoutingError:
+                continue
+            for instance, segments in routing_table.items():
+                server = self._helix.participant(instance)
+                if server is None or not hasattr(server, "explain"):
+                    continue
+                plans = server.explain(physical_query,
+                                       physical_query.table, segments)
+                out.setdefault(instance, {}).update(plans)
+        return out
+
+    def fanout_for(self, pql: str | Query) -> int:
+        """Number of servers one execution of this query would contact
+        (instrumentation for the Fig 16 routing comparison)."""
+        query = optimize(parse(pql) if isinstance(pql, str) else pql)
+        physical = self._resolve_physical_queries(query)
+        servers: set[str] = set()
+        for physical_query in physical:
+            strategy = self._strategy_for(physical_query.table)
+            servers.update(strategy.route(physical_query))
+        return len(servers)

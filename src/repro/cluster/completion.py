@@ -1,0 +1,175 @@
+"""The realtime segment-completion protocol (§3.3.6).
+
+Independent replicas consume the same Kafka partition from the same
+start offset. Counting-based end criteria keep replicas identical, but
+time-based criteria make them diverge, so Pinot runs a consensus
+protocol: when a replica finishes consuming it polls the *leader
+controller* with its current offset, and the controller's per-segment
+state machine answers with one of:
+
+``HOLD``      do nothing, poll again later;
+``CATCHUP``   consume up to a given offset, then poll again;
+``COMMIT``    flush and attempt to commit (this replica is the
+              committer);
+``KEEP``      flush and load the local data — it already matches the
+              committed copy exactly;
+``DISCARD``   drop local data and fetch the committed copy;
+``NOTLEADER`` re-resolve the leader and poll again.
+
+The state machine waits until all expected replicas have polled (or a
+poll budget expires), targets the *largest* offset any replica reached,
+and picks one replica at that offset as the committer — minimizing
+network transfer since every caught-up replica can KEEP its local data.
+A controller failover simply starts a new blank state machine on the
+new leader; this delays the commit but does not affect correctness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Instruction(enum.Enum):
+    HOLD = "HOLD"
+    DISCARD = "DISCARD"
+    CATCHUP = "CATCHUP"
+    KEEP = "KEEP"
+    COMMIT = "COMMIT"
+    NOTLEADER = "NOTLEADER"
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    instruction: Instruction
+    #: Target offset for CATCHUP; committed offset for KEEP/DISCARD
+    #: decisions; the offset being committed for COMMIT.
+    offset: int | None = None
+
+
+class _State(enum.Enum):
+    COLLECTING = "COLLECTING"
+    COMMITTING = "COMMITTING"
+    COMMITTED = "COMMITTED"
+
+
+@dataclass
+class _SegmentFsm:
+    expected_replicas: int
+    max_hold_polls: int
+    state: _State = _State.COLLECTING
+    offsets: dict[str, int] = field(default_factory=dict)
+    polls: int = 0
+    committer: str | None = None
+    target_offset: int | None = None
+    committed_offset: int | None = None
+
+
+class SegmentCompletionManager:
+    """Controller-side state machines, one per completing segment."""
+
+    def __init__(self, expected_replicas: int, max_hold_polls: int = 3):
+        self._expected_replicas = expected_replicas
+        self._max_hold_polls = max_hold_polls
+        self._fsms: dict[str, _SegmentFsm] = {}
+
+    def _fsm(self, segment: str) -> _SegmentFsm:
+        if segment not in self._fsms:
+            self._fsms[segment] = _SegmentFsm(self._expected_replicas,
+                                              self._max_hold_polls)
+        return self._fsms[segment]
+
+    # -- server -> controller messages -------------------------------------
+
+    def segment_consumed(self, segment: str, server: str,
+                         offset: int) -> CompletionResponse:
+        """A replica reports it reached its end criteria at ``offset``."""
+        fsm = self._fsm(segment)
+        fsm.offsets[server] = offset
+        fsm.polls += 1
+
+        if fsm.state is _State.COMMITTED:
+            return self._respond_committed(fsm, server, offset)
+
+        if fsm.state is _State.COLLECTING:
+            have_all = len(fsm.offsets) >= fsm.expected_replicas
+            waited_enough = fsm.polls >= (
+                fsm.max_hold_polls * fsm.expected_replicas
+            )
+            if not have_all and not waited_enough:
+                return CompletionResponse(Instruction.HOLD)
+            self._decide_committer(fsm)
+
+        assert fsm.state is _State.COMMITTING
+        assert fsm.target_offset is not None
+        if server == fsm.committer and offset < fsm.target_offset:
+            # The chosen committer regressed below the target (e.g. its
+            # catch-up failed because Kafka expired the range). Commit
+            # would deadlock; re-elect using current offsets, exactly as
+            # a failed commit "resumes polling" in the paper.
+            self._decide_committer(fsm)
+        if offset < fsm.target_offset:
+            return CompletionResponse(Instruction.CATCHUP, fsm.target_offset)
+        if server == fsm.committer:
+            return CompletionResponse(Instruction.COMMIT, fsm.target_offset)
+        return CompletionResponse(Instruction.HOLD)
+
+    def _decide_committer(self, fsm: _SegmentFsm) -> None:
+        fsm.target_offset = max(fsm.offsets.values())
+        # Deterministic pick among replicas at the largest offset.
+        at_target = sorted(
+            server for server, offset in fsm.offsets.items()
+            if offset == fsm.target_offset
+        )
+        fsm.committer = at_target[0]
+        fsm.state = _State.COMMITTING
+
+    def _respond_committed(self, fsm: _SegmentFsm, server: str,
+                           offset: int) -> CompletionResponse:
+        assert fsm.committed_offset is not None
+        if offset == fsm.committed_offset:
+            return CompletionResponse(Instruction.KEEP, fsm.committed_offset)
+        return CompletionResponse(Instruction.DISCARD, fsm.committed_offset)
+
+    def segment_commit(self, segment: str, server: str,
+                       offset: int) -> bool:
+        """The committer attempts the commit; True on success."""
+        fsm = self._fsm(segment)
+        if fsm.state is _State.COMMITTED:
+            return False
+        if fsm.state is not _State.COMMITTING or server != fsm.committer:
+            return False
+        if offset != fsm.target_offset:
+            return False
+        fsm.state = _State.COMMITTED
+        fsm.committed_offset = offset
+        return True
+
+    def committer_failed(self, segment: str, server: str) -> None:
+        """The chosen committer died mid-commit; pick a new one among the
+        remaining replicas (resume the protocol)."""
+        fsm = self._fsm(segment)
+        if fsm.state is not _State.COMMITTING or fsm.committer != server:
+            return
+        fsm.offsets.pop(server, None)
+        if fsm.offsets:
+            self._decide_committer(fsm)
+        else:
+            fsm.state = _State.COLLECTING
+            fsm.committer = None
+            fsm.target_offset = None
+            fsm.polls = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def is_committed(self, segment: str) -> bool:
+        fsm = self._fsms.get(segment)
+        return fsm is not None and fsm.state is _State.COMMITTED
+
+    def committed_offset(self, segment: str) -> int | None:
+        fsm = self._fsms.get(segment)
+        return fsm.committed_offset if fsm else None
+
+    def forget(self, segment: str) -> None:
+        """Drop the state machine (controller failover starts blank)."""
+        self._fsms.pop(segment, None)

@@ -1,0 +1,462 @@
+"""Pinot controllers (§3.2, §3.3.5, §3.3.6, Fig 8).
+
+Controllers own the authoritative segment-to-server mapping, handle
+administrative operations (tables, uploads, retention), and run the
+realtime segment-completion state machines. Three controller instances
+run per datacenter with a single Helix-elected leader; non-leader
+controllers answer completion polls with NOTLEADER.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.cluster.completion import (
+    CompletionResponse,
+    Instruction,
+    SegmentCompletionManager,
+)
+from repro.cluster.objectstore import ObjectStore
+from repro.cluster.server import realtime_segment_name
+from repro.cluster.table import TableConfig, TableType
+from repro.common.types import FieldSpec
+from repro.errors import ClusterError, NotLeaderError, QuotaExceededError
+from repro.helix.manager import HelixManager
+from repro.helix.statemachine import SegmentState
+from repro.kafka.broker import SimKafka
+from repro.segment.segment import ImmutableSegment
+from repro.zk.store import ZkSession
+
+SERVER_TAG = "server"
+
+
+class Controller:
+    """One controller instance."""
+
+    def __init__(self, instance_id: str, helix: HelixManager,
+                 object_store: ObjectStore, kafka: SimKafka | None = None):
+        self.instance_id = instance_id
+        self._helix = helix
+        self._store = object_store
+        self._kafka = kafka
+        self._session: ZkSession | None = None
+        self._completion: dict[str, SegmentCompletionManager] = {}
+        self._task_ids = itertools.count(1)
+
+    # -- leadership -----------------------------------------------------------
+
+    @property
+    def _leader_path(self) -> str:
+        return self._helix._path("controllers/leader")  # noqa: SLF001
+
+    def start(self) -> None:
+        """Join the controller pool and try to acquire leadership."""
+        if self._session is None:
+            self._session = self._helix.zk.connect()
+        self.try_acquire_leadership()
+
+    def stop(self) -> None:
+        """Shut down (releases leadership if held; ephemerals expire)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        self._completion.clear()  # a new leader starts blank FSMs
+
+    def try_acquire_leadership(self) -> bool:
+        if self._session is None or self._session.closed:
+            return False
+        zk = self._helix.zk
+        if zk.exists(self._leader_path):
+            return zk.get(self._leader_path) == self.instance_id
+        try:
+            zk.create(self._leader_path, self.instance_id,
+                      session=self._session, ephemeral=True)
+            return True
+        except Exception:  # lost the race
+            return False
+
+    @property
+    def is_leader(self) -> bool:
+        zk = self._helix.zk
+        return (
+            zk.exists(self._leader_path)
+            and zk.get(self._leader_path) == self.instance_id
+        )
+
+    def _require_leader(self) -> None:
+        if not self.is_leader:
+            raise NotLeaderError(
+                f"controller {self.instance_id!r} is not the leader"
+            )
+
+    # -- table management -----------------------------------------------------
+
+    def create_table(self, config: TableConfig) -> None:
+        self._require_leader()
+        table = config.name
+        if self._helix.get_property(f"tableconfigs/{table}") is not None:
+            raise ClusterError(f"table {table!r} already exists")
+        if config.table_type is TableType.REALTIME:
+            # Validate the stream up front so a failed create leaves no
+            # half-registered table behind.
+            assert config.stream is not None
+            if self._kafka is None or not self._kafka.has_topic(
+                config.stream.topic
+            ):
+                from repro.errors import IngestionError
+
+                raise IngestionError(
+                    f"stream topic {config.stream.topic!r} does not exist"
+                )
+        self._helix.set_property(f"tableconfigs/{table}", config.to_dict())
+        self._helix.set_ideal_state(table, {})
+        if config.table_type is TableType.REALTIME:
+            self._bootstrap_realtime(config)
+
+    def delete_table(self, table: str) -> None:
+        self._require_leader()
+        for segment in self._store.list_segments(table):
+            self._store.delete(table, segment)
+        self._helix.drop_resource(table)
+        self._helix.delete_property(f"tableconfigs/{table}")
+        for kind in ("segments", "realtime"):
+            self._helix.delete_property(f"{kind}/{table}")
+        self._completion.pop(table, None)
+
+    def table_config(self, table: str) -> TableConfig:
+        payload = self._helix.get_property(f"tableconfigs/{table}")
+        if payload is None:
+            raise ClusterError(f"no such table: {table!r}")
+        return TableConfig.from_dict(payload)
+
+    def list_tables(self) -> list[str]:
+        return self._helix.list_properties("tableconfigs")
+
+    def list_segments(self, table: str) -> list[str]:
+        return sorted(self._helix.ideal_state(table))
+
+    # -- schema evolution (§5.2) ------------------------------------------------
+
+    def add_column(self, table: str, spec: FieldSpec) -> None:
+        """Add a column with a default value, without downtime: old
+        segments expose it as a default-valued virtual column."""
+        self._require_leader()
+        config = self.table_config(table)
+        new_schema = config.schema.with_column(spec)
+        config.schema = new_schema
+        self._helix.set_property(f"tableconfigs/{table}", config.to_dict())
+        for instance in self._helix.live_instances():
+            participant = self._helix.participant(instance)
+            if participant is not None and hasattr(participant,
+                                                   "apply_new_column"):
+                participant.apply_new_column(table, spec)
+
+    # -- offline segment upload (§3.3.5, Fig 8) -----------------------------------
+
+    def upload_segment(self, table: str, segment: ImmutableSegment,
+                       push_time_ms: int = 0) -> None:
+        """Receive a segment over (simulated) HTTP POST: verify it,
+        check the table quota, write metadata, and assign replicas."""
+        self._require_leader()
+        config = self.table_config(table)
+        self._verify_segment(config, segment)
+        self._check_quota(config, table, segment)
+
+        segment.metadata.push_time_ms = push_time_ms
+        self._store.put(table, segment)
+        blooms = {
+            name: meta.bloom
+            for name, meta in segment.metadata.columns.items()
+            if meta.bloom is not None
+        }
+        self._helix.set_property(
+            f"segments/{table}/{segment.name}",
+            {
+                "num_docs": segment.num_docs,
+                "size_bytes": segment.metadata.total_bytes,
+                "min_time": segment.metadata.min_time,
+                "max_time": segment.metadata.max_time,
+                "push_time_ms": push_time_ms,
+                "partition_id": segment.metadata.partition_id,
+                "blooms": blooms,
+            },
+        )
+
+        replicas = self._pick_servers(table, config.replication)
+        mapping = self._helix.ideal_state(table)
+        mapping[segment.name] = {
+            server: SegmentState.ONLINE.value for server in replicas
+        }
+        self._helix.set_ideal_state(table, mapping)
+
+    def _verify_segment(self, config: TableConfig,
+                        segment: ImmutableSegment) -> None:
+        if segment.num_docs <= 0:
+            raise ClusterError(f"segment {segment.name!r} is empty")
+        missing = set(config.schema.column_names) - set(segment.column_names)
+        if missing:
+            raise ClusterError(
+                f"segment {segment.name!r} is missing columns "
+                f"{sorted(missing)}"
+            )
+
+    def _check_quota(self, config: TableConfig, table: str,
+                     segment: ImmutableSegment) -> None:
+        if config.quota_bytes is None:
+            return
+        projected = self._store.size_bytes(table) + (
+            segment.metadata.total_bytes
+        )
+        if projected > config.quota_bytes:
+            raise QuotaExceededError(
+                f"uploading {segment.name!r} would put table {table!r} at "
+                f"{projected} bytes, over its {config.quota_bytes} quota"
+            )
+
+    def _pick_servers(self, table: str, replication: int) -> list[str]:
+        """Least-loaded assignment over live tagged servers."""
+        servers = [
+            instance for instance in self._helix.live_instances()
+            if SERVER_TAG in self._helix.instance_tags(instance)
+        ]
+        if len(servers) < replication:
+            raise ClusterError(
+                f"need {replication} servers, only {len(servers)} live"
+            )
+        load: dict[str, int] = {server: 0 for server in servers}
+        for __, replica_states in self._helix.ideal_state(table).items():
+            for server in replica_states:
+                if server in load:
+                    load[server] += 1
+        servers.sort(key=lambda s: (load[s], s))
+        return servers[:replication]
+
+    def replace_segment(self, table: str, segment: ImmutableSegment) -> None:
+        """Atomically replace an existing segment with a new version
+        (how updates/corrections work on immutable data, §3.1)."""
+        self._require_leader()
+        if not self._store.exists(table, segment.name):
+            raise ClusterError(
+                f"segment {segment.name!r} does not exist in {table!r}"
+            )
+        self._store.put(table, segment)
+        # Bounce replicas OFFLINE -> ONLINE so they reload the new copy.
+        mapping = self._helix.ideal_state(table)
+        replicas = mapping.get(segment.name, {})
+        mapping[segment.name] = {
+            server: SegmentState.OFFLINE.value for server in replicas
+        }
+        self._helix.set_ideal_state(table, mapping)
+        mapping[segment.name] = {
+            server: SegmentState.ONLINE.value for server in replicas
+        }
+        self._helix.set_ideal_state(table, mapping)
+
+    def delete_segment(self, table: str, segment_name: str) -> None:
+        self._require_leader()
+        mapping = self._helix.ideal_state(table)
+        mapping.pop(segment_name, None)
+        self._helix.set_ideal_state(table, mapping)
+        self._store.delete(table, segment_name)
+        self._helix.delete_property(f"segments/{table}/{segment_name}")
+
+    def rebalance_table(self, table: str) -> dict[str, list[str]]:
+        """Recompute a balanced segment assignment over the currently
+        live servers (the operator-triggered mapping change of §3.2 —
+        e.g. after scaling out with blank nodes).
+
+        Returns the new server -> segments mapping. Replicas move by
+        ordinary Helix transitions: added replicas come ONLINE from the
+        object store before removed ones are dropped, so the table
+        stays fully queryable throughout.
+        """
+        self._require_leader()
+        config = self.table_config(table)
+        servers = [
+            instance for instance in self._helix.live_instances()
+            if SERVER_TAG in self._helix.instance_tags(instance)
+        ]
+        if len(servers) < config.replication:
+            raise ClusterError(
+                f"need {config.replication} servers, only "
+                f"{len(servers)} live"
+            )
+        current = self._helix.ideal_state(table)
+        load: dict[str, int] = {server: 0 for server in servers}
+        new_mapping: dict[str, dict[str, str]] = {}
+        for segment in sorted(current):
+            state = next(iter(current[segment].values()),
+                         SegmentState.ONLINE.value)
+            # Least-loaded first for balance; among equally loaded
+            # servers prefer existing replicas (no data movement).
+            existing = set(current[segment])
+            candidates = sorted(
+                servers,
+                key=lambda s: (load[s], s not in existing, s),
+            )
+            chosen = candidates[:config.replication]
+            for server in chosen:
+                load[server] += 1
+            new_mapping[segment] = {server: state for server in chosen}
+
+        # Two-phase apply: grow replicas first, then shrink.
+        grown = {
+            segment: {**current.get(segment, {}), **replicas}
+            for segment, replicas in new_mapping.items()
+        }
+        self._helix.set_ideal_state(table, grown)
+        self._helix.set_ideal_state(table, new_mapping)
+        out: dict[str, list[str]] = {}
+        for segment, replicas in new_mapping.items():
+            for server in replicas:
+                out.setdefault(server, []).append(segment)
+        return out
+
+    # -- retention GC (§3.2) -----------------------------------------------------
+
+    def run_retention(self, now: int) -> list[str]:
+        """Garbage-collect segments past their table's retention window;
+        returns the deleted segment names."""
+        self._require_leader()
+        deleted = []
+        for table in self.list_tables():
+            config = self.table_config(table)
+            if config.retention is None:
+                continue
+            cutoff = now - config.retention
+            for segment_name in self.list_segments(table):
+                meta = self._helix.get_property(
+                    f"segments/{table}/{segment_name}"
+                ) or self._helix.get_property(
+                    f"realtime/{table}/{segment_name}"
+                )
+                if meta is None:
+                    continue
+                max_time = meta.get("max_time")
+                if max_time is not None and max_time < cutoff:
+                    self.delete_segment(table, segment_name)
+                    deleted.append(segment_name)
+        return deleted
+
+    # -- realtime segment management (§3.3.6) ---------------------------------------
+
+    def _bootstrap_realtime(self, config: TableConfig) -> None:
+        assert config.stream is not None and self._kafka is not None
+        table = config.name
+        for partition in range(self._kafka.num_partitions(config.stream.topic)):
+            start = self._kafka.earliest_offset(config.stream.topic,
+                                                partition)
+            self._create_consuming_segment(config, partition, 0, start)
+
+    def _create_consuming_segment(self, config: TableConfig, partition: int,
+                                  sequence: int, start_offset: int) -> str:
+        table = config.name
+        name = realtime_segment_name(table, partition, sequence)
+        self._helix.set_property(
+            f"realtime/{table}/{name}",
+            {
+                "partition": partition,
+                "sequence": sequence,
+                "start_offset": start_offset,
+                "status": "IN_PROGRESS",
+                "end_offset": None,
+                "min_time": None,
+                "max_time": None,
+            },
+        )
+        replicas = self._pick_servers(table, config.replication)
+        mapping = self._helix.ideal_state(table)
+        mapping[name] = {
+            server: SegmentState.CONSUMING.value for server in replicas
+        }
+        self._helix.set_ideal_state(table, mapping)
+        return name
+
+    def _completion_manager(self, table: str) -> SegmentCompletionManager:
+        if table not in self._completion:
+            config = self.table_config(table)
+            self._completion[table] = SegmentCompletionManager(
+                expected_replicas=config.replication
+            )
+        return self._completion[table]
+
+    def segment_consumed(self, table: str, segment: str, server: str,
+                         offset: int) -> CompletionResponse:
+        """A server's completion-protocol poll (§3.3.6)."""
+        if not self.is_leader:
+            return CompletionResponse(Instruction.NOTLEADER)
+        return self._completion_manager(table).segment_consumed(
+            segment, server, offset
+        )
+
+    def commit_segment(self, table: str, segment: str, server: str,
+                       offset: int, sealed: ImmutableSegment) -> bool:
+        """The committer uploads its sealed copy (COMMIT instruction)."""
+        if not self.is_leader:
+            return False
+        manager = self._completion_manager(table)
+        if not manager.segment_commit(segment, server, offset):
+            return False
+
+        config = self.table_config(table)
+        self._store.put(table, sealed)
+        meta = self._helix.get_property(f"realtime/{table}/{segment}") or {}
+        meta.update(
+            status="DONE",
+            end_offset=offset,
+            min_time=sealed.metadata.min_time,
+            max_time=sealed.metadata.max_time,
+            num_docs=sealed.num_docs,
+        )
+        self._helix.set_property(f"realtime/{table}/{segment}", meta)
+
+        # Promote all replicas; non-committers KEEP or DISCARD via the
+        # CONSUMING -> ONLINE transition.
+        mapping = self._helix.ideal_state(table)
+        for replica in mapping.get(segment, {}):
+            mapping[segment][replica] = SegmentState.ONLINE.value
+        self._helix.set_ideal_state(table, mapping)
+
+        # Open the next consuming segment where the last one ended.
+        partition = meta["partition"]
+        self._create_consuming_segment(config, partition,
+                                       meta["sequence"] + 1, offset)
+        return True
+
+    # -- minion task scheduling (§3.2) ------------------------------------------------
+
+    def schedule_task(self, task_type: str, table: str,
+                      params: dict[str, Any] | None = None) -> str:
+        """Enqueue a maintenance task for the minions."""
+        self._require_leader()
+        task_id = f"task-{next(self._task_ids):06d}"
+        self._helix.set_property(
+            f"tasks/{task_id}",
+            {
+                "id": task_id,
+                "type": task_type,
+                "table": table,
+                "params": params or {},
+                "status": "PENDING",
+                "owner": None,
+            },
+        )
+        return task_id
+
+    def pending_tasks(self) -> list[dict[str, Any]]:
+        tasks = []
+        for task_id in self._helix.list_properties("tasks"):
+            task = self._helix.get_property(f"tasks/{task_id}")
+            if task and task["status"] == "PENDING":
+                tasks.append(task)
+        return tasks
+
+    def task_status(self, task_id: str) -> str:
+        task = self._helix.get_property(f"tasks/{task_id}")
+        if task is None:
+            raise ClusterError(f"no such task: {task_id!r}")
+        return task["status"]
+
+    def update_task(self, task: dict[str, Any]) -> None:
+        self._helix.set_property(f"tasks/{task['id']}", task)

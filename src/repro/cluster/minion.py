@@ -1,0 +1,179 @@
+"""Minions: compute-intensive maintenance tasks (§3.2).
+
+Minions execute tasks assigned by the controller's job scheduling
+system. The flagship example from the paper is *data purging* for legal
+compliance: since segment data is immutable, a purge downloads each
+segment, expunges the unwanted records, rewrites and reindexes the
+segment, and uploads it back, replacing the previous version.
+
+The task framework is extensible (``register_task_type``); built in are:
+
+* ``purge`` — delete records matching ``column IN values``;
+* ``add_inverted_index`` — backfill an inverted index on a column
+  (what LinkedIn's query-log mining schedules automatically, §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.controller import Controller
+from repro.cluster.objectstore import ObjectStore
+from repro.errors import ClusterError
+from repro.segment.builder import SegmentBuilder
+from repro.segment.segment import ImmutableSegment
+
+TaskHandler = Callable[["MinionInstance", dict[str, Any]], None]
+
+
+class MinionInstance:
+    """One minion worker."""
+
+    def __init__(self, instance_id: str, controller: Controller,
+                 object_store: ObjectStore):
+        self.instance_id = instance_id
+        self._controller = controller
+        self._store = object_store
+        self._handlers: dict[str, TaskHandler] = {
+            "purge": MinionInstance._run_purge,
+            "add_inverted_index": MinionInstance._run_add_inverted_index,
+            "merge_rollup": MinionInstance._run_merge_rollup,
+        }
+        self.tasks_completed = 0
+
+    def register_task_type(self, task_type: str,
+                           handler: TaskHandler) -> None:
+        """Extend the task framework with a new job type (§3.2)."""
+        self._handlers[task_type] = handler
+
+    # -- execution loop ------------------------------------------------------
+
+    def run_pending(self) -> int:
+        """Claim and execute all pending tasks; returns how many ran."""
+        ran = 0
+        for task in self._controller.pending_tasks():
+            task["status"] = "RUNNING"
+            task["owner"] = self.instance_id
+            self._controller.update_task(task)
+            try:
+                handler = self._handlers.get(task["type"])
+                if handler is None:
+                    raise ClusterError(
+                        f"no handler for task type {task['type']!r}"
+                    )
+                handler(self, task)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                task["status"] = "FAILED"
+                task["error"] = str(exc)
+            else:
+                task["status"] = "COMPLETED"
+                self.tasks_completed += 1
+            self._controller.update_task(task)
+            ran += 1
+        return ran
+
+    # -- built-in tasks ----------------------------------------------------------
+
+    def _run_purge(self, task: dict[str, Any]) -> None:
+        """Expunge records where ``column IN values`` from every segment."""
+        table = task["table"]
+        column = task["params"]["column"]
+        values = set(task["params"]["values"])
+        config = self._controller.table_config(table)
+        for segment_name in self._controller.list_segments(table):
+            segment = self._store.get(table, segment_name)
+            kept = [
+                record for record in segment.iter_records()
+                if record[column] not in values
+            ]
+            if len(kept) == segment.num_docs:
+                continue
+            if not kept:
+                self._controller.delete_segment(table, segment_name)
+                continue
+            rebuilt = self._rebuild(segment, config, kept)
+            self._controller.replace_segment(table, rebuilt)
+
+    def _run_add_inverted_index(self, task: dict[str, Any]) -> None:
+        """Backfill a bitmap inverted index on one column."""
+        table = task["table"]
+        column = task["params"]["column"]
+        for segment_name in self._controller.list_segments(table):
+            segment = self._store.get(table, segment_name)
+            if segment.column(column).inverted is not None:
+                continue
+            segment.ensure_inverted_index(column)
+            self._controller.replace_segment(table, segment)
+
+    def _run_merge_rollup(self, task: dict[str, Any]) -> None:
+        """Merge small segments into larger ones, optionally rolling up
+        rows with identical dimension values by summing their metrics
+        (production Pinot's MergeRollupTask).
+
+        Params: ``max_segments_per_merge`` (default: all), ``rollup``
+        (default True).
+        """
+        table = task["table"]
+        params = task["params"]
+        batch = params.get("max_segments_per_merge")
+        rollup = params.get("rollup", True)
+        config = self._controller.table_config(table)
+
+        segment_names = self._controller.list_segments(table)
+        if len(segment_names) < 2:
+            return
+        batch = batch or len(segment_names)
+
+        merged_index = 0
+        for start in range(0, len(segment_names), batch):
+            group = segment_names[start:start + batch]
+            if len(group) < 2:
+                continue
+            records: list[dict[str, Any]] = []
+            for name in group:
+                records.extend(
+                    self._store.get(table, name).iter_records()
+                )
+            if rollup:
+                records = self._rollup(config.schema, records)
+            builder = SegmentBuilder(
+                f"{table}_merged_{task['id']}_{merged_index:04d}",
+                table, config.schema, config.segment_config,
+            )
+            builder.add_all(records)
+            self._controller.upload_segment(table, builder.build())
+            for name in group:
+                self._controller.delete_segment(table, name)
+            merged_index += 1
+
+    @staticmethod
+    def _rollup(schema, records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Collapse rows with identical dimension+time values, summing
+        metric columns."""
+        metric_names = list(schema.metric_names)
+        key_names = [
+            spec.name for spec in schema if not spec.is_metric
+        ]
+        buckets: dict[tuple, dict[str, Any]] = {}
+        for record in records:
+            key = tuple(
+                tuple(record[name]) if isinstance(record[name], list)
+                else record[name]
+                for name in key_names
+            )
+            existing = buckets.get(key)
+            if existing is None:
+                buckets[key] = dict(record)
+            else:
+                for name in metric_names:
+                    existing[name] += record[name]
+        return list(buckets.values())
+
+    def _rebuild(self, segment: ImmutableSegment, config,
+                 records: list[dict[str, Any]]) -> ImmutableSegment:
+        builder = SegmentBuilder(
+            segment.name, segment.table_name, config.schema,
+            config.segment_config,
+        )
+        builder.add_all(records)
+        return builder.build()

@@ -1,0 +1,368 @@
+"""Pinot servers (§3.2): segment hosting, state transitions, realtime
+consumption, and per-server query execution.
+
+Servers are Helix participants. They execute the segment state machine
+(Fig 3): fetching segments from the object store on OFFLINE→ONLINE
+(Fig 4), creating Kafka consumers on OFFLINE→CONSUMING, and promoting or
+replacing local data on CONSUMING→ONLINE according to the completion
+protocol's verdict. Local storage is a cache — a blank server can
+always rebuild itself from the object store and Kafka (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.cluster.completion import Instruction
+from repro.cluster.objectstore import ObjectStore
+from repro.cluster.table import TableConfig
+from repro.engine.executor import execute_segment
+from repro.engine.merge import combine_segment_results
+from repro.engine.results import SegmentResult, ServerResult
+from repro.errors import ClusterError, PinotError
+from repro.helix.manager import HelixManager
+from repro.helix.statemachine import SegmentState
+from repro.kafka.broker import KafkaConsumer, SimKafka
+from repro.pql.ast_nodes import Query
+from repro.segment.mutable import MutableSegment
+from repro.segment.segment import ImmutableSegment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.controller import Controller
+
+
+@dataclass
+class _ConsumingSegment:
+    """One replica of a realtime segment in the CONSUMING state."""
+
+    table: str
+    name: str
+    partition: int
+    mutable: MutableSegment
+    consumer: KafkaConsumer
+    config: TableConfig
+    ticks: int = 0
+    reached_end_criteria: bool = False
+    sealed: ImmutableSegment | None = None
+    sealed_offset: int | None = None
+
+    @property
+    def offset(self) -> int:
+        return self.consumer.position
+
+
+@dataclass
+class QueryFaults:
+    """Test/benchmark hooks for fault injection on a server."""
+
+    fail_next: int = 0
+    extra_latency_s: float = 0.0
+
+
+class ServerInstance:
+    """One Pinot server."""
+
+    def __init__(self, instance_id: str, helix: HelixManager,
+                 object_store: ObjectStore, kafka: SimKafka | None = None,
+                 controller_resolver: Callable[[], "Controller"] | None = None):
+        self.instance_id = instance_id
+        self._helix = helix
+        self._store = object_store
+        self._kafka = kafka
+        self._controller_resolver = controller_resolver
+        #: (table, segment) -> loaded immutable segment.
+        self._segments: dict[tuple[str, str], ImmutableSegment] = {}
+        #: (table, segment) -> consuming replica state.
+        self._consuming: dict[tuple[str, str], _ConsumingSegment] = {}
+        self.faults = QueryFaults()
+        self.queries_executed = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def hosted_segments(self, table: str) -> list[str]:
+        online = [s for (t, s) in self._segments if t == table]
+        consuming = [s for (t, s) in self._consuming if t == table]
+        return sorted(online + consuming)
+
+    def num_docs(self, table: str) -> int:
+        total = sum(
+            segment.num_docs for (t, __), segment in self._segments.items()
+            if t == table
+        )
+        total += sum(
+            consuming.mutable.num_docs
+            for (t, __), consuming in self._consuming.items() if t == table
+        )
+        return total
+
+    def segment(self, table: str, name: str) -> ImmutableSegment:
+        try:
+            return self._segments[(table, name)]
+        except KeyError:
+            raise ClusterError(
+                f"server {self.instance_id!r} does not host "
+                f"{table}/{name}"
+            ) from None
+
+    # -- Helix participant interface ----------------------------------------
+
+    def process_transition(self, resource: str, segment: str,
+                           from_state: SegmentState,
+                           to_state: SegmentState) -> None:
+        key = (resource, segment)
+        if to_state is SegmentState.ONLINE:
+            if from_state is SegmentState.CONSUMING:
+                self._promote_consuming(resource, segment)
+            else:
+                self._load_from_store(resource, segment)
+        elif to_state is SegmentState.CONSUMING:
+            self._start_consuming(resource, segment)
+        elif to_state is SegmentState.OFFLINE:
+            self._segments.pop(key, None)
+            self._consuming.pop(key, None)
+        elif to_state is SegmentState.DROPPED:
+            self._segments.pop(key, None)
+            self._consuming.pop(key, None)
+        else:
+            raise ClusterError(f"unsupported target state {to_state}")
+
+    def _load_from_store(self, table: str, segment: str) -> None:
+        self._segments[(table, segment)] = self._store.get(table, segment)
+
+    def _promote_consuming(self, table: str, segment: str) -> None:
+        """CONSUMING → ONLINE: keep local sealed data when it matches the
+        committed copy (KEEP/COMMIT), otherwise download (DISCARD)."""
+        key = (table, segment)
+        consuming = self._consuming.pop(key, None)
+        committed_offset = self._helix.get_property(
+            f"realtime/{table}/{segment}", {}
+        ).get("end_offset")
+        if (
+            consuming is not None
+            and consuming.sealed is not None
+            and consuming.sealed_offset == committed_offset
+        ):
+            self._segments[key] = consuming.sealed
+        else:
+            self._load_from_store(table, segment)
+
+    def _start_consuming(self, table: str, segment: str) -> None:
+        if self._kafka is None:
+            raise ClusterError(
+                f"server {self.instance_id!r} has no Kafka connection"
+            )
+        meta = self._helix.get_property(f"realtime/{table}/{segment}")
+        if meta is None:
+            raise ClusterError(
+                f"no realtime metadata for {table}/{segment}"
+            )
+        config = self._table_config(table)
+        assert config.stream is not None
+        partition = meta["partition"]
+        start_offset = meta["start_offset"]
+        consumer = KafkaConsumer(self._kafka, config.stream.topic,
+                                 partition, start_offset)
+        mutable = MutableSegment(segment, table, config.schema,
+                                 config.segment_config)
+        mutable.start_offset = start_offset
+        self._consuming[(table, segment)] = _ConsumingSegment(
+            table=table, name=segment, partition=partition,
+            mutable=mutable, consumer=consumer, config=config,
+        )
+
+    def _table_config(self, table: str) -> TableConfig:
+        payload = self._helix.get_property(f"tableconfigs/{table}")
+        if payload is None:
+            raise ClusterError(f"no table config for {table!r}")
+        return TableConfig.from_dict(payload)
+
+    # -- realtime consumption loop --------------------------------------------
+
+    def consume_tick(self) -> None:
+        """Advance every consuming segment by one poll, and run the
+        completion protocol for replicas that reached end criteria."""
+        for consuming in list(self._consuming.values()):
+            if not consuming.reached_end_criteria:
+                self._poll_once(consuming)
+            if consuming.reached_end_criteria:
+                self._run_completion_step(consuming)
+
+    def _poll_once(self, consuming: _ConsumingSegment) -> None:
+        stream = consuming.config.stream
+        assert stream is not None
+        messages = consuming.consumer.poll(stream.records_per_poll)
+        for message in messages:
+            consuming.mutable.index(message.value)
+        consuming.ticks += 1
+        if consuming.mutable.num_docs >= stream.flush_threshold_rows:
+            consuming.reached_end_criteria = True
+        elif (stream.flush_threshold_ticks is not None
+              and consuming.ticks >= stream.flush_threshold_ticks
+              and consuming.mutable.num_docs > 0):
+            consuming.reached_end_criteria = True
+
+    def _run_completion_step(self, consuming: _ConsumingSegment) -> None:
+        if self._controller_resolver is None:
+            return
+        controller = self._controller_resolver()
+        response = controller.segment_consumed(
+            consuming.table, consuming.name, self.instance_id,
+            consuming.offset,
+        )
+        if response.instruction is Instruction.HOLD:
+            return
+        if response.instruction is Instruction.NOTLEADER:
+            return  # resolver returns the current leader next tick
+        if response.instruction is Instruction.CATCHUP:
+            assert response.offset is not None
+            from repro.errors import IngestionError
+
+            while consuming.offset < response.offset:
+                try:
+                    messages = consuming.consumer.poll_until(
+                        response.offset
+                    )
+                except IngestionError:
+                    # Kafka retention already expired this range; keep
+                    # polling the controller — once another replica has
+                    # committed we will be told to DISCARD and fetch the
+                    # authoritative copy instead (§3.3.6).
+                    return
+                if not messages:
+                    break
+                for message in messages:
+                    consuming.mutable.index(message.value)
+            return
+        if response.instruction is Instruction.KEEP:
+            self._seal(consuming)
+            return
+        if response.instruction is Instruction.DISCARD:
+            consuming.sealed = None
+            consuming.sealed_offset = None
+            return
+        if response.instruction is Instruction.COMMIT:
+            self._seal(consuming)
+            assert consuming.sealed is not None
+            controller.commit_segment(
+                consuming.table, consuming.name, self.instance_id,
+                consuming.offset, consuming.sealed,
+            )
+            return
+        raise ClusterError(f"unknown instruction {response.instruction}")
+
+    def _seal(self, consuming: _ConsumingSegment) -> None:
+        if consuming.sealed is None or (
+            consuming.sealed_offset != consuming.offset
+        ):
+            consuming.sealed = consuming.mutable.seal()
+            consuming.sealed_offset = consuming.offset
+            consuming.mutable.end_offset = consuming.offset
+
+    # -- schema evolution (§5.2) ---------------------------------------------
+
+    def apply_new_column(self, table: str, spec) -> None:
+        """Expose a newly added column on already-loaded segments as a
+        default-valued virtual column, without reloading anything."""
+        import numpy as np
+
+        from repro.segment.bitpack import bits_required
+        from repro.segment.dictionary import Dictionary
+        from repro.segment.forward import SingleValueForwardIndex
+        from repro.segment.metadata import ColumnMetadata
+        from repro.segment.segment import Column
+
+        for (t, __), segment in self._segments.items():
+            if t != table or segment.has_column(spec.name):
+                continue
+            default = spec.default
+            dictionary = Dictionary(spec.dtype, [default])
+            forward = SingleValueForwardIndex.from_dict_ids(
+                np.zeros(segment.num_docs, dtype=np.uint32)
+            )
+            meta = ColumnMetadata(
+                name=spec.name, dtype=spec.dtype, role=spec.role,
+                cardinality=1, min_value=default, max_value=default,
+                total_docs=segment.num_docs, total_entries=segment.num_docs,
+                bit_width=bits_required(0),
+            )
+            segment.add_virtual_column(Column(spec, dictionary, forward,
+                                              meta))
+            segment.schema = segment.schema.with_column(spec)
+        for (t, __), consuming in self._consuming.items():
+            if t == table and spec.name not in consuming.mutable.schema:
+                consuming.mutable.schema = (
+                    consuming.mutable.schema.with_column(spec)
+                )
+                consuming.mutable.invalidate_snapshot()
+
+    # -- query execution (§3.3.4) -----------------------------------------------
+
+    def execute(self, query: Query, table: str,
+                segment_names: list[str]) -> ServerResult:
+        """Execute ``query`` on the given subset of hosted segments."""
+        self.queries_executed += 1
+        if self.faults.fail_next > 0:
+            self.faults.fail_next -= 1
+            return ServerResult(server=self.instance_id,
+                                error="injected failure")
+        # Per-query timeout (PQL OPTION(timeoutMs=...)): a straggling
+        # server (simulated via extra_latency_s) times out and the
+        # broker marks the response partial (§3.3.3 step 7).
+        timeout_ms = query.options.get("timeoutMs")
+        if (timeout_ms is not None
+                and self.faults.extra_latency_s * 1000.0 > timeout_ms):
+            return ServerResult(
+                server=self.instance_id,
+                error=f"timed out after {timeout_ms}ms",
+            )
+        results: list[SegmentResult] = []
+        try:
+            for name in segment_names:
+                segment = self._resolve_for_query(table, name)
+                if segment is None:
+                    continue  # empty consuming segment: nothing yet
+                results.append(execute_segment(segment, query))
+        except PinotError as exc:
+            return ServerResult(server=self.instance_id, error=str(exc))
+        return combine_segment_results(query, results, self.instance_id)
+
+    def explain(self, query: Query, table: str,
+                segment_names: list[str]) -> dict[str, str]:
+        """Describe the physical plan per segment (plans differ segment
+        to segment by index availability, §3.3.4)."""
+        from repro.engine.planner import plan_segment
+
+        plans = {}
+        for name in segment_names:
+            segment = self._resolve_for_query(table, name)
+            if segment is None:
+                plans[name] = "EMPTY (no rows consumed yet)"
+                continue
+            plans[name] = plan_segment(segment, query).describe()
+        return plans
+
+    def _resolve_for_query(self, table: str,
+                           name: str) -> ImmutableSegment | None:
+        key = (table, name)
+        if key in self._segments:
+            return self._segments[key]
+        if key in self._consuming:
+            return self._consuming[key].mutable.snapshot()
+        raise ClusterError(
+            f"server {self.instance_id!r} asked for unknown segment "
+            f"{table}/{name}"
+        )
+
+
+def is_realtime_segment_name(name: str) -> bool:
+    return name.count("__") >= 2
+
+
+def realtime_segment_name(table: str, partition: int, sequence: int) -> str:
+    return f"{table}__{partition}__{sequence}"
+
+
+def parse_realtime_segment_name(name: str) -> tuple[str, int, int]:
+    table, partition, sequence = name.rsplit("__", 2)
+    return table, int(partition), int(sequence)

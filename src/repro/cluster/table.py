@@ -1,0 +1,171 @@
+"""Table configuration (§3.1-3.3).
+
+Pinot tables come in two types — OFFLINE (segments pushed from Hadoop)
+and REALTIME (segments consumed from Kafka) — and a *hybrid* table is
+simply an offline and a realtime table sharing the same logical name
+and time column; the broker rewrites queries across the time boundary
+(§3.3.3). Physical table names carry the type suffix, e.g.
+``events_OFFLINE`` / ``events_REALTIME``, as in production Pinot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.common.schema import Schema
+from repro.common.timeutils import TimeGranularity, TimeUnit
+from repro.errors import ClusterError
+from repro.segment.builder import SegmentConfig
+
+
+class TableType(enum.Enum):
+    OFFLINE = "OFFLINE"
+    REALTIME = "REALTIME"
+
+
+@dataclass
+class StreamConfig:
+    """Realtime consumption settings (§3.3.6)."""
+
+    topic: str
+    #: Flush (complete) a consuming segment after this many rows.
+    flush_threshold_rows: int = 5000
+    #: ... or after this many consumption ticks (simulated time), so
+    #: segments on quiet partitions still complete (§3.3.6: "after a
+    #: configurable number of records and after a configurable amount
+    #: of time").
+    flush_threshold_ticks: int | None = None
+    #: Records consumed per poll per tick (consumption speed knob).
+    records_per_poll: int = 500
+
+
+@dataclass
+class PartitionConfig:
+    """Partitioned-table settings for partition-aware routing (§4.4)."""
+
+    column: str
+    num_partitions: int
+
+
+@dataclass
+class TableConfig:
+    """Configuration for one physical (typed) table."""
+
+    logical_name: str
+    table_type: TableType
+    schema: Schema
+    replication: int = 1
+    #: Retention window in time-column units; None keeps data forever.
+    retention: int | None = None
+    retention_granularity: TimeGranularity = field(
+        default_factory=lambda: TimeGranularity(TimeUnit.DAYS)
+    )
+    #: Storage quota in bytes; uploads beyond it are rejected (§3.3.5).
+    quota_bytes: int | None = None
+    segment_config: SegmentConfig = field(default_factory=SegmentConfig)
+    #: "balanced" | "large_cluster" | "partition_aware"
+    routing_strategy: str = "balanced"
+    routing_options: dict[str, Any] = field(default_factory=dict)
+    partition: PartitionConfig | None = None
+    stream: StreamConfig | None = None
+    tenant: str = "DefaultTenant"
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ClusterError("replication must be >= 1")
+        if self.table_type is TableType.REALTIME and self.stream is None:
+            raise ClusterError("realtime tables need a stream config")
+        if self.table_type is TableType.OFFLINE and self.stream is not None:
+            raise ClusterError("offline tables cannot have a stream config")
+        if self.routing_strategy == "partition_aware" and self.partition is None:
+            raise ClusterError(
+                "partition_aware routing requires a partition config"
+            )
+        if self.partition is not None:
+            spec = self.schema.field(self.partition.column)
+            if spec.multi_value:
+                raise ClusterError("partition column cannot be multi-value")
+            # Segment builds must agree with the table's partitioning.
+            self.segment_config.partition_column = self.partition.column
+            self.segment_config.num_partitions = (
+                self.partition.num_partitions
+            )
+
+    @property
+    def name(self) -> str:
+        """The physical table name, e.g. ``events_OFFLINE``."""
+        return f"{self.logical_name}_{self.table_type.value}"
+
+    @property
+    def time_column(self) -> str | None:
+        return self.schema.time_column
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def offline(cls, logical_name: str, schema: Schema,
+                **kwargs: Any) -> "TableConfig":
+        return cls(logical_name, TableType.OFFLINE, schema, **kwargs)
+
+    @classmethod
+    def realtime(cls, logical_name: str, schema: Schema,
+                 stream: StreamConfig, **kwargs: Any) -> "TableConfig":
+        return cls(logical_name, TableType.REALTIME, schema, stream=stream,
+                   **kwargs)
+
+    # -- serialization (for the source-controlled config story of §5.2) ------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "logical_name": self.logical_name,
+            "table_type": self.table_type.value,
+            "schema": self.schema.to_dict(),
+            "replication": self.replication,
+            "retention": self.retention,
+            "quota_bytes": self.quota_bytes,
+            "routing_strategy": self.routing_strategy,
+            "tenant": self.tenant,
+            "sorted_column": self.segment_config.sorted_column,
+            "inverted_columns": list(self.segment_config.inverted_columns),
+            "bloom_columns": list(self.segment_config.bloom_columns),
+            "partition": (
+                {"column": self.partition.column,
+                 "num_partitions": self.partition.num_partitions}
+                if self.partition else None
+            ),
+            "stream": (
+                {"topic": self.stream.topic,
+                 "flush_threshold_rows": self.stream.flush_threshold_rows,
+                 "flush_threshold_ticks": self.stream.flush_threshold_ticks,
+                 "records_per_poll": self.stream.records_per_poll}
+                if self.stream else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TableConfig":
+        partition = None
+        if payload.get("partition"):
+            partition = PartitionConfig(**payload["partition"])
+        stream = None
+        if payload.get("stream"):
+            stream = StreamConfig(**payload["stream"])
+        return cls(
+            logical_name=payload["logical_name"],
+            table_type=TableType(payload["table_type"]),
+            schema=Schema.from_dict(payload["schema"]),
+            replication=payload.get("replication", 1),
+            retention=payload.get("retention"),
+            quota_bytes=payload.get("quota_bytes"),
+            routing_strategy=payload.get("routing_strategy", "balanced"),
+            tenant=payload.get("tenant", "DefaultTenant"),
+            segment_config=SegmentConfig(
+                sorted_column=payload.get("sorted_column"),
+                inverted_columns=tuple(payload.get("inverted_columns", ())),
+                bloom_columns=tuple(payload.get("bloom_columns", ())),
+            ),
+            partition=partition,
+            stream=stream,
+        )

@@ -1,0 +1,105 @@
+"""Multitenancy via per-tenant token buckets (§4.5).
+
+LinkedIn colocates >50 tenants on shared hardware. To prevent one
+tenant from starving the others, each tenant has a token bucket: every
+query deducts tokens proportional to its execution time; an empty
+bucket enqueues (or, here, rejects with a retry-after) further queries
+until the bucket refills. The bucket refills slowly over time, so short
+bursts pass but sustained abuse is throttled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ThrottledError
+
+
+@dataclass
+class TokenBucket:
+    """A classic token bucket over an externally supplied clock.
+
+    Time is injected (``now`` arguments) so the simulation's virtual
+    clock — not the wall clock — drives refill, keeping tests
+    deterministic.
+    """
+
+    capacity: float
+    refill_rate: float  # tokens per second
+    tokens: float | None = None
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.refill_rate <= 0:
+            raise ValueError("capacity and refill_rate must be positive")
+        if self.tokens is None:
+            self.tokens = self.capacity
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(self.capacity,
+                          self.tokens + elapsed * self.refill_rate)
+        self.last_refill = now
+
+    def try_consume(self, amount: float, now: float) -> bool:
+        """Take ``amount`` tokens; False when insufficient.
+
+        The bucket may go negative through :meth:`consume_debt` (queries
+        are charged by *actual* execution time, known only afterwards),
+        in which case new queries are refused until it recovers.
+        """
+        self._refill(now)
+        if self.tokens < amount:
+            return False
+        self.tokens -= amount
+        return True
+
+    def consume_debt(self, amount: float, now: float) -> None:
+        """Charge actual cost after execution; may push tokens negative."""
+        self._refill(now)
+        self.tokens -= amount
+
+    def seconds_until(self, amount: float, now: float) -> float:
+        """Virtual seconds until ``amount`` tokens will be available."""
+        self._refill(now)
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.refill_rate
+
+
+class TenantQuotaManager:
+    """Admission control for queries, one bucket per tenant."""
+
+    def __init__(self, default_capacity: float = 100.0,
+                 default_refill_rate: float = 50.0):
+        self._buckets: dict[str, TokenBucket] = {}
+        self._default_capacity = default_capacity
+        self._default_refill_rate = default_refill_rate
+
+    def configure(self, tenant: str, capacity: float,
+                  refill_rate: float) -> None:
+        self._buckets[tenant] = TokenBucket(capacity, refill_rate)
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        if tenant not in self._buckets:
+            self._buckets[tenant] = TokenBucket(
+                self._default_capacity, self._default_refill_rate
+            )
+        return self._buckets[tenant]
+
+    def admit(self, tenant: str, now: float,
+              admission_cost: float = 1.0) -> None:
+        """Gate a query; raises :class:`ThrottledError` when exhausted."""
+        bucket = self.bucket(tenant)
+        if not bucket.try_consume(admission_cost, now):
+            raise ThrottledError(
+                tenant, bucket.seconds_until(admission_cost, now)
+            )
+
+    def charge(self, tenant: str, execution_seconds: float, now: float,
+               tokens_per_second: float = 10.0) -> None:
+        """Deduct tokens proportional to query execution time (§4.5)."""
+        self.bucket(tenant).consume_debt(
+            execution_seconds * tokens_per_second, now
+        )

@@ -1,0 +1,25 @@
+"""Common data-model primitives: types, schemas, time utilities."""
+
+from repro.common.schema import Schema
+from repro.common.timeutils import TimeGranularity, TimeUnit, time_boundary
+from repro.common.types import (
+    DataType,
+    FieldRole,
+    FieldSpec,
+    dimension,
+    metric,
+    time_column,
+)
+
+__all__ = [
+    "DataType",
+    "FieldRole",
+    "FieldSpec",
+    "Schema",
+    "TimeGranularity",
+    "TimeUnit",
+    "dimension",
+    "metric",
+    "time_boundary",
+    "time_column",
+]

@@ -1,0 +1,43 @@
+"""Record utilities shared by ingestion paths.
+
+Thin helpers over plain-dict records: Pinot's data model is
+schema-on-write (§3.1), so every ingestion path (offline builder,
+realtime consumer, minion rewrite) normalizes records through the
+schema; these helpers cover the generic bits that aren't
+schema-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.common.schema import Schema
+
+
+def normalize_stream(schema: Schema,
+                     records: Iterable[Mapping[str, Any]]) -> Iterator[dict]:
+    """Lazily normalize an iterable of raw records against a schema."""
+    for record in records:
+        yield schema.normalize(record)
+
+
+def records_equal(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+    """Order-insensitive record comparison (multi-value cells compare as
+    sequences, matching segment semantics where array order matters)."""
+    if set(a) != set(b):
+        return False
+    for key, value in a.items():
+        other = b[key]
+        if isinstance(value, (list, tuple)) or isinstance(other,
+                                                          (list, tuple)):
+            if list(value) != list(other):
+                return False
+        elif value != other:
+            return False
+    return True
+
+
+def project(record: Mapping[str, Any],
+            columns: Iterable[str]) -> dict[str, Any]:
+    """Keep only the named columns of a record."""
+    return {column: record[column] for column in columns}

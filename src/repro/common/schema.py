@@ -1,0 +1,155 @@
+"""Table schemas.
+
+A :class:`Schema` is an ordered collection of :class:`FieldSpec` with at
+most one time column. Schemas validate and normalize incoming records,
+and support on-the-fly evolution by column addition (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.common.types import DataType, FieldRole, FieldSpec
+from repro.errors import SchemaError
+
+
+class Schema:
+    """A fixed, ordered set of columns for a table.
+
+    Schemas are immutable; :meth:`with_column` returns a new schema.
+    """
+
+    def __init__(self, name: str, fields: Iterable[FieldSpec]):
+        self.name = name
+        self._fields: dict[str, FieldSpec] = {}
+        time_columns = []
+        for spec in fields:
+            if spec.name in self._fields:
+                raise SchemaError(
+                    f"duplicate column {spec.name!r} in schema {name!r}"
+                )
+            self._fields[spec.name] = spec
+            if spec.is_time:
+                time_columns.append(spec.name)
+        if not self._fields:
+            raise SchemaError(f"schema {name!r} has no columns")
+        if len(time_columns) > 1:
+            raise SchemaError(
+                f"schema {name!r} has multiple time columns: {time_columns}"
+            )
+        self._time_column = time_columns[0] if time_columns else None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def fields(self) -> tuple[FieldSpec, ...]:
+        return tuple(self._fields.values())
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._fields)
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields if f.is_dimension)
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields if f.is_metric)
+
+    @property
+    def time_column(self) -> str | None:
+        """Name of the time column, if the schema has one (§3.1)."""
+        return self._time_column
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._fields
+
+    def __iter__(self) -> Iterator[FieldSpec]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self.fields == other.fields
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{f.name}:{f.dtype.value}/{f.role.value[0]}" for f in self.fields
+        )
+        return f"Schema({self.name!r}, [{cols}])"
+
+    def field(self, column: str) -> FieldSpec:
+        """Return the spec for ``column``; raise SchemaError if absent."""
+        try:
+            return self._fields[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r} in schema {self.name!r}; "
+                f"known columns: {list(self._fields)}"
+            ) from None
+
+    # -- records ---------------------------------------------------------
+
+    def normalize(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and coerce one record against this schema.
+
+        Unknown keys are rejected; missing columns are filled with the
+        column default, which is what production Pinot does when a
+        column is added to an existing table (§5.2).
+        """
+        unknown = set(record) - set(self._fields)
+        if unknown:
+            raise SchemaError(
+                f"record has columns {sorted(unknown)} not in schema "
+                f"{self.name!r}"
+            )
+        return {
+            spec.name: spec.coerce(record.get(spec.name))
+            for spec in self.fields
+        }
+
+    # -- evolution -------------------------------------------------------
+
+    def with_column(self, spec: FieldSpec) -> "Schema":
+        """Return a new schema with ``spec`` appended (§5.2 evolution)."""
+        if spec.name in self._fields:
+            raise SchemaError(
+                f"column {spec.name!r} already exists in schema "
+                f"{self.name!r}"
+            )
+        return Schema(self.name, (*self.fields, spec))
+
+    # -- (de)serialization -----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "fields": [
+                {
+                    "name": f.name,
+                    "dtype": f.dtype.value,
+                    "role": f.role.value,
+                    "multi_value": f.multi_value,
+                    "default": f.default,
+                }
+                for f in self.fields
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Schema":
+        fields = [
+            FieldSpec(
+                name=f["name"],
+                dtype=DataType(f["dtype"]),
+                role=FieldRole(f["role"]),
+                multi_value=f.get("multi_value", False),
+                default=f.get("default"),
+            )
+            for f in payload["fields"]
+        ]
+        return cls(payload["name"], fields)

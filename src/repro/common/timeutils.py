@@ -1,0 +1,68 @@
+"""Time granularity helpers.
+
+Pinot's time column stores integral time values at a configurable
+granularity (e.g. "days since epoch" or "millis since epoch"). The
+hybrid-table time boundary (§3.3.3, Fig 6) and retention management
+(§3.2) are both expressed in these units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TimeUnit(enum.Enum):
+    """Granularity of a table's time column."""
+
+    MILLISECONDS = 1
+    SECONDS = 1000
+    MINUTES = 60 * 1000
+    HOURS = 60 * 60 * 1000
+    DAYS = 24 * 60 * 60 * 1000
+
+    @property
+    def millis(self) -> int:
+        return self.value
+
+    def convert(self, value: int, to: "TimeUnit") -> int:
+        """Convert ``value`` from this unit into ``to`` (floor division)."""
+        return value * self.millis // to.millis
+
+
+@dataclass(frozen=True)
+class TimeGranularity:
+    """A (unit, size) pair; e.g. 1 DAYS for daily segments."""
+
+    unit: TimeUnit
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"granularity size must be >= 1, got {self.size}")
+
+    @property
+    def millis(self) -> int:
+        return self.unit.millis * self.size
+
+    def truncate(self, value: int) -> int:
+        """Round a time value (in ``unit``) down to a bucket boundary."""
+        return value - value % self.size
+
+
+def time_boundary(offline_max_time: int, granularity: TimeGranularity) -> int:
+    """Compute the hybrid-table time boundary (§3.3.3).
+
+    Production Pinot sets the boundary to the maximum time value present
+    in the offline table, minus one granularity bucket, so that a
+    potentially-incomplete most-recent offline bucket is still served by
+    the realtime side. Queries are rewritten into an offline part with
+    ``time <= boundary`` and a realtime part with ``time > boundary``.
+    """
+    return offline_max_time - granularity.size
+
+
+def retention_cutoff(now: int, retention: int) -> int:
+    """Earliest time value retained given ``now`` and a retention window
+    expressed in the same time unit (§3.2 retention GC)."""
+    return now - retention

@@ -1,0 +1,216 @@
+"""Data types and field specifications for the Pinot data model.
+
+Per §3.1 of the paper, supported data types are integers of various
+lengths, floating point numbers, strings and booleans, plus arrays
+(multi-value columns) of those types. Each column is either a
+*dimension*, a *metric*, or the table's special *time column*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by Pinot columns."""
+
+    INT = "INT"
+    LONG = "LONG"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    BOOLEAN = "BOOLEAN"
+    STRING = "STRING"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC_TYPES
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for raw (non-dictionary) storage."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def default_value(self) -> Any:
+        """Default cell value used when a column is added to an existing
+        schema (§5.2: on-the-fly schema evolution fills old segments with
+        a default)."""
+        return _DEFAULTS[self]
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type's canonical Python representation.
+
+        Raises :class:`SchemaError` if the value cannot represent this
+        type (e.g. a non-numeric string for INT).
+        """
+        try:
+            return _COERCERS[self](value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}"
+            ) from exc
+
+
+_NUMERIC_TYPES = frozenset(
+    {DataType.INT, DataType.LONG, DataType.FLOAT, DataType.DOUBLE}
+)
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.dtype(np.int32),
+    DataType.LONG: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float32),
+    DataType.DOUBLE: np.dtype(np.float64),
+    DataType.BOOLEAN: np.dtype(np.bool_),
+    DataType.STRING: np.dtype(object),
+}
+
+_DEFAULTS = {
+    DataType.INT: 0,
+    DataType.LONG: 0,
+    DataType.FLOAT: 0.0,
+    DataType.DOUBLE: 0.0,
+    DataType.BOOLEAN: False,
+    DataType.STRING: "null",
+}
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not integers")
+    out = int(value)
+    if not -(2**31) <= out < 2**31:
+        raise ValueError(f"{out} out of range for INT")
+    return out
+
+
+def _coerce_long(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not longs")
+    out = int(value)
+    if not -(2**63) <= out < 2**63:
+        raise ValueError(f"{out} out of range for LONG")
+    return out
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+    raise ValueError(f"{value!r} is not a boolean")
+
+
+_COERCERS = {
+    DataType.INT: _coerce_int,
+    DataType.LONG: _coerce_long,
+    DataType.FLOAT: float,
+    DataType.DOUBLE: float,
+    DataType.BOOLEAN: _coerce_bool,
+    DataType.STRING: str,
+}
+
+
+class FieldRole(enum.Enum):
+    """The role a column plays in the table (§3.1)."""
+
+    DIMENSION = "DIMENSION"
+    METRIC = "METRIC"
+    TIME = "TIME"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Specification of a single column in a schema.
+
+    Attributes:
+        name: Column name; must be a valid identifier.
+        dtype: Scalar data type of the column (element type for
+            multi-value columns).
+        role: Dimension, metric or time column.
+        multi_value: Whether cells are arrays of ``dtype`` rather than
+            scalars. Only dimensions may be multi-value.
+        default: Default cell value; falls back to the type default.
+    """
+
+    name: str
+    dtype: DataType
+    role: FieldRole = FieldRole.DIMENSION
+    multi_value: bool = False
+    default: Any = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.multi_value and self.role is not FieldRole.DIMENSION:
+            raise SchemaError(
+                f"column {self.name!r}: only dimensions may be multi-value"
+            )
+        if self.role is FieldRole.METRIC and not self.dtype.is_numeric:
+            raise SchemaError(
+                f"metric column {self.name!r} must be numeric, got "
+                f"{self.dtype.value}"
+            )
+        if self.role is FieldRole.TIME and self.dtype not in (
+            DataType.INT,
+            DataType.LONG,
+        ):
+            raise SchemaError(
+                f"time column {self.name!r} must be INT or LONG"
+            )
+        if self.default is None:
+            object.__setattr__(self, "default", self.dtype.default_value)
+        else:
+            object.__setattr__(self, "default", self.dtype.coerce(self.default))
+
+    @property
+    def is_dimension(self) -> bool:
+        return self.role is FieldRole.DIMENSION
+
+    @property
+    def is_metric(self) -> bool:
+        return self.role is FieldRole.METRIC
+
+    @property
+    def is_time(self) -> bool:
+        return self.role is FieldRole.TIME
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce one cell (scalar or array, per ``multi_value``)."""
+        if value is None:
+            return [self.default] if self.multi_value else self.default
+        if self.multi_value:
+            if isinstance(value, (str, bytes)) or not hasattr(
+                value, "__iter__"
+            ):
+                # A lone scalar is accepted as a single-element array.
+                return [self.dtype.coerce(value)]
+            return [self.dtype.coerce(v) for v in value]
+        return self.dtype.coerce(value)
+
+
+def dimension(name: str, dtype: DataType = DataType.STRING,
+              multi_value: bool = False) -> FieldSpec:
+    """Convenience constructor for a dimension column."""
+    return FieldSpec(name, dtype, FieldRole.DIMENSION, multi_value)
+
+
+def metric(name: str, dtype: DataType = DataType.LONG) -> FieldSpec:
+    """Convenience constructor for a metric column."""
+    return FieldSpec(name, dtype, FieldRole.METRIC)
+
+
+def time_column(name: str, dtype: DataType = DataType.LONG) -> FieldSpec:
+    """Convenience constructor for the table's time column."""
+    return FieldSpec(name, dtype, FieldRole.TIME)

@@ -1,0 +1,19 @@
+"""Druid baseline: segments with mandatory per-dimension inverted
+indexes, bitmap-only filtering, and a broker + historicals deployment."""
+
+from repro.druid.cluster import DruidCluster, DruidHistorical
+from repro.druid.engine import execute_druid_segment
+from repro.druid.segment import (
+    build_druid_segments,
+    druid_segment_config,
+    druid_storage_bytes,
+)
+
+__all__ = [
+    "DruidCluster",
+    "DruidHistorical",
+    "build_druid_segments",
+    "druid_segment_config",
+    "druid_storage_bytes",
+    "execute_druid_segment",
+]

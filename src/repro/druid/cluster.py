@@ -1,0 +1,106 @@
+"""A minimal Druid deployment: broker + historicals.
+
+Mirrors the §6 test setup, where Druid's historical nodes execute
+queries over their loaded segments and a broker merges the partial
+results. Segments are distributed round-robin; every query fans out to
+every historical holding segments of the table (Druid has no
+partition-aware routing, one of the Fig 16 contrasts).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.common.schema import Schema
+from repro.druid.engine import execute_druid_segment
+from repro.druid.segment import build_druid_segments
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.engine.results import BrokerResponse, ServerResult
+from repro.errors import ClusterError
+from repro.pql.ast_nodes import Query
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize
+from repro.segment.segment import ImmutableSegment
+
+
+class DruidHistorical:
+    """One historical node holding loaded segments."""
+
+    def __init__(self, instance_id: str):
+        self.instance_id = instance_id
+        self._segments: dict[tuple[str, str], ImmutableSegment] = {}
+
+    def load(self, table: str, segment: ImmutableSegment) -> None:
+        self._segments[(table, segment.name)] = segment
+
+    def segments_of(self, table: str) -> list[ImmutableSegment]:
+        return [
+            segment for (t, __), segment in self._segments.items()
+            if t == table
+        ]
+
+    def execute(self, query: Query, table: str) -> ServerResult:
+        results = [
+            execute_druid_segment(segment, query)
+            for segment in self.segments_of(table)
+        ]
+        return combine_segment_results(query, results, self.instance_id)
+
+
+class DruidCluster:
+    """Broker + N historicals, queried like the Pinot facade."""
+
+    def __init__(self, num_historicals: int = 3):
+        if num_historicals < 1:
+            raise ClusterError("need at least one historical")
+        self.historicals = [
+            DruidHistorical(f"historical-{i}") for i in range(num_historicals)
+        ]
+        self._tables: dict[str, Schema] = {}
+        self._load_cursor = 0
+
+    def create_table(self, table: str, schema: Schema) -> None:
+        if table in self._tables:
+            raise ClusterError(f"table {table!r} already exists")
+        self._tables[table] = schema
+
+    def load_records(self, table: str,
+                     records: Sequence[Mapping[str, Any]],
+                     time_chunk: int | None = None) -> list[str]:
+        """Index records into Druid-style segments and distribute them."""
+        schema = self._schema(table)
+        segments = build_druid_segments(table, schema, records, time_chunk)
+        for segment in segments:
+            historical = self.historicals[
+                self._load_cursor % len(self.historicals)
+            ]
+            historical.load(table, segment)
+            self._load_cursor += 1
+        return [segment.name for segment in segments]
+
+    def _schema(self, table: str) -> Schema:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise ClusterError(f"no such table: {table!r}") from None
+
+    def storage_bytes(self, table: str) -> int:
+        return sum(
+            segment.metadata.total_bytes
+            for historical in self.historicals
+            for segment in historical.segments_of(table)
+        )
+
+    def execute(self, pql: str | Query) -> BrokerResponse:
+        started = time.perf_counter()
+        query = parse(pql) if isinstance(pql, str) else pql
+        query = optimize(query)
+        self._schema(query.table)  # validates the table exists
+        server_results = [
+            historical.execute(query, query.table)
+            for historical in self.historicals
+            if historical.segments_of(query.table)
+        ]
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        return reduce_server_results(query, server_results, elapsed_ms)

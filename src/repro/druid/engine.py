@@ -1,0 +1,91 @@
+"""Druid-style query execution.
+
+Filters are evaluated *entirely with bitmap operations* on the
+per-dimension inverted indexes — Druid's execution model. This is
+precisely the strategy §4.2 contrasts with Pinot's: "we have observed
+that falling back to iterator-style scan query execution on a range of
+the column leads to better query performance than trying to perform
+bitmap operations on large bitmap indexes". Range predicates in
+particular materialize a union over every matching dictionary id.
+
+Aggregation, group-by and selection reuse the shared executors so the
+comparison isolates the filtering strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import function_for
+from repro.engine.executor import _execute_aggregation, _execute_selection
+from repro.engine.groupby import execute_group_by
+from repro.engine.operators import DocSelection
+from repro.engine.predicates import compile_leaf
+from repro.engine.results import ExecutionStats, SegmentResult
+from repro.errors import PlanningError
+from repro.pql.ast_nodes import And, Not, Or, Predicate, Query
+from repro.pql.rewriter import normalize_predicate
+from repro.segment.bitmap import RoaringBitmap
+from repro.segment.segment import ImmutableSegment
+
+
+def _filter_bitmap(segment: ImmutableSegment, predicate: Predicate,
+                   stats: ExecutionStats) -> RoaringBitmap:
+    if isinstance(predicate, Not):
+        return _filter_bitmap(segment, normalize_predicate(predicate), stats)
+    if isinstance(predicate, And):
+        result: RoaringBitmap | None = None
+        for child in predicate.children:
+            bitmap = _filter_bitmap(segment, child, stats)
+            result = bitmap if result is None else (result & bitmap)
+            if not result:
+                return result
+        assert result is not None
+        return result
+    if isinstance(predicate, Or):
+        result = RoaringBitmap()
+        for child in predicate.children:
+            result = result | _filter_bitmap(segment, child, stats)
+        return result
+    column_name = getattr(predicate, "column", None)
+    if column_name is None:
+        raise PlanningError(f"unsupported predicate {predicate!r}")
+    column = segment.column(column_name)
+    inverted = column.ensure_inverted()  # Druid always has one
+    match = compile_leaf(predicate, column)
+    result = RoaringBitmap()
+    for lo, hi in match.ranges:
+        result = result | inverted.docs_for_id_range(lo, hi)
+        stats.num_entries_scanned_in_filter += hi - lo
+    return result
+
+
+def execute_druid_segment(segment: ImmutableSegment,
+                          query: Query) -> SegmentResult:
+    """Execute one query on one Druid-style segment."""
+    stats = ExecutionStats(num_segments_queried=1, num_segments_processed=1,
+                           total_docs=segment.num_docs)
+    if query.where is None:
+        selection = DocSelection.full(segment.num_docs)
+    else:
+        bitmap = _filter_bitmap(segment, query.where, stats)
+        selection = DocSelection.from_docs(bitmap.to_array().astype(np.int64))
+    stats.num_docs_scanned = selection.count
+    if not selection.is_empty:
+        stats.num_segments_matched = 1
+
+    result = SegmentResult(stats=stats)
+    if query.group_by:
+        result.group_by = execute_group_by(segment, query, selection)
+        stats.num_entries_scanned_post_filter = selection.count * (
+            len(query.group_by) + sum(
+                1 for a in query.aggregations
+                if function_for(a).needs_values
+            )
+        )
+    elif query.is_aggregation:
+        result.aggregation = _execute_aggregation(segment, query, selection,
+                                                  stats)
+    else:
+        result.selection = _execute_selection(segment, query, selection)
+    return result

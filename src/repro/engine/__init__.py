@@ -1,0 +1,34 @@
+"""Query engine: predicate compilation, physical operators, per-segment
+planning and execution, aggregation, group-by, and result merging."""
+
+from repro.engine.executor import execute_plan, execute_segment
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.engine.operators import DocSelection, FilterPlan
+from repro.engine.planner import PlanKind, SegmentPlan, plan_segment
+from repro.engine.predicates import IdMatch, compile_leaf
+from repro.engine.results import (
+    BrokerResponse,
+    ExecutionStats,
+    ResultTable,
+    SegmentResult,
+    ServerResult,
+)
+
+__all__ = [
+    "BrokerResponse",
+    "DocSelection",
+    "ExecutionStats",
+    "FilterPlan",
+    "IdMatch",
+    "PlanKind",
+    "ResultTable",
+    "SegmentPlan",
+    "SegmentResult",
+    "ServerResult",
+    "combine_segment_results",
+    "compile_leaf",
+    "execute_plan",
+    "execute_segment",
+    "plan_segment",
+    "reduce_server_results",
+]

@@ -1,0 +1,301 @@
+"""Aggregation functions with mergeable partial states.
+
+Query execution in Pinot is distributed: every segment produces a
+partial aggregation state, servers combine their segments' states, and
+the broker merges the per-server states into the final value (§3.3.3
+steps 6-7). Each function here therefore defines:
+
+* ``init_empty`` — identity state,
+* ``aggregate(values)`` — state from a numpy array of column values,
+* ``merge(a, b)`` — combine two states,
+* ``finalize(state)`` — final result value.
+
+``DISTINCTCOUNT`` and the percentiles keep exact intermediate sets /
+samples; production Pinot uses sketches (HLL, quantile digests) for
+these, which trade accuracy for bounded size — exactness is the better
+default for a reproduction because the tests can assert equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.pql.ast_nodes import AggFunc, Aggregation
+
+
+class AggregateFunction:
+    """Interface for one aggregation function."""
+
+    #: Whether the function needs the raw column values (False for COUNT).
+    needs_values = True
+
+    def init_empty(self) -> Any:
+        raise NotImplementedError
+
+    def aggregate(self, values: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    def aggregate_grouped(self, values: np.ndarray, codes: np.ndarray,
+                          num_groups: int) -> list[Any]:
+        """Vectorized per-group aggregation; ``codes`` maps each value to
+        its group index in ``[0, num_groups)``."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+class CountFunction(AggregateFunction):
+    needs_values = False
+
+    def init_empty(self) -> int:
+        return 0
+
+    def aggregate(self, values: np.ndarray) -> int:
+        return int(len(values))
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        return np.bincount(codes, minlength=num_groups).tolist()
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class SumFunction(AggregateFunction):
+    def init_empty(self) -> float:
+        return 0.0
+
+    def aggregate(self, values: np.ndarray) -> float:
+        return float(values.sum()) if len(values) else 0.0
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        return np.bincount(codes, weights=values.astype(np.float64),
+                           minlength=num_groups).tolist()
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class MinFunction(AggregateFunction):
+    def init_empty(self) -> float:
+        return math.inf
+
+    def aggregate(self, values: np.ndarray) -> float:
+        return float(values.min()) if len(values) else math.inf
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        out = np.full(num_groups, np.inf)
+        np.minimum.at(out, codes, values.astype(np.float64))
+        return out.tolist()
+
+    def merge(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class MaxFunction(AggregateFunction):
+    def init_empty(self) -> float:
+        return -math.inf
+
+    def aggregate(self, values: np.ndarray) -> float:
+        return float(values.max()) if len(values) else -math.inf
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        out = np.full(num_groups, -np.inf)
+        np.maximum.at(out, codes, values.astype(np.float64))
+        return out.tolist()
+
+    def merge(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class AvgFunction(AggregateFunction):
+    """State is (sum, count); merged exactly, finalized to sum/count."""
+
+    def init_empty(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def aggregate(self, values: np.ndarray) -> tuple[float, int]:
+        if not len(values):
+            return (0.0, 0)
+        return (float(values.sum()), int(len(values)))
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        sums = np.bincount(codes, weights=values.astype(np.float64),
+                           minlength=num_groups)
+        counts = np.bincount(codes, minlength=num_groups)
+        return list(zip(sums.tolist(), counts.tolist()))
+
+    def merge(self, a, b):
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, state) -> float:
+        total, count = state
+        return total / count if count else 0.0
+
+
+class MinMaxRangeFunction(AggregateFunction):
+    def init_empty(self):
+        return (math.inf, -math.inf)
+
+    def aggregate(self, values: np.ndarray):
+        if not len(values):
+            return (math.inf, -math.inf)
+        return (float(values.min()), float(values.max()))
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        lows = np.full(num_groups, np.inf)
+        highs = np.full(num_groups, -np.inf)
+        v = values.astype(np.float64)
+        np.minimum.at(lows, codes, v)
+        np.maximum.at(highs, codes, v)
+        return list(zip(lows.tolist(), highs.tolist()))
+
+    def merge(self, a, b):
+        return (min(a[0], b[0]), max(a[1], b[1]))
+
+    def finalize(self, state) -> float:
+        low, high = state
+        if math.isinf(low):
+            return 0.0
+        return high - low
+
+
+class DistinctCountFunction(AggregateFunction):
+    """Exact distinct count; the partial state is the value set."""
+
+    def init_empty(self) -> frozenset:
+        return frozenset()
+
+    def aggregate(self, values: np.ndarray) -> frozenset:
+        return frozenset(values.tolist())
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        sets: list[set] = [set() for _ in range(num_groups)]
+        for code, value in zip(codes.tolist(), values.tolist()):
+            sets[code].add(value)
+        return [frozenset(s) for s in sets]
+
+    def merge(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def finalize(self, state: frozenset) -> int:
+        return len(state)
+
+
+class DistinctCountHllFunction(AggregateFunction):
+    """Approximate distinct count with a mergeable HyperLogLog state.
+
+    The sketch keeps the partial state at a fixed 4 KiB regardless of
+    cardinality (~1.6% standard error at precision 12) — the bounded
+    alternative to the exact set-based DISTINCTCOUNT, matching the
+    sketch aggregations production Pinot later shipped.
+    """
+
+    def __init__(self, precision: int = 12):
+        self.precision = precision
+
+    def _new(self):
+        from repro.engine.sketches import HyperLogLog
+
+        return HyperLogLog(self.precision)
+
+    def init_empty(self):
+        return self._new()
+
+    def aggregate(self, values: np.ndarray):
+        sketch = self._new()
+        sketch.add_many(values.tolist())
+        return sketch
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        sketches = [self._new() for _ in range(num_groups)]
+        for code, value in zip(codes.tolist(), values.tolist()):
+            sketches[code].add(value)
+        return sketches
+
+    def merge(self, a, b):
+        return a.merge(b)
+
+    def finalize(self, state) -> int:
+        return state.cardinality()
+
+
+class PercentileFunction(AggregateFunction):
+    """Exact percentile; the partial state is the raw value sample.
+
+    Production Pinot offers PERCENTILEEST / T-digest variants with
+    bounded state; an exact implementation keeps the reproduction's
+    results deterministic and assertable.
+    """
+
+    def __init__(self, quantile: float):
+        self.quantile = quantile
+
+    def init_empty(self) -> tuple:
+        return ()
+
+    def aggregate(self, values: np.ndarray) -> tuple:
+        return tuple(values.tolist())
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        buckets: list[list] = [[] for _ in range(num_groups)]
+        for code, value in zip(codes.tolist(), values.tolist()):
+            buckets[code].append(value)
+        return [tuple(b) for b in buckets]
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        return a + b
+
+    def finalize(self, state: tuple) -> float:
+        if not state:
+            return 0.0
+        return float(np.percentile(np.asarray(state), self.quantile))
+
+
+_FUNCTIONS: dict[AggFunc, AggregateFunction] = {
+    AggFunc.COUNT: CountFunction(),
+    AggFunc.SUM: SumFunction(),
+    AggFunc.MIN: MinFunction(),
+    AggFunc.MAX: MaxFunction(),
+    AggFunc.AVG: AvgFunction(),
+    AggFunc.MINMAXRANGE: MinMaxRangeFunction(),
+    AggFunc.DISTINCTCOUNT: DistinctCountFunction(),
+    AggFunc.DISTINCTCOUNTHLL: DistinctCountHllFunction(),
+    AggFunc.PERCENTILE50: PercentileFunction(50.0),
+    AggFunc.PERCENTILE90: PercentileFunction(90.0),
+    AggFunc.PERCENTILE95: PercentileFunction(95.0),
+    AggFunc.PERCENTILE99: PercentileFunction(99.0),
+}
+
+#: Functions a star-tree's pre-aggregated metrics can serve directly.
+#: COUNT re-aggregates as SUM of pre-aggregated counts (§4.3).
+STAR_TREE_FUNCS = frozenset({AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN,
+                             AggFunc.MAX, AggFunc.AVG})
+
+
+def function_for(aggregation: Aggregation) -> AggregateFunction:
+    try:
+        return _FUNCTIONS[aggregation.func]
+    except KeyError:
+        raise ExecutionError(
+            f"unsupported aggregation {aggregation.func}"
+        ) from None

@@ -1,0 +1,222 @@
+"""Per-segment query execution (§3.3.4).
+
+Executes a :class:`~repro.engine.planner.SegmentPlan`:
+
+* ``METADATA`` plans answer straight from segment metadata without
+  touching any index (the ``SELECT COUNT(*)`` fast path of §4.1);
+* ``STAR_TREE`` plans traverse the segment's star-tree and aggregate
+  pre-aggregated records (§4.3);
+* ``SCAN`` plans run the physical filter, then aggregate / group /
+  project the surviving documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import function_for
+from repro.engine.groupby import execute_group_by
+from repro.engine.operators import DocSelection
+from repro.engine.planner import PlanKind, SegmentPlan, plan_segment
+from repro.engine.results import (
+    AggregationPartial,
+    ExecutionStats,
+    SegmentResult,
+    SelectionPartial,
+)
+from repro.errors import ExecutionError
+from repro.pql.ast_nodes import AggFunc, Query
+from repro.segment.segment import ImmutableSegment
+
+
+def execute_segment(segment: ImmutableSegment, query: Query,
+                    use_cost_ordering: bool = True,
+                    allow_star_tree: bool = True) -> SegmentResult:
+    """Plan and execute ``query`` on one segment."""
+    plan = plan_segment(segment, query, use_cost_ordering, allow_star_tree)
+    return execute_plan(plan)
+
+
+def execute_plan(plan: SegmentPlan) -> SegmentResult:
+    query = plan.query
+    segment = plan.segment
+    stats = ExecutionStats(num_segments_queried=1,
+                           total_docs=segment.num_docs)
+
+    if plan.kind is PlanKind.EMPTY:
+        return _empty_result(query, stats)
+
+    stats.num_segments_processed = 1
+
+    if plan.kind is PlanKind.METADATA:
+        stats.metadata_only = True
+        stats.num_segments_matched = 1
+        return _execute_metadata(segment, query, stats)
+
+    if plan.kind is PlanKind.STAR_TREE:
+        from repro.startree.query import execute_on_star_tree
+
+        assert segment.star_tree is not None
+        partial, docs_scanned = execute_on_star_tree(
+            segment.star_tree, query
+        )
+        stats.startree_used = True
+        stats.startree_docs_scanned = docs_scanned
+        stats.num_docs_scanned = docs_scanned
+        stats.num_segments_matched = 1
+        result = SegmentResult(stats=stats)
+        if query.group_by:
+            result.group_by = partial
+        else:
+            result.aggregation = partial
+        return result
+
+    assert plan.filter_plan is not None
+    selection = plan.filter_plan.execute()
+    stats.num_entries_scanned_in_filter = (
+        plan.filter_plan.stats.entries_scanned
+    )
+    stats.num_docs_scanned = selection.count
+    stats.raw_docs_matched = selection.count
+    if not selection.is_empty:
+        stats.num_segments_matched = 1
+
+    result = SegmentResult(stats=stats)
+    if query.group_by:
+        result.group_by = execute_group_by(segment, query, selection)
+        stats.num_entries_scanned_post_filter = selection.count * (
+            len(query.group_by) + sum(
+                1 for a in query.aggregations
+                if function_for(a).needs_values
+            )
+        )
+    elif query.is_aggregation:
+        result.aggregation = _execute_aggregation(segment, query, selection,
+                                                  stats)
+    else:
+        result.selection = _execute_selection(segment, query, selection)
+        stats.num_entries_scanned_post_filter = (
+            min(selection.count, query.limit + query.offset)
+            * len(result.selection.columns)
+        )
+    return result
+
+
+def _empty_result(query: Query, stats: ExecutionStats) -> SegmentResult:
+    result = SegmentResult(stats=stats)
+    if query.group_by:
+        from repro.engine.results import GroupByPartial
+
+        result.group_by = GroupByPartial()
+    elif query.is_aggregation:
+        result.aggregation = AggregationPartial.empty(query.aggregations)
+    else:
+        result.selection = SelectionPartial(_selection_columns(query))
+    return result
+
+
+# -- metadata-only plans -----------------------------------------------------
+
+
+def _execute_metadata(segment: ImmutableSegment, query: Query,
+                      stats: ExecutionStats) -> SegmentResult:
+    states = []
+    for aggregation in query.aggregations:
+        if aggregation.func is AggFunc.COUNT:
+            states.append(segment.num_docs)
+            continue
+        meta = segment.metadata.column(aggregation.column)
+        if aggregation.func is AggFunc.MIN:
+            states.append(float(meta.min_value))
+        elif aggregation.func is AggFunc.MAX:
+            states.append(float(meta.max_value))
+        elif aggregation.func is AggFunc.MINMAXRANGE:
+            states.append((float(meta.min_value), float(meta.max_value)))
+        else:  # pragma: no cover - planner guarantees
+            raise ExecutionError(
+                f"{aggregation.func} is not metadata-answerable"
+            )
+    return SegmentResult(aggregation=AggregationPartial(states), stats=stats)
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def _execute_aggregation(segment: ImmutableSegment, query: Query,
+                         selection: DocSelection,
+                         stats: ExecutionStats) -> AggregationPartial:
+    states = []
+    docs = None
+    for aggregation in query.aggregations:
+        func = function_for(aggregation)
+        if not func.needs_values:
+            states.append(func.aggregate(np.empty(selection.count)))
+            continue
+        column = segment.column(aggregation.column)
+        if column.is_multi_value:
+            raise ExecutionError(
+                f"cannot aggregate over multi-value column "
+                f"{aggregation.column!r}"
+            )
+        if selection.is_contiguous:
+            # Vectorized fast path on a contiguous range (§4.2).
+            values = column.values()[selection.start:selection.end]
+        else:
+            if docs is None:
+                docs = selection.doc_array()
+            values = column.values()[docs]
+        stats.num_entries_scanned_post_filter += len(values)
+        states.append(func.aggregate(np.asarray(values)))
+    return AggregationPartial(states)
+
+
+# -- selection (projection) queries ---------------------------------------
+
+
+def _selection_columns(query: Query) -> tuple[str, ...]:
+    if query.select_star:
+        return ("*",)
+    return tuple(item.name for item in query.projections)
+
+
+def _execute_selection(segment: ImmutableSegment, query: Query,
+                       selection: DocSelection) -> SelectionPartial:
+    if query.select_star:
+        columns = segment.schema.column_names
+    else:
+        columns = tuple(item.name for item in query.projections)
+    needed = query.limit + query.offset
+
+    docs = selection.doc_array()
+    if not query.order_by:
+        docs = docs[:needed]
+    rows = _materialize_rows(segment, columns, docs)
+    if query.order_by:
+        from repro.engine.results import row_sort_key
+
+        key = row_sort_key(query, columns)
+        if key is None:
+            raise ExecutionError("ORDER BY on selection failed to compile")
+        rows.sort(key=key)
+        rows = rows[:needed]
+    return SelectionPartial(columns, rows)
+
+
+def _materialize_rows(segment: ImmutableSegment, columns: tuple[str, ...],
+                      docs: np.ndarray) -> list[tuple]:
+    column_values = []
+    for name in columns:
+        column = segment.column(name)
+        if column.is_multi_value:
+            column_values.append(
+                [tuple(column.value_of_doc(int(d))) for d in docs]
+            )
+        else:
+            values = column.values()[docs]
+            column_values.append([_plain(v) for v in values])
+    return [tuple(col[i] for col in column_values)
+            for i in range(len(docs))]
+
+
+def _plain(value):
+    return value.item() if isinstance(value, np.generic) else value

@@ -1,0 +1,114 @@
+"""Vectorized group-by execution over a filtered document selection.
+
+Group keys are computed in dictionary-id space: each single-value group
+column contributes its per-document dictionary ids, the ids are combined
+into one mixed-radix code per document, and every aggregation function
+runs once per group via its vectorized ``aggregate_grouped``. Keys are
+decoded back to values only for the groups that actually occur.
+
+A multi-value group column contributes one group *per value* of each
+document (matching Pinot's semantics); at most one multi-value group
+column per query is supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import function_for
+from repro.engine.operators import DocSelection
+from repro.engine.results import GroupByPartial
+from repro.errors import ExecutionError
+from repro.pql.ast_nodes import Query
+from repro.segment.segment import ImmutableSegment
+
+
+def execute_group_by(segment: ImmutableSegment, query: Query,
+                     selection: DocSelection) -> GroupByPartial:
+    """Aggregate ``selection`` grouped by ``query.group_by``."""
+    partial = GroupByPartial()
+    if selection.is_empty:
+        return partial
+
+    docs = selection.doc_array()
+    group_columns = [segment.column(name) for name in query.group_by]
+    multi_value = [c for c in group_columns if c.is_multi_value]
+    if len(multi_value) > 1:
+        raise ExecutionError(
+            "at most one multi-value group-by column is supported; got "
+            f"{[c.name for c in multi_value]}"
+        )
+
+    if multi_value:
+        docs, id_columns = _expand_multi_value(group_columns, docs,
+                                               multi_value[0])
+    else:
+        id_columns = [column.dict_ids()[docs] for column in group_columns]
+
+    if len(docs) == 0:
+        return partial
+
+    codes, unique_key_ids = _combine_codes(group_columns, id_columns)
+    num_groups = len(unique_key_ids[0]) if unique_key_ids else 0
+
+    # Aggregate each function over all groups at once.
+    per_agg_states: list[list] = []
+    for aggregation in query.aggregations:
+        func = function_for(aggregation)
+        if func.needs_values:
+            values = segment.column(aggregation.column).values()[docs]
+        else:
+            values = np.empty(len(docs))
+        per_agg_states.append(
+            func.aggregate_grouped(np.asarray(values), codes, num_groups)
+        )
+
+    # Decode group keys back to values.
+    for group_index in range(num_groups):
+        key = tuple(
+            column.dictionary.value_of(int(unique_key_ids[i][group_index]))
+            for i, column in enumerate(group_columns)
+        )
+        partial.groups[key] = [
+            states[group_index] for states in per_agg_states
+        ]
+    return partial
+
+
+def _expand_multi_value(group_columns, docs: np.ndarray, mv_column):
+    """Expand docs so each multi-value entry becomes its own row."""
+    forward = mv_column.forward
+    offsets = forward.offsets
+    lengths = (offsets[1:] - offsets[:-1])[docs]
+    expanded_docs = np.repeat(docs, lengths)
+    flat = forward.flat_ids()
+    mv_ids = np.concatenate(
+        [flat[offsets[d]:offsets[d + 1]] for d in docs.tolist()]
+    ) if len(docs) else np.empty(0, dtype=np.uint32)
+
+    id_columns = []
+    for column in group_columns:
+        if column is mv_column:
+            id_columns.append(mv_ids.astype(np.int64))
+        else:
+            id_columns.append(column.dict_ids()[expanded_docs].astype(np.int64))
+    return expanded_docs, id_columns
+
+
+def _combine_codes(group_columns, id_columns):
+    """Mixed-radix combine of per-column ids; returns (compact codes per
+    row, per-column unique key ids per group)."""
+    cards = [column.dictionary.cardinality for column in group_columns]
+    combined = np.zeros(len(id_columns[0]), dtype=np.int64)
+    for ids, card in zip(id_columns, cards):
+        combined = combined * card + ids.astype(np.int64)
+    unique_codes, codes = np.unique(combined, return_inverse=True)
+
+    # Decompose unique codes back into per-column ids.
+    unique_key_ids: list[np.ndarray] = []
+    remainder = unique_codes.copy()
+    for card in reversed(cards):
+        unique_key_ids.append(remainder % card)
+        remainder //= card
+    unique_key_ids.reverse()
+    return codes, unique_key_ids

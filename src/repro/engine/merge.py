@@ -1,0 +1,164 @@
+"""Combining and reducing partial results (§3.3.3 steps 6-8).
+
+Two levels of merging mirror the production system:
+
+* :func:`combine_segment_results` — a server combines the partial
+  results of all its segments into one :class:`ServerResult`;
+* :func:`reduce_server_results` — the broker merges per-server results,
+  finalizes aggregation states, applies ordering / offset / limit, and
+  produces the :class:`BrokerResponse`. Server errors or timeouts mark
+  the response partial instead of failing it (step 7).
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregates import function_for
+from repro.engine.results import (
+    AggregationPartial,
+    BrokerResponse,
+    ExecutionStats,
+    GroupByPartial,
+    ResultTable,
+    SegmentResult,
+    ServerResult,
+    SelectionPartial,
+    group_sort_key,
+    row_sort_key,
+)
+from repro.pql.ast_nodes import Query
+
+
+def combine_segment_results(query: Query, results: list[SegmentResult],
+                            server: str = "local") -> ServerResult:
+    """Merge per-segment partial results on one server."""
+    combined = ServerResult(server=server)
+    stats = ExecutionStats()
+    for result in results:
+        stats.merge(result.stats)
+        if result.aggregation is not None:
+            if combined.aggregation is None:
+                combined.aggregation = AggregationPartial.empty(
+                    query.aggregations
+                )
+            combined.aggregation.merge(result.aggregation,
+                                       query.aggregations)
+        if result.group_by is not None:
+            if combined.group_by is None:
+                combined.group_by = GroupByPartial()
+            combined.group_by.merge(result.group_by, query.aggregations)
+        if result.selection is not None:
+            if combined.selection is None:
+                combined.selection = SelectionPartial(
+                    result.selection.columns
+                )
+            combined.selection.rows.extend(result.selection.rows)
+    _trim_selection(query, combined.selection)
+    combined.stats = stats
+    return combined
+
+
+def _trim_selection(query: Query, selection: SelectionPartial | None) -> None:
+    if selection is None:
+        return
+    needed = query.limit + query.offset
+    if not query.order_by:
+        del selection.rows[needed:]
+        return
+    key = row_sort_key(query, selection.columns)
+    if key is not None:
+        selection.rows.sort(key=key)
+    del selection.rows[needed:]
+
+
+def reduce_server_results(query: Query, server_results: list[ServerResult],
+                          time_used_ms: float = 0.0) -> BrokerResponse:
+    """Broker-side reduce: merge per-server results into the response."""
+    stats = ExecutionStats()
+    exceptions: list[str] = []
+    aggregation: AggregationPartial | None = None
+    group_by: GroupByPartial | None = None
+    selection: SelectionPartial | None = None
+
+    for result in server_results:
+        if result.error is not None:
+            exceptions.append(f"{result.server}: {result.error}")
+            continue
+        stats.merge(result.stats)
+        if result.aggregation is not None:
+            if aggregation is None:
+                aggregation = AggregationPartial.empty(query.aggregations)
+            aggregation.merge(result.aggregation, query.aggregations)
+        if result.group_by is not None:
+            if group_by is None:
+                group_by = GroupByPartial()
+            group_by.merge(result.group_by, query.aggregations)
+        if result.selection is not None:
+            if selection is None:
+                selection = SelectionPartial(result.selection.columns)
+            selection.rows.extend(result.selection.rows)
+
+    if query.group_by:
+        table = _finalize_group_by(query, group_by or GroupByPartial())
+    elif query.is_aggregation:
+        table = _finalize_aggregation(
+            query, aggregation or AggregationPartial.empty(query.aggregations)
+        )
+    else:
+        table = _finalize_selection(query, selection)
+
+    return BrokerResponse(
+        table=table,
+        stats=stats,
+        is_partial=bool(exceptions),
+        exceptions=exceptions,
+        time_used_ms=time_used_ms,
+    )
+
+
+def _finalize_aggregation(query: Query,
+                          partial: AggregationPartial) -> ResultTable:
+    columns = tuple(str(a) for a in query.aggregations)
+    row = tuple(
+        function_for(a).finalize(state)
+        for a, state in zip(query.aggregations, partial.states)
+    )
+    return ResultTable(columns, [row])
+
+
+def _finalize_group_by(query: Query, partial: GroupByPartial) -> ResultTable:
+    columns = tuple(query.group_by) + tuple(
+        str(a) for a in query.aggregations
+    )
+    having_specs = [
+        (query.aggregations.index(condition.aggregation), condition)
+        for condition in query.having
+    ]
+    entries = []
+    for key, states in partial.groups.items():
+        values = tuple(
+            function_for(a).finalize(state)
+            for a, state in zip(query.aggregations, states)
+        )
+        # HAVING: iceberg filtering on the finalized aggregates (§4.3).
+        if any(not condition.matches(values[index])
+               for index, condition in having_specs):
+            continue
+        entries.append((key, values))
+    entries.sort(key=group_sort_key(query))
+    window = entries[query.offset:query.offset + query.limit]
+    rows = [key + values for key, values in window]
+    return ResultTable(columns, rows)
+
+
+def _finalize_selection(query: Query,
+                        selection: SelectionPartial | None) -> ResultTable:
+    if selection is None:
+        columns = tuple(i.name for i in query.projections) or ("*",)
+        return ResultTable(columns, [])
+    rows = selection.rows
+    if query.order_by:
+        key = row_sort_key(query, selection.columns)
+        if key is not None:
+            rows = sorted(rows, key=key)
+    rows = rows[query.offset:query.offset + query.limit]
+    return ResultTable(selection.columns, list(rows))

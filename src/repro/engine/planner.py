@@ -1,0 +1,266 @@
+"""Per-segment logical and physical query planning (§3.3.4, Figs 5 & 7).
+
+Query plans are generated *per segment* because index availability and
+physical layout differ between segments. The planner:
+
+1. validates the query against the segment's schema;
+2. picks a plan kind — metadata-only (e.g. ``SELECT COUNT(*)`` or
+   min/max without a filter, answered from segment metadata), star-tree
+   (the query is served from pre-aggregated records, §4.3), or regular
+   scan;
+3. for regular plans, compiles every leaf predicate into an
+   :class:`~repro.engine.predicates.IdMatch` and selects a physical
+   operator per leaf by index availability;
+4. orders AND children by estimated cost so selective, cheap operators
+   (sorted ranges first) narrow the selection for the rest (§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.operators import (
+    AndFilter,
+    FilterOperator,
+    FilterPlan,
+    InvertedFilter,
+    MatchAllFilter,
+    MatchNoneFilter,
+    OrFilter,
+    ScanFilter,
+    SortedRangeFilter,
+)
+from repro.engine.predicates import compile_leaf
+from repro.errors import PlanningError
+from repro.pql.ast_nodes import (
+    AggFunc,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    Predicate,
+    Query,
+)
+from repro.segment.segment import ImmutableSegment
+
+
+class PlanKind(enum.Enum):
+    METADATA = "METADATA"
+    STAR_TREE = "STAR_TREE"
+    SCAN = "SCAN"
+    EMPTY = "EMPTY"  # segment provably contributes nothing
+
+
+@dataclass
+class SegmentPlan:
+    """A physical plan for one (query, segment) pair."""
+
+    kind: PlanKind
+    segment: ImmutableSegment
+    query: Query
+    filter_plan: FilterPlan | None = None
+    use_cost_ordering: bool = True
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [self.kind.value]
+        if self.filter_plan is not None:
+            parts.append(self.filter_plan.describe())
+        parts.extend(self.notes)
+        return " | ".join(parts)
+
+
+_METADATA_FUNCS = frozenset({AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX,
+                             AggFunc.MINMAXRANGE})
+
+
+def plan_segment(segment: ImmutableSegment, query: Query,
+                 use_cost_ordering: bool = True,
+                 allow_star_tree: bool = True) -> SegmentPlan:
+    """Build the physical plan for ``query`` on ``segment``.
+
+    ``use_cost_ordering`` and ``allow_star_tree`` exist for the ablation
+    benchmarks; production behaviour is both enabled.
+    """
+    _validate_columns(segment, query)
+
+    if _time_pruned(segment, query):
+        return SegmentPlan(PlanKind.EMPTY, segment, query,
+                           notes=["pruned by segment time range"])
+
+    if _is_metadata_only(segment, query):
+        return SegmentPlan(PlanKind.METADATA, segment, query,
+                           notes=["answered from segment metadata"])
+
+    if allow_star_tree and segment.star_tree is not None:
+        from repro.startree.query import supports_query
+
+        if supports_query(segment.star_tree, query):
+            return SegmentPlan(PlanKind.STAR_TREE, segment, query,
+                               notes=["star-tree pre-aggregation"])
+
+    root = None
+    if query.where is not None:
+        root = _compile_filter(segment, query.where, use_cost_ordering)
+    filter_plan = FilterPlan(root, segment.num_docs)
+    return SegmentPlan(PlanKind.SCAN, segment, query, filter_plan,
+                       use_cost_ordering)
+
+
+def _validate_columns(segment: ImmutableSegment, query: Query) -> None:
+    missing = [
+        column for column in query.referenced_columns()
+        if not segment.has_column(column)
+    ]
+    if missing:
+        raise PlanningError(
+            f"segment {segment.name!r} is missing columns {missing} "
+            f"referenced by the query"
+        )
+
+
+def _time_pruned(segment: ImmutableSegment, query: Query) -> bool:
+    """Prune segments whose time range cannot match the query's time
+    filter — how hybrid-table rewritten queries avoid touching segments
+    on the wrong side of the boundary."""
+    time_range = segment.time_range()
+    time_column = segment.metadata.time_column
+    if time_range is None or time_column is None or query.where is None:
+        return False
+    low, high = _time_bounds(query.where, time_column)
+    min_time, max_time = time_range
+    if low is not None and max_time < low:
+        return True
+    if high is not None and min_time > high:
+        return True
+    return False
+
+
+def time_bounds(predicate: Predicate,
+                time_column: str) -> tuple[int | None, int | None]:
+    """Conservative [low, high] bounds implied on the time column by the
+    top-level AND of the predicate (None = unbounded). Shared by
+    per-segment pruning here and broker-side pruning."""
+    return _time_bounds(predicate, time_column)
+
+
+def _time_bounds(predicate: Predicate,
+                 time_column: str) -> tuple[int | None, int | None]:
+    if isinstance(predicate, And):
+        low, high = None, None
+        for child in predicate.children:
+            child_low, child_high = _time_bounds(child, time_column)
+            if child_low is not None:
+                low = child_low if low is None else max(low, child_low)
+            if child_high is not None:
+                high = child_high if high is None else min(high, child_high)
+        return low, high
+    if isinstance(predicate, Comparison) and predicate.column == time_column:
+        from repro.pql.ast_nodes import CompareOp
+
+        value = predicate.value
+        if not isinstance(value, (int, float)):
+            return None, None
+        if predicate.op is CompareOp.EQ:
+            return value, value
+        if predicate.op is CompareOp.GT:
+            return value + 1, None
+        if predicate.op is CompareOp.GTE:
+            return value, None
+        if predicate.op is CompareOp.LT:
+            return None, value - 1
+        if predicate.op is CompareOp.LTE:
+            return None, value
+        return None, None
+    if isinstance(predicate, Between) and predicate.column == time_column:
+        low, high = predicate.low, predicate.high
+        if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+            return low, high
+    return None, None
+
+
+def _is_metadata_only(segment: ImmutableSegment, query: Query) -> bool:
+    if query.where is not None or query.group_by or not query.is_aggregation:
+        return False
+    if query.projections:
+        return False
+    for aggregation in query.aggregations:
+        if aggregation.func not in _METADATA_FUNCS:
+            return False
+        if aggregation.func is AggFunc.COUNT:
+            continue
+        column = segment.column(aggregation.column)
+        if column.is_multi_value:
+            return False
+    return True
+
+
+# -- filter compilation -------------------------------------------------------
+
+
+def _compile_filter(segment: ImmutableSegment, predicate: Predicate,
+                    use_cost_ordering: bool) -> FilterOperator:
+    if isinstance(predicate, And):
+        children = [
+            _compile_filter(segment, child, use_cost_ordering)
+            for child in predicate.children
+        ]
+        children = _simplify_and(children, segment.num_docs)
+        if len(children) == 1:
+            return children[0]
+        if use_cost_ordering:
+            children.sort(key=lambda op: op.cost())
+        return AndFilter(children)
+    if isinstance(predicate, Or):
+        children = [
+            _compile_filter(segment, child, use_cost_ordering)
+            for child in predicate.children
+        ]
+        children = _simplify_or(children, segment.num_docs)
+        if len(children) == 1:
+            return children[0]
+        return OrFilter(children)
+    if isinstance(predicate, Not):
+        # The rewriter eliminates NOT; raw (un-optimized) queries can
+        # still carry it, so normalize on the fly.
+        from repro.pql.rewriter import normalize_predicate
+
+        return _compile_filter(segment, normalize_predicate(predicate),
+                               use_cost_ordering)
+    return _compile_leaf_operator(segment, predicate)
+
+
+def _compile_leaf_operator(segment: ImmutableSegment,
+                           predicate: Predicate) -> FilterOperator:
+    column_name = getattr(predicate, "column")
+    column = segment.column(column_name)
+    match = compile_leaf(predicate, column)
+    if match.is_empty:
+        return MatchNoneFilter()
+    if match.is_all and not column.is_multi_value:
+        # Predicate matches all values in this segment (§3.3.4).
+        return MatchAllFilter(segment.num_docs)
+    if column.is_sorted:
+        return SortedRangeFilter(column, match)
+    if column.inverted is not None:
+        return InvertedFilter(column, match)
+    return ScanFilter(column, match)
+
+
+def _simplify_and(children: list[FilterOperator],
+                  num_docs: int) -> list[FilterOperator]:
+    if any(isinstance(c, MatchNoneFilter) for c in children):
+        return [MatchNoneFilter()]
+    remaining = [c for c in children if not isinstance(c, MatchAllFilter)]
+    return remaining or [MatchAllFilter(num_docs)]
+
+
+def _simplify_or(children: list[FilterOperator],
+                 num_docs: int) -> list[FilterOperator]:
+    if any(isinstance(c, MatchAllFilter) for c in children):
+        return [MatchAllFilter(num_docs)]
+    remaining = [c for c in children if not isinstance(c, MatchNoneFilter)]
+    return remaining or [MatchNoneFilter()]

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Pinot reproduction.
+
+Every error raised by the library derives from :class:`PinotError` so
+that callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class PinotError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(PinotError):
+    """A schema is invalid, or a record does not conform to its schema."""
+
+
+class SegmentError(PinotError):
+    """A segment is malformed, or an operation on a segment is invalid."""
+
+
+class SegmentFormatError(SegmentError):
+    """On-disk segment data could not be decoded."""
+
+
+class PQLSyntaxError(PinotError):
+    """A PQL query string failed to lex or parse."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(PinotError):
+    """A parsed query could not be planned against a table or segment."""
+
+
+class ExecutionError(PinotError):
+    """Query execution failed on a server."""
+
+
+class ClusterError(PinotError):
+    """Cluster-management operation failed."""
+
+
+class QuotaExceededError(ClusterError):
+    """A segment upload would put its table over its storage quota."""
+
+
+class NotLeaderError(ClusterError):
+    """A controller-only operation was invoked on a non-leader controller."""
+
+
+class RoutingError(PinotError):
+    """A routing table could not be built or no route exists for a query."""
+
+
+class IngestionError(PinotError):
+    """Realtime consumption from the stream failed."""
+
+
+class ThrottledError(PinotError):
+    """A tenant's token bucket is exhausted and the query was rejected."""
+
+    def __init__(self, tenant: str, retry_after_s: float):
+        super().__init__(
+            f"tenant {tenant!r} is out of query tokens; retry after "
+            f"{retry_after_s:.3f}s"
+        )
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s

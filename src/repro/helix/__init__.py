@@ -1,0 +1,17 @@
+"""Helix-style cluster management: state machines, ideal state vs
+external view, transition dispatch."""
+
+from repro.helix.manager import HelixManager, Participant
+from repro.helix.statemachine import (
+    SegmentState,
+    is_valid_transition,
+    transition_path,
+)
+
+__all__ = [
+    "HelixManager",
+    "Participant",
+    "SegmentState",
+    "is_valid_transition",
+    "transition_path",
+]

@@ -1,0 +1,60 @@
+"""The segment state model (§3.3.1, Fig 3).
+
+Helix models cluster state with per-resource state machines. Pinot's
+segment state machine has the states OFFLINE, CONSUMING, ONLINE and
+DROPPED; Helix computes the transition path from a replica's current
+state to its desired state and asks the hosting server to execute each
+hop.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ClusterError
+
+
+class SegmentState(enum.Enum):
+    OFFLINE = "OFFLINE"
+    CONSUMING = "CONSUMING"
+    ONLINE = "ONLINE"
+    DROPPED = "DROPPED"
+
+
+#: Direct edges of the Fig 3 state machine.
+_TRANSITIONS: dict[tuple[SegmentState, SegmentState], None] = {
+    (SegmentState.OFFLINE, SegmentState.ONLINE): None,
+    (SegmentState.OFFLINE, SegmentState.CONSUMING): None,
+    (SegmentState.CONSUMING, SegmentState.ONLINE): None,
+    (SegmentState.CONSUMING, SegmentState.OFFLINE): None,
+    (SegmentState.ONLINE, SegmentState.OFFLINE): None,
+    (SegmentState.OFFLINE, SegmentState.DROPPED): None,
+}
+
+
+def is_valid_transition(source: SegmentState, target: SegmentState) -> bool:
+    return (source, target) in _TRANSITIONS
+
+
+def transition_path(source: SegmentState,
+                    target: SegmentState) -> list[tuple[SegmentState, SegmentState]]:
+    """The hop sequence from ``source`` to ``target``.
+
+    Raises :class:`ClusterError` when no path exists (e.g. DROPPED is
+    terminal).
+    """
+    if source is target:
+        return []
+    if is_valid_transition(source, target):
+        return [(source, target)]
+    # All indirect paths in this model route through OFFLINE.
+    if source is not SegmentState.OFFLINE and is_valid_transition(
+        source, SegmentState.OFFLINE
+    ) and is_valid_transition(SegmentState.OFFLINE, target):
+        return [
+            (source, SegmentState.OFFLINE),
+            (SegmentState.OFFLINE, target),
+        ]
+    raise ClusterError(
+        f"no valid transition path {source.value} -> {target.value}"
+    )

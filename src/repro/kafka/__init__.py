@@ -1,0 +1,13 @@
+"""Simulated Kafka: topics, partitions, offsets, consumers, and the
+Kafka-compatible murmur2 partition function."""
+
+from repro.kafka.broker import KafkaConsumer, KafkaMessage, SimKafka
+from repro.kafka.partitioner import kafka_partition, murmur2
+
+__all__ = [
+    "KafkaConsumer",
+    "KafkaMessage",
+    "SimKafka",
+    "kafka_partition",
+    "murmur2",
+]

@@ -1,0 +1,168 @@
+"""A simulated Kafka cluster (topics, partitions, offsets, consumers).
+
+Pinot's realtime ingestion reads events directly from Kafka (§3).
+The segment-completion protocol (§3.3.6) depends on precise Kafka
+semantics: independent consumers reading the same partition from the
+same start offset see the exact same records in the same order, and
+offsets are dense and monotonically increasing. This simulation
+reproduces those semantics in memory, plus the retention windowing the
+paper mentions ("Kafka retains data only for a certain period of time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import IngestionError
+from repro.kafka.partitioner import kafka_partition
+
+
+@dataclass(frozen=True)
+class KafkaMessage:
+    """One record on a partition."""
+
+    offset: int
+    key: Any
+    value: dict[str, Any]
+
+
+class _Partition:
+    def __init__(self) -> None:
+        self.messages: list[KafkaMessage] = []
+        self.start_offset = 0  # first retained offset
+
+    @property
+    def end_offset(self) -> int:
+        return self.start_offset + len(self.messages)
+
+    def append(self, key: Any, value: dict[str, Any]) -> int:
+        offset = self.end_offset
+        self.messages.append(KafkaMessage(offset, key, value))
+        return offset
+
+    def fetch(self, offset: int, max_records: int) -> list[KafkaMessage]:
+        if offset < self.start_offset:
+            raise IngestionError(
+                f"offset {offset} below retention start "
+                f"{self.start_offset} (data expired)"
+            )
+        index = offset - self.start_offset
+        return self.messages[index:index + max_records]
+
+    def truncate_before(self, offset: int) -> None:
+        """Drop messages below ``offset`` (retention enforcement)."""
+        if offset <= self.start_offset:
+            return
+        drop = min(offset - self.start_offset, len(self.messages))
+        del self.messages[:drop]
+        self.start_offset += drop
+
+
+class SimKafka:
+    """In-memory Kafka broker holding any number of topics."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, list[_Partition]] = {}
+
+    def create_topic(self, topic: str, num_partitions: int) -> None:
+        if topic in self._topics:
+            raise IngestionError(f"topic {topic!r} already exists")
+        if num_partitions < 1:
+            raise IngestionError("topics need at least one partition")
+        self._topics[topic] = [_Partition() for _ in range(num_partitions)]
+
+    def has_topic(self, topic: str) -> bool:
+        return topic in self._topics
+
+    def num_partitions(self, topic: str) -> int:
+        return len(self._partitions(topic))
+
+    def _partitions(self, topic: str) -> list[_Partition]:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise IngestionError(f"no such topic: {topic!r}") from None
+
+    # -- producing ---------------------------------------------------------
+
+    def produce(self, topic: str, value: dict[str, Any],
+                key: Any = None) -> tuple[int, int]:
+        """Append one record; returns (partition, offset).
+
+        Keyed records use the Kafka default partitioner; unkeyed records
+        round-robin by total record count.
+        """
+        partitions = self._partitions(topic)
+        if key is not None:
+            partition_id = kafka_partition(key, len(partitions))
+        else:
+            total = sum(p.end_offset for p in partitions)
+            partition_id = total % len(partitions)
+        offset = partitions[partition_id].append(key, value)
+        return partition_id, offset
+
+    def produce_all(self, topic: str, values: Iterable[dict[str, Any]],
+                    key_column: str | None = None) -> int:
+        """Produce many records, keying by ``key_column`` if given."""
+        count = 0
+        for value in values:
+            key = value[key_column] if key_column is not None else None
+            self.produce(topic, value, key)
+            count += 1
+        return count
+
+    # -- consuming -----------------------------------------------------------
+
+    def fetch(self, topic: str, partition: int, offset: int,
+              max_records: int = 500) -> list[KafkaMessage]:
+        """Read up to ``max_records`` from ``offset`` (inclusive)."""
+        return self._partitions(topic)[partition].fetch(offset, max_records)
+
+    def latest_offset(self, topic: str, partition: int) -> int:
+        """The next offset to be written (== high watermark)."""
+        return self._partitions(topic)[partition].end_offset
+
+    def earliest_offset(self, topic: str, partition: int) -> int:
+        return self._partitions(topic)[partition].start_offset
+
+    # -- retention ---------------------------------------------------------------
+
+    def expire_before(self, topic: str, partition: int, offset: int) -> None:
+        """Simulate retention: drop records below ``offset``."""
+        self._partitions(topic)[partition].truncate_before(offset)
+
+
+class KafkaConsumer:
+    """A simple single-partition consumer with a local position.
+
+    Matches how a Pinot consuming segment reads: created at a given
+    start offset (§3.3.1 CONSUMING transition), polled in batches, and
+    able to report its current offset for the completion protocol.
+    """
+
+    def __init__(self, kafka: SimKafka, topic: str, partition: int,
+                 start_offset: int):
+        self._kafka = kafka
+        self.topic = topic
+        self.partition = partition
+        self.position = start_offset
+
+    def poll(self, max_records: int = 500) -> list[KafkaMessage]:
+        messages = self._kafka.fetch(self.topic, self.partition,
+                                     self.position, max_records)
+        if messages:
+            self.position = messages[-1].offset + 1
+        return messages
+
+    def poll_until(self, end_offset: int,
+                   max_records: int = 500) -> list[KafkaMessage]:
+        """Consume up to (but not beyond) ``end_offset`` — the CATCHUP
+        instruction of the completion protocol (§3.3.6)."""
+        budget = max(0, min(max_records, end_offset - self.position))
+        return self.poll(budget)
+
+    @property
+    def lag(self) -> int:
+        return self._kafka.latest_offset(self.topic,
+                                         self.partition) - self.position

@@ -1,0 +1,60 @@
+"""Kafka-compatible partition function (§4.4).
+
+Pinot "includes a partition function that matches the behavior of the
+Kafka partition function, allowing for Pinot offline data to be
+partitioned in the same way as the realtime data". Kafka's default
+partitioner for keyed messages is ``murmur2(key_bytes) % num_partitions``
+(with the sign bit masked); we implement murmur2 from scratch so that
+offline segment builds, realtime consumption and partition-aware
+routing all agree on partition placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_M = 0x5BD1E995
+_SEED = 0x9747B28C
+_MASK32 = 0xFFFFFFFF
+
+
+def murmur2(data: bytes) -> int:
+    """32-bit MurmurHash2, matching Kafka's implementation."""
+    length = len(data)
+    h = (_SEED ^ length) & _MASK32
+    index = 0
+    while length - index >= 4:
+        k = int.from_bytes(data[index:index + 4], "little")
+        k = (k * _M) & _MASK32
+        k ^= k >> 24
+        k = (k * _M) & _MASK32
+        h = (h * _M) & _MASK32
+        h ^= k
+        index += 4
+    remaining = length - index
+    if remaining == 3:
+        h ^= data[index + 2] << 16
+    if remaining >= 2:
+        h ^= data[index + 1] << 8
+    if remaining >= 1:
+        h ^= data[index]
+        h = (h * _M) & _MASK32
+    h ^= h >> 13
+    h = (h * _M) & _MASK32
+    h ^= h >> 15
+    return h
+
+
+def key_bytes(key: Any) -> bytes:
+    """Canonical byte encoding of a record key (UTF-8 of its string
+    form, the convention used by this simulation's producers)."""
+    if isinstance(key, bytes):
+        return key
+    return str(key).encode("utf-8")
+
+
+def kafka_partition(key: Any, num_partitions: int) -> int:
+    """Kafka's default keyed partitioner: positive murmur2 mod N."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    return (murmur2(key_bytes(key)) & 0x7FFFFFFF) % num_partitions

@@ -1,0 +1,45 @@
+"""PQL: Pinot's SQL subset — lexer, parser, AST, and rewriter."""
+
+from repro.pql.ast_nodes import (
+    AggFunc,
+    Aggregation,
+    And,
+    Between,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    In,
+    Not,
+    Or,
+    OrderBy,
+    Predicate,
+    Query,
+    and_of,
+    or_of,
+    predicate_columns,
+)
+from repro.pql.parser import parse
+from repro.pql.rewriter import normalize_predicate, optimize, split_hybrid
+
+__all__ = [
+    "AggFunc",
+    "Aggregation",
+    "And",
+    "Between",
+    "ColumnRef",
+    "CompareOp",
+    "Comparison",
+    "In",
+    "Not",
+    "Or",
+    "OrderBy",
+    "Predicate",
+    "Query",
+    "and_of",
+    "normalize_predicate",
+    "optimize",
+    "or_of",
+    "parse",
+    "predicate_columns",
+    "split_hybrid",
+]

@@ -1,0 +1,34 @@
+"""Query routing strategies: balanced, large-cluster greedy random
+(Algorithms 1 & 2), and partition-aware (§4.4)."""
+
+from repro.routing.balanced import BalancedRouting
+from repro.routing.base import (
+    RoutingStrategy,
+    RoutingTable,
+    TableRoutingSnapshot,
+    coverage_is_exact,
+)
+from repro.routing.large_cluster import (
+    LargeClusterRouting,
+    filter_routing_tables,
+    generate_routing_table,
+    routing_table_metric,
+)
+from repro.routing.partition_aware import (
+    PartitionAwareRouting,
+    partitions_for_query,
+)
+
+__all__ = [
+    "BalancedRouting",
+    "LargeClusterRouting",
+    "PartitionAwareRouting",
+    "RoutingStrategy",
+    "RoutingTable",
+    "TableRoutingSnapshot",
+    "coverage_is_exact",
+    "filter_routing_tables",
+    "generate_routing_table",
+    "partitions_for_query",
+    "routing_table_metric",
+]

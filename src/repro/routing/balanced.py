@@ -1,0 +1,60 @@
+"""The default *balanced* routing strategy (§4.4).
+
+"Simply divides all the segments contained in a table in an equal
+fashion across all available servers" — every server holding replicas
+participates in every query. Works well for small and medium clusters;
+for large clusters every query touches every server, so any single
+straggler inflates tail latency (hence the large-cluster strategy).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RoutingError
+from repro.pql.ast_nodes import Query
+from repro.routing.base import (
+    RoutingStrategy,
+    RoutingTable,
+    TableRoutingSnapshot,
+)
+
+
+class BalancedRouting(RoutingStrategy):
+    """Assign each segment to its least-loaded replica; pre-generate a
+    few tables and serve one at random per query."""
+
+    def __init__(self, num_tables: int = 10,
+                 rng: random.Random | None = None):
+        super().__init__(rng)
+        self._num_tables = num_tables
+        self._tables: list[RoutingTable] = []
+
+    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+        self._tables = [
+            self._build_one(snapshot) for _ in range(self._num_tables)
+        ]
+
+    def _build_one(self, snapshot: TableRoutingSnapshot) -> RoutingTable:
+        load: dict[str, int] = {i: 0 for i in snapshot.instances}
+        table: RoutingTable = {}
+        segments = list(snapshot.segment_to_instances)
+        self._rng.shuffle(segments)
+        for segment in segments:
+            replicas = snapshot.segment_to_instances[segment]
+            if not replicas:
+                raise RoutingError(
+                    f"segment {segment!r} has no live replica"
+                )
+            # Least-loaded replica, random tie-break.
+            min_load = min(load[r] for r in replicas)
+            candidates = [r for r in replicas if load[r] == min_load]
+            chosen = self._rng.choice(candidates)
+            table.setdefault(chosen, []).append(segment)
+            load[chosen] += 1
+        return table
+
+    def route(self, query: Query) -> RoutingTable:
+        if not self._tables:
+            raise RoutingError("routing tables not built yet")
+        return self._rng.choice(self._tables)

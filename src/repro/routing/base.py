@@ -1,0 +1,71 @@
+"""Routing strategy interface (§4.4).
+
+A *routing table* maps servers to the subset of segments each should
+process for one query, such that the union of the subsets covers every
+segment of the table exactly once. Brokers pre-generate several routing
+tables per table and pick one at random per query (§3.3.3 step 2);
+strategies rebuild their tables whenever the external view changes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.pql.ast_nodes import Query
+
+#: server -> segments to process there.
+RoutingTable = dict[str, list[str]]
+
+
+@dataclass
+class TableRoutingSnapshot:
+    """What a strategy needs to know to build routing tables."""
+
+    #: segment -> replicas currently serving it (ONLINE/CONSUMING).
+    segment_to_instances: dict[str, list[str]]
+    #: segment -> partition id (only for partitioned tables).
+    segment_partitions: dict[str, int] = field(default_factory=dict)
+    partition_column: str | None = None
+    num_partitions: int | None = None
+
+    @property
+    def instances(self) -> list[str]:
+        out: set[str] = set()
+        for replicas in self.segment_to_instances.values():
+            out.update(replicas)
+        return sorted(out)
+
+    def instance_to_segments(self) -> dict[str, list[str]]:
+        mapping: dict[str, list[str]] = {}
+        for segment, replicas in self.segment_to_instances.items():
+            for instance in replicas:
+                mapping.setdefault(instance, []).append(segment)
+        return mapping
+
+
+class RoutingStrategy:
+    """Builds routing tables from a snapshot and serves per-query routes."""
+
+    def __init__(self, rng: random.Random | None = None):
+        self._rng = rng or random.Random(0)
+
+    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+        raise NotImplementedError
+
+    def route(self, query: Query) -> RoutingTable:
+        """Pick a routing table for one query."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+def coverage_is_exact(table: RoutingTable,
+                      segments: set[str]) -> bool:
+    """Check the defining invariant: every segment appears exactly once."""
+    seen: list[str] = []
+    for assigned in table.values():
+        seen.extend(assigned)
+    return len(seen) == len(set(seen)) and set(seen) == segments

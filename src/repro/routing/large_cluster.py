@@ -1,0 +1,153 @@
+"""Large-cluster routing: Algorithms 1 and 2 from §4.4.
+
+For large clusters, contacting every server on every query means every
+query pays for the slowest host (stragglers; cf. Dremel's tail-latency
+measurements). Picking the *minimal* subset of servers covering all
+segments is NP-hard (set cover), so the paper uses a random greedy
+generator (Algorithm 1) producing tables that touch about ``target``
+servers, and a selection loop (Algorithm 2) that generates ``G``
+candidate tables and keeps the ``C`` with the best fitness metric —
+empirically, the variance of the per-server segment counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import statistics
+
+from repro.errors import RoutingError
+from repro.pql.ast_nodes import Query
+from repro.routing.base import (
+    RoutingStrategy,
+    RoutingTable,
+    TableRoutingSnapshot,
+)
+
+
+def generate_routing_table(snapshot: TableRoutingSnapshot, target: int,
+                           rng: random.Random) -> RoutingTable:
+    """Algorithm 1: one random greedy routing table.
+
+    1. Pick ``target`` random instances (or all, if fewer exist).
+    2. While segments remain uncovered ("orphans"), add a random replica
+       of the first orphan.
+    3. Assign each segment to one in-use replica, taking segments in
+       ascending order of candidate count and picking replicas weighted
+       toward the currently least-loaded server.
+    """
+    segment_to_instances = snapshot.segment_to_instances
+    instance_to_segments = snapshot.instance_to_segments()
+    instances = snapshot.instances
+    if not instances:
+        raise RoutingError("no live instances")
+
+    orphan = set(segment_to_instances)
+    in_use: set[str] = set()
+
+    if len(instances) <= target:
+        in_use = set(instances)
+        orphan.clear()
+    else:
+        while len(in_use) < target:
+            chosen = rng.choice(instances)
+            if chosen in in_use:
+                continue
+            in_use.add(chosen)
+            orphan -= set(instance_to_segments.get(chosen, ()))
+
+    while orphan:
+        segment = next(iter(orphan))
+        replicas = segment_to_instances[segment]
+        if not replicas:
+            raise RoutingError(f"segment {segment!r} has no live replica")
+        chosen = rng.choice(replicas)
+        in_use.add(chosen)
+        orphan -= set(instance_to_segments.get(chosen, ()))
+
+    # Priority queue of (candidate count, tiebreak, segment, candidates),
+    # ascending candidate count — constrained segments assign first.
+    counter = itertools.count()
+    queue: list[tuple[int, int, str, list[str]]] = []
+    for segment, replicas in segment_to_instances.items():
+        candidates = [r for r in replicas if r in in_use]
+        if not candidates:
+            raise RoutingError(
+                f"internal error: segment {segment!r} uncovered"
+            )
+        heapq.heappush(queue, (len(candidates), next(counter), segment,
+                               candidates))
+
+    load: dict[str, int] = {instance: 0 for instance in in_use}
+    table: RoutingTable = {}
+    while queue:
+        __, __, segment, candidates = heapq.heappop(queue)
+        chosen = _pick_weighted_random_replica(candidates, load, rng)
+        table.setdefault(chosen, []).append(segment)
+        load[chosen] += 1
+    return table
+
+
+def _pick_weighted_random_replica(candidates: list[str],
+                                  load: dict[str, int],
+                                  rng: random.Random) -> str:
+    """Weighted pick favoring the least-loaded candidate replicas."""
+    max_load = max(load[c] for c in candidates)
+    weights = [max_load - load[c] + 1 for c in candidates]
+    return rng.choices(candidates, weights=weights, k=1)[0]
+
+
+def routing_table_metric(table: RoutingTable) -> float:
+    """Fitness of a routing table: variance of per-server segment counts
+    (lower is better — empirically chosen in the paper)."""
+    counts = [len(segments) for segments in table.values()]
+    if len(counts) < 2:
+        return 0.0
+    return statistics.pvariance(counts)
+
+
+def filter_routing_tables(snapshot: TableRoutingSnapshot, target: int,
+                          keep: int, generate: int,
+                          rng: random.Random) -> list[RoutingTable]:
+    """Algorithm 2: generate ``generate`` tables, keep the best ``keep``.
+
+    A max-heap of (metric, table) retains the ``keep`` lowest-metric
+    tables seen across all ``generate`` candidates.
+    """
+    if keep < 1 or generate < keep:
+        raise RoutingError("need generate >= keep >= 1")
+    heap: list[tuple[float, int, RoutingTable]] = []
+    counter = itertools.count()
+    for i in range(generate):
+        table = generate_routing_table(snapshot, target, rng)
+        metric = routing_table_metric(table)
+        if i < keep:
+            heapq.heappush(heap, (-metric, next(counter), table))
+        elif metric <= -heap[0][0]:
+            heapq.heapreplace(heap, (-metric, next(counter), table))
+    return [table for __, __, table in heap]
+
+
+class LargeClusterRouting(RoutingStrategy):
+    """The paper's large-cluster strategy as a pluggable router."""
+
+    def __init__(self, target_servers: int = 6, keep_tables: int = 20,
+                 generate_tables: int = 200,
+                 rng: random.Random | None = None):
+        super().__init__(rng)
+        self.target_servers = target_servers
+        self.keep_tables = keep_tables
+        self.generate_tables = generate_tables
+        self._tables: list[RoutingTable] = []
+
+    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+        self._tables = filter_routing_tables(
+            snapshot, self.target_servers, self.keep_tables,
+            self.generate_tables, self._rng,
+        )
+
+    def route(self, query: Query) -> RoutingTable:
+        if not self._tables:
+            raise RoutingError("routing tables not built yet")
+        return self._rng.choice(self._tables)

@@ -1,0 +1,38 @@
+"""Columnar segment storage: dictionaries, forward/inverted indexes,
+bitmaps, builders, on-disk format, and mutable realtime segments."""
+
+from repro.segment.bitmap import RoaringBitmap, union_many
+from repro.segment.bloom import BloomFilter
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+from repro.segment.dictionary import Dictionary
+from repro.segment.forward import (
+    MultiValueForwardIndex,
+    SingleValueForwardIndex,
+    SortedForwardIndex,
+)
+from repro.segment.inverted import InvertedIndex
+from repro.segment.io import append_inverted_index, load_segment, write_segment
+from repro.segment.metadata import ColumnMetadata, SegmentMetadata
+from repro.segment.mutable import MutableSegment
+from repro.segment.segment import Column, ImmutableSegment
+
+__all__ = [
+    "BloomFilter",
+    "Column",
+    "ColumnMetadata",
+    "Dictionary",
+    "ImmutableSegment",
+    "InvertedIndex",
+    "MultiValueForwardIndex",
+    "MutableSegment",
+    "RoaringBitmap",
+    "SegmentBuilder",
+    "SegmentConfig",
+    "SegmentMetadata",
+    "SingleValueForwardIndex",
+    "SortedForwardIndex",
+    "append_inverted_index",
+    "load_segment",
+    "union_many",
+    "write_segment",
+]

@@ -1,0 +1,256 @@
+"""Segment builder: raw records -> :class:`ImmutableSegment`.
+
+The builder normalizes records against the schema, optionally reorders
+them physically by a *sorted column* (§4.2), dictionary-encodes and
+bit-packs every column, builds requested inverted indexes, computes the
+column statistics the planner relies on, and optionally attaches a
+star-tree (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.schema import Schema
+from repro.errors import SegmentError
+from repro.segment.bitpack import bits_required
+from repro.segment.dictionary import Dictionary
+from repro.segment.forward import (
+    MultiValueForwardIndex,
+    SingleValueForwardIndex,
+    SortedForwardIndex,
+)
+from repro.segment.inverted import InvertedIndex
+from repro.segment.metadata import ColumnMetadata, SegmentMetadata
+from repro.segment.segment import Column, ImmutableSegment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.startree.builder import StarTreeConfig
+
+
+@dataclass
+class SegmentConfig:
+    """Build-time options for a segment.
+
+    Attributes:
+        sorted_column: Column by which to physically reorder records; its
+            forward index becomes a :class:`SortedForwardIndex` (§4.2).
+        inverted_columns: Columns to build bitmap inverted indexes for
+            at build time (more can be added on demand later).
+        star_tree: Optional star-tree configuration (§4.3).
+        partition_column / num_partitions: When set, the builder records
+            the partition id of the segment's data for partition-aware
+            routing (§4.4); all records must map to one partition.
+    """
+
+    sorted_column: str | None = None
+    inverted_columns: tuple[str, ...] = ()
+    #: Columns to build distinct-value bloom filters for; the broker
+    #: uses them to prune whole segments for EQ/IN queries.
+    bloom_columns: tuple[str, ...] = ()
+    star_tree: "StarTreeConfig | None" = None
+    partition_column: str | None = None
+    num_partitions: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.partition_column is None) != (self.num_partitions is None):
+            raise SegmentError(
+                "partition_column and num_partitions must be set together"
+            )
+
+
+@dataclass
+class SegmentBuilder:
+    """Accumulates records and builds an immutable segment."""
+
+    segment_name: str
+    table_name: str
+    schema: Schema
+    config: SegmentConfig = field(default_factory=SegmentConfig)
+
+    def __post_init__(self) -> None:
+        self._records: list[dict[str, Any]] = []
+        if self.config.sorted_column is not None:
+            spec = self.schema.field(self.config.sorted_column)
+            if spec.multi_value:
+                raise SegmentError("sorted column cannot be multi-value")
+        for name in (*self.config.inverted_columns,
+                     *self.config.bloom_columns):
+            self.schema.field(name)  # validates existence
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        self._records.append(self.schema.normalize(record))
+
+    def add_all(self, records: Iterable[Mapping[str, Any]]) -> None:
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- build ----------------------------------------------------------
+
+    def build(self) -> ImmutableSegment:
+        if not self._records:
+            raise SegmentError(
+                f"segment {self.segment_name!r} has no records"
+            )
+        records = self._records
+        sorted_col = self.config.sorted_column
+        if sorted_col is not None:
+            records = sorted(records, key=lambda r: r[sorted_col])
+
+        columns: dict[str, Column] = {}
+        column_metas: dict[str, ColumnMetadata] = {}
+        for spec in self.schema:
+            column = self._build_column(spec, records)
+            columns[spec.name] = column
+            column_metas[spec.name] = column.metadata
+
+        metadata = SegmentMetadata(
+            segment_name=self.segment_name,
+            table_name=self.table_name,
+            num_docs=len(records),
+            columns=column_metas,
+            sorted_column=sorted_col,
+            time_column=self.schema.time_column,
+        )
+        self._fill_time_metadata(metadata, records)
+        self._fill_partition_metadata(metadata, records)
+
+        star_tree = None
+        if self.config.star_tree is not None:
+            from repro.startree.builder import build_star_tree
+
+            star_tree = build_star_tree(
+                self.schema, records, self.config.star_tree
+            )
+        return ImmutableSegment(metadata, self.schema, columns, star_tree)
+
+    # -- internals ---------------------------------------------------------
+
+    def _build_column(self, spec, records: Sequence[dict[str, Any]]) -> Column:
+        name = spec.name
+        if spec.multi_value:
+            return self._build_multi_value_column(spec, records)
+        raw = [record[name] for record in records]
+        dictionary = Dictionary.build(spec.dtype, raw)
+        dict_ids = dictionary.encode(raw)
+        is_sorted_column = name == self.config.sorted_column
+        if is_sorted_column:
+            forward: Any = SortedForwardIndex.from_sorted_dict_ids(
+                dict_ids, dictionary.cardinality
+            )
+        else:
+            forward = SingleValueForwardIndex.from_dict_ids(dict_ids)
+        inverted = None
+        if name in self.config.inverted_columns:
+            inverted = InvertedIndex.build(forward, dictionary.cardinality)
+        meta = ColumnMetadata(
+            name=name,
+            dtype=spec.dtype,
+            role=spec.role,
+            cardinality=dictionary.cardinality,
+            min_value=dictionary.min_value,
+            max_value=dictionary.max_value,
+            multi_value=False,
+            is_sorted=is_sorted_column,
+            has_inverted_index=inverted is not None,
+            total_docs=len(records),
+            total_entries=len(records),
+            bit_width=bits_required(dictionary.cardinality - 1),
+            dictionary_bytes=dictionary.nbytes,
+            forward_bytes=forward.nbytes,
+            inverted_bytes=inverted.nbytes if inverted else 0,
+        )
+        self._attach_bloom(meta, dictionary)
+        _jsonify_minmax(meta)
+        return Column(spec, dictionary, forward, meta, inverted)
+
+    def _attach_bloom(self, meta: ColumnMetadata, dictionary) -> None:
+        if meta.name not in self.config.bloom_columns:
+            return
+        from repro.segment.bloom import BloomFilter
+
+        bloom = BloomFilter.for_capacity(dictionary.cardinality, fpp=0.01)
+        bloom.add_many(dictionary.to_list())
+        meta.bloom = bloom.to_payload()
+
+    def _build_multi_value_column(self, spec,
+                                  records: Sequence[dict[str, Any]]) -> Column:
+        name = spec.name
+        cell_lists = [record[name] for record in records]
+        flat = [v for cell in cell_lists for v in cell]
+        if not flat:
+            # All-empty multi-value column still needs a dictionary.
+            flat = [spec.default]
+        dictionary = Dictionary.build(spec.dtype, flat)
+        id_lists = [
+            dictionary.encode(cell) if cell else np.empty(0, dtype=np.uint32)
+            for cell in cell_lists
+        ]
+        forward = MultiValueForwardIndex.from_id_lists(id_lists)
+        inverted = None
+        if name in self.config.inverted_columns:
+            inverted = InvertedIndex.build(forward, dictionary.cardinality)
+        meta = ColumnMetadata(
+            name=name,
+            dtype=spec.dtype,
+            role=spec.role,
+            cardinality=dictionary.cardinality,
+            min_value=dictionary.min_value,
+            max_value=dictionary.max_value,
+            multi_value=True,
+            is_sorted=False,
+            has_inverted_index=inverted is not None,
+            total_docs=len(records),
+            total_entries=forward.total_entries,
+            bit_width=bits_required(dictionary.cardinality - 1),
+            dictionary_bytes=dictionary.nbytes,
+            forward_bytes=forward.nbytes,
+            inverted_bytes=inverted.nbytes if inverted else 0,
+        )
+        self._attach_bloom(meta, dictionary)
+        _jsonify_minmax(meta)
+        return Column(spec, dictionary, forward, meta, inverted)
+
+    def _fill_time_metadata(self, metadata: SegmentMetadata,
+                            records: Sequence[dict[str, Any]]) -> None:
+        time_col = self.schema.time_column
+        if time_col is None:
+            return
+        values = [record[time_col] for record in records]
+        metadata.min_time = int(min(values))
+        metadata.max_time = int(max(values))
+
+    def _fill_partition_metadata(self, metadata: SegmentMetadata,
+                                 records: Sequence[dict[str, Any]]) -> None:
+        column = self.config.partition_column
+        if column is None:
+            return
+        from repro.kafka.partitioner import kafka_partition
+
+        num = self.config.num_partitions
+        partitions = {
+            kafka_partition(record[column], num) for record in records
+        }
+        if len(partitions) != 1:
+            raise SegmentError(
+                f"segment {self.segment_name!r} spans partitions "
+                f"{sorted(partitions)}; a partitioned segment must hold "
+                "exactly one partition"
+            )
+        metadata.partition_column = column
+        metadata.num_partitions = num
+        metadata.partition_id = partitions.pop()
+
+
+def _jsonify_minmax(meta: ColumnMetadata) -> None:
+    """Convert numpy scalars in min/max to plain Python for JSON I/O."""
+    if isinstance(meta.min_value, np.generic):
+        meta.min_value = meta.min_value.item()
+    if isinstance(meta.max_value, np.generic):
+        meta.max_value = meta.max_value.item()

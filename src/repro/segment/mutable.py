@@ -1,0 +1,122 @@
+"""Mutable (consuming) realtime segments (§3.3.1, §3.3.6).
+
+While a replica is in the CONSUMING state it appends Kafka events to a
+mutable in-memory segment. Queries must see those rows with seconds-level
+freshness, so the mutable segment can produce a queryable snapshot at
+any time; when the end criteria is reached the segment is *sealed* into
+a regular immutable segment, flushed, and committed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.common.schema import Schema
+from repro.errors import SegmentError
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+from repro.segment.segment import ImmutableSegment
+
+
+class MutableSegment:
+    """An append-only in-memory segment for realtime consumption."""
+
+    def __init__(self, segment_name: str, table_name: str, schema: Schema,
+                 config: SegmentConfig | None = None):
+        self.segment_name = segment_name
+        self.table_name = table_name
+        self.schema = schema
+        self.config = config or SegmentConfig()
+        self._records: list[dict[str, Any]] = []
+        self._sealed = False
+        # Snapshot cache: rebuilding an immutable view is only needed
+        # when new rows have arrived since the last snapshot.
+        self._snapshot: ImmutableSegment | None = None
+        self._snapshot_rows = -1
+        self.start_offset: int | None = None
+        self.end_offset: int | None = None
+
+    # -- ingestion -------------------------------------------------------
+
+    def index(self, record: Mapping[str, Any]) -> None:
+        """Append one event (already decoded from the stream)."""
+        if self._sealed:
+            raise SegmentError(
+                f"segment {self.segment_name!r} is sealed; cannot index"
+            )
+        self._records.append(self.schema.normalize(record))
+
+    def index_all(self, records: Iterable[Mapping[str, Any]]) -> None:
+        for record in records:
+            self.index(record)
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._records)
+
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed
+
+    def records(self) -> list[dict[str, Any]]:
+        """A copy of the raw records consumed so far."""
+        return list(self._records)
+
+    # -- querying --------------------------------------------------------
+
+    def snapshot(self) -> ImmutableSegment | None:
+        """A queryable immutable view of the rows consumed so far.
+
+        Returns None while empty. The snapshot is cached and only
+        rebuilt when new rows have arrived, so steady-state queries on a
+        quiet consuming segment are cheap.
+        """
+        if not self._records:
+            return None
+        if self._snapshot is None or self._snapshot_rows != len(self._records):
+            builder = SegmentBuilder(
+                self.segment_name, self.table_name, self.schema,
+                SegmentConfig(
+                    inverted_columns=self.config.inverted_columns,
+                    partition_column=self.config.partition_column,
+                    num_partitions=self.config.num_partitions,
+                ),
+            )
+            builder.add_all(self._records)
+            self._snapshot = builder.build()
+            self._snapshot_rows = len(self._records)
+        return self._snapshot
+
+    def invalidate_snapshot(self) -> None:
+        """Force the next :meth:`snapshot` to rebuild (e.g. after a
+        schema change added a column)."""
+        self._snapshot = None
+        self._snapshot_rows = -1
+
+    # -- sealing -----------------------------------------------------------
+
+    def seal(self) -> ImmutableSegment:
+        """Freeze into a fully built immutable segment (flush, §3.3.6).
+
+        Sealing applies the full build config — physical sort order,
+        inverted indexes, star-tree — which consuming segments skip;
+        this mirrors how offline/completed segments are better optimized
+        than consuming ones.
+        """
+        if not self._records:
+            raise SegmentError(
+                f"cannot seal empty segment {self.segment_name!r}"
+            )
+        self._sealed = True
+        builder = SegmentBuilder(
+            self.segment_name, self.table_name, self.schema, self.config
+        )
+        builder.add_all(self._records)
+        return builder.build()
+
+    def discard_and_replace(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Replace local rows with an authoritative copy (DISCARD, §3.3.6)."""
+        if self._sealed:
+            raise SegmentError("cannot replace rows of a sealed segment")
+        self._records = [self.schema.normalize(r) for r in records]
+        self._snapshot = None
+        self._snapshot_rows = -1

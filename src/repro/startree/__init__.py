@@ -1,0 +1,18 @@
+"""Star-tree index: pre-aggregation for iceberg queries (§4.3)."""
+
+from repro.startree.builder import StarTreeConfig, build_star_tree
+from repro.startree.node import STAR_ID, StarTree, StarTreeNode
+from repro.startree.query import execute_on_star_tree, supports_query
+from repro.startree.serialize import star_tree_from_bytes, star_tree_to_bytes
+
+__all__ = [
+    "STAR_ID",
+    "StarTree",
+    "StarTreeConfig",
+    "StarTreeNode",
+    "build_star_tree",
+    "execute_on_star_tree",
+    "star_tree_from_bytes",
+    "star_tree_to_bytes",
+    "supports_query",
+]

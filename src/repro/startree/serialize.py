@@ -1,0 +1,109 @@
+"""Star-tree (de)serialization for the segment index file."""
+
+from __future__ import annotations
+
+import io as _io
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SegmentFormatError
+from repro.startree.node import MetricTable, StarTree, StarTreeNode
+
+
+def _flatten_tree(root: StarTreeNode) -> list[dict[str, Any]]:
+    nodes: list[dict[str, Any]] = []
+
+    def visit(node: StarTreeNode) -> int:
+        index = len(nodes)
+        nodes.append({})  # reserve slot for pre-order ids
+        children = {
+            str(value_id): visit(child)
+            for value_id, child in node.children.items()
+        }
+        star = visit(node.star_child) if node.star_child is not None else -1
+        nodes[index] = {
+            "depth": node.depth,
+            "start": node.start,
+            "end": node.end,
+            "children": children,
+            "star": star,
+        }
+        return index
+
+    visit(root)
+    return nodes
+
+
+def _rebuild_tree(flat: list[dict[str, Any]]) -> StarTreeNode:
+    def build(index: int) -> StarTreeNode:
+        raw = flat[index]
+        node = StarTreeNode(depth=raw["depth"], start=raw["start"],
+                            end=raw["end"])
+        node.children = {
+            int(value_id): build(child_index)
+            for value_id, child_index in raw["children"].items()
+        }
+        if raw["star"] >= 0:
+            node.star_child = build(raw["star"])
+        return node
+
+    return build(0)
+
+
+def star_tree_to_bytes(tree: StarTree) -> bytes:
+    """Serialize to a self-contained blob (JSON header + npz arrays)."""
+    header = {
+        "dimensions": list(tree.dimensions),
+        "metric_columns": list(tree.metric_columns),
+        "dictionaries": tree.dictionaries,
+        "nodes": _flatten_tree(tree.root),
+        "num_raw_docs": tree.num_raw_docs,
+        "max_leaf_records": tree.max_leaf_records,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    arrays = {"dim_ids": tree.dim_ids, "counts": tree.counts}
+    for metric, table in tree.metrics.items():
+        arrays[f"{metric}__sum"] = table.sums
+        arrays[f"{metric}__min"] = table.mins
+        arrays[f"{metric}__max"] = table.maxs
+    buf = _io.BytesIO()
+    np.savez(buf, **arrays)
+    blob = buf.getvalue()
+    return (
+        len(header_bytes).to_bytes(8, "little") + header_bytes + blob
+    )
+
+
+def star_tree_from_bytes(payload: bytes) -> StarTree:
+    """Inverse of :func:`star_tree_to_bytes`."""
+    if len(payload) < 8:
+        raise SegmentFormatError("truncated star-tree blob")
+    header_len = int.from_bytes(payload[:8], "little")
+    try:
+        header = json.loads(payload[8:8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SegmentFormatError("corrupt star-tree header") from exc
+    arrays = np.load(_io.BytesIO(payload[8 + header_len:]),
+                     allow_pickle=False)
+    metric_columns = tuple(header["metric_columns"])
+    metrics = {
+        metric: MetricTable(
+            sums=arrays[f"{metric}__sum"],
+            mins=arrays[f"{metric}__min"],
+            maxs=arrays[f"{metric}__max"],
+        )
+        for metric in metric_columns
+    }
+    return StarTree(
+        dimensions=tuple(header["dimensions"]),
+        metric_columns=metric_columns,
+        dictionaries=header["dictionaries"],
+        dim_ids=arrays["dim_ids"],
+        metrics=metrics,
+        counts=arrays["counts"],
+        root=_rebuild_tree(header["nodes"]),
+        num_raw_docs=header["num_raw_docs"],
+        max_leaf_records=header["max_leaf_records"],
+    )

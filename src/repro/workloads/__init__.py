@@ -1,0 +1,14 @@
+"""Synthetic reproductions of the four §6 production workloads:
+anomaly detection, share analytics, WVMP, and impression discounting."""
+
+from repro.workloads import anomaly, impressions, share_analytics, wvmp
+from repro.workloads.generator import ZipfSampler, name_pool
+
+__all__ = [
+    "ZipfSampler",
+    "anomaly",
+    "impressions",
+    "name_pool",
+    "share_analytics",
+    "wvmp",
+]

@@ -1,0 +1,137 @@
+"""The anomaly-detection / ad-hoc reporting workload (§6, Figs 11-13).
+
+"Ad hoc reporting and anomaly detection on multidimensional key
+business metrics": the query mix contains automatically generated
+monitoring queries (fixed shapes, high rate) plus ad-hoc root-cause
+drill-downs (variable predicates and groupings). Queries aggregate
+metrics with a variable number of filtering predicates and grouping
+clauses — the shape star-trees accelerate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.segment.builder import SegmentConfig
+from repro.startree.builder import StarTreeConfig
+from repro.workloads.generator import (
+    BROWSERS,
+    COUNTRIES,
+    METRIC_NAMES,
+    PLATFORMS,
+    ZipfSampler,
+)
+
+NUM_DAYS = 14
+FIRST_DAY = 17000
+
+
+def schema() -> Schema:
+    return Schema(
+        "anomaly",
+        [
+            dimension("metricName"),
+            dimension("country"),
+            dimension("platform"),
+            dimension("browser"),
+            metric("value", DataType.DOUBLE),
+            metric("eventCount", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+def generate_records(num_rows: int = 100_000,
+                     seed: int = 7) -> list[dict[str, Any]]:
+    """Zipf-popular metrics and countries over a two-week window."""
+    rng = random.Random(seed)
+    metric_sampler = ZipfSampler(len(METRIC_NAMES), s=1.05, seed=seed)
+    country_sampler = ZipfSampler(len(COUNTRIES), s=1.1, seed=seed + 1)
+    metric_ids = metric_sampler.sample(num_rows)
+    country_ids = country_sampler.sample(num_rows)
+    records = []
+    for i in range(num_rows):
+        records.append(
+            {
+                "metricName": METRIC_NAMES[int(metric_ids[i])],
+                "country": COUNTRIES[int(country_ids[i])],
+                "platform": PLATFORMS[rng.randrange(len(PLATFORMS))],
+                "browser": BROWSERS[rng.randrange(len(BROWSERS))],
+                "value": round(rng.expovariate(1 / 50.0), 3),
+                "eventCount": rng.randint(1, 20),
+                "day": FIRST_DAY + rng.randrange(NUM_DAYS),
+            }
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """Fractions of each query shape in the sampled log."""
+
+    monitoring: float = 0.6  # fixed-shape automated queries
+    drill_down: float = 0.3  # ad-hoc with extra predicates + group-by
+    top_n: float = 0.1       # iceberg-style top-n over one dimension
+
+
+def generate_queries(num_queries: int = 200, seed: int = 13,
+                     mix: QueryMix = QueryMix()) -> list[str]:
+    """Sample a query log shaped like the anomaly-detection use case."""
+    rng = random.Random(seed)
+    metric_sampler = ZipfSampler(len(METRIC_NAMES), s=1.05, seed=seed + 2)
+    queries = []
+    for __ in range(num_queries):
+        roll = rng.random()
+        name = METRIC_NAMES[int(metric_sampler.sample())]
+        day_low = FIRST_DAY + rng.randrange(NUM_DAYS - 3)
+        day_high = day_low + rng.randrange(1, 4)
+        if roll < mix.monitoring:
+            queries.append(
+                f"SELECT sum(value), sum(eventCount) FROM anomaly "
+                f"WHERE metricName = '{name}' "
+                f"AND day BETWEEN {day_low} AND {day_high} "
+                f"GROUP BY day TOP 31"
+            )
+        elif roll < mix.monitoring + mix.drill_down:
+            country = COUNTRIES[rng.randrange(len(COUNTRIES))]
+            facet = rng.choice(["country", "platform", "browser"])
+            extra = ""
+            if rng.random() < 0.5:
+                browser = BROWSERS[rng.randrange(len(BROWSERS))]
+                extra = f" AND browser = '{browser}'"
+            queries.append(
+                f"SELECT sum(value) FROM anomaly "
+                f"WHERE metricName = '{name}' AND country = '{country}'"
+                f"{extra} GROUP BY {facet} TOP 20"
+            )
+        else:
+            queries.append(
+                f"SELECT sum(eventCount) FROM anomaly "
+                f"WHERE metricName = '{name}' "
+                f"GROUP BY country TOP 10"
+            )
+    return queries
+
+
+def segment_config(indexing: str) -> SegmentConfig:
+    """Build config per Fig 11/12 series: 'none', 'inverted', 'startree'."""
+    if indexing == "none":
+        return SegmentConfig()
+    if indexing == "inverted":
+        return SegmentConfig(
+            inverted_columns=("metricName", "country", "browser", "day"),
+        )
+    if indexing == "startree":
+        return SegmentConfig(
+            inverted_columns=("metricName", "country", "browser", "day"),
+            star_tree=StarTreeConfig(
+                dimensions=("metricName", "country", "platform", "browser",
+                            "day"),
+                max_leaf_records=100,
+            ),
+        )
+    raise ValueError(f"unknown indexing mode {indexing!r}")

@@ -1,0 +1,97 @@
+"""The impression-discounting workload (§6, Fig 16).
+
+Impression discounting tracks which feed items each member has already
+seen so they can be down-ranked. Every news-feed render issues several
+point-ish queries ("what has member X seen?") — an extremely high
+query rate of trivially selective queries. Fig 16 shows how
+partition-aware routing (§4.4) keeps latency flat as rate grows:
+partitioning the table by ``memberId`` with the Kafka partition
+function lets brokers contact only the servers holding that member's
+partition instead of the whole cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.cluster.table import PartitionConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.segment.builder import SegmentConfig
+from repro.workloads.generator import ZipfSampler
+
+NUM_MEMBERS = 20_000
+NUM_ITEMS = 5_000
+NUM_PARTITIONS = 8
+NUM_DAYS = 7
+FIRST_DAY = 17300
+
+
+def schema() -> Schema:
+    return Schema(
+        "impressions",
+        [
+            dimension("memberId", DataType.LONG),
+            dimension("itemId", DataType.LONG),
+            dimension("channel"),
+            metric("impressionCount", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+def generate_records(num_rows: int = 200_000,
+                     seed: int = 41) -> list[dict[str, Any]]:
+    rng = random.Random(seed)
+    # Mild skew: a member's impression history is bounded (a feed shows
+    # each member a limited number of items), unlike page-view-style
+    # heavy tails.
+    member_sampler = ZipfSampler(NUM_MEMBERS, s=0.5, seed=seed)
+    item_sampler = ZipfSampler(NUM_ITEMS, s=1.15, seed=seed + 1)
+    member_ids = member_sampler.sample(num_rows)
+    item_ids = item_sampler.sample(num_rows)
+    channels = ["feed", "search", "email", "notification"]
+    records = []
+    for i in range(num_rows):
+        records.append(
+            {
+                "memberId": int(member_ids[i]),
+                "itemId": int(item_ids[i]),
+                "channel": channels[rng.randrange(len(channels))],
+                "impressionCount": 1,
+                "day": FIRST_DAY + rng.randrange(NUM_DAYS),
+            }
+        )
+    return records
+
+
+def generate_queries(num_queries: int = 200, seed: int = 42) -> list[str]:
+    """Feed-render queries: fetch one member's seen items."""
+    rng = random.Random(seed)
+    member_sampler = ZipfSampler(NUM_MEMBERS, s=0.5, seed=seed + 1)
+    queries = []
+    for __ in range(num_queries):
+        member = int(member_sampler.sample())
+        if rng.random() < 0.8:
+            queries.append(
+                f"SELECT itemId, sum(impressionCount) FROM impressions "
+                f"WHERE memberId = {member} GROUP BY itemId TOP 100"
+            )
+        else:
+            day = FIRST_DAY + rng.randrange(NUM_DAYS)
+            queries.append(
+                f"SELECT count(*) FROM impressions "
+                f"WHERE memberId = {member} AND day >= {day}"
+            )
+    return queries
+
+
+def partition_config() -> PartitionConfig:
+    return PartitionConfig(column="memberId",
+                           num_partitions=NUM_PARTITIONS)
+
+
+def segment_config() -> SegmentConfig:
+    """Sorted by member id within each partition's segments."""
+    return SegmentConfig(sorted_column="memberId")

@@ -1,0 +1,106 @@
+"""The "Who Viewed My Profile" workload (§6, Fig 15).
+
+WVMP is the canonical high-throughput, low-complexity Pinot use case:
+every query filters on the ``vieweeId`` column (whose profile is being
+looked at) and aggregates views with a facet or two. §4.2 uses this
+workload to explain physical record ordering: with segments sorted on
+``vieweeId``, any query touches one contiguous range of the columns,
+versus bitmap operations over large inverted indexes. Fig 15 compares
+exactly those two configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.segment.builder import SegmentConfig
+from repro.workloads.generator import (
+    COMPANIES,
+    OCCUPATIONS,
+    REGIONS,
+    ZipfSampler,
+)
+
+NUM_MEMBERS = 2_500
+NUM_DAYS = 30
+FIRST_DAY = 17200
+
+
+def schema() -> Schema:
+    return Schema(
+        "wvmp",
+        [
+            dimension("vieweeId", DataType.LONG),
+            dimension("viewerId", DataType.LONG),
+            dimension("viewerCompany"),
+            dimension("viewerRegion"),
+            dimension("viewerOccupation"),
+            metric("views", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+def generate_records(num_rows: int = 200_000,
+                     seed: int = 31) -> list[dict[str, Any]]:
+    """Profile-view events; viewee popularity is heavy-tailed."""
+    rng = random.Random(seed)
+    viewee_sampler = ZipfSampler(NUM_MEMBERS, s=1.05, seed=seed)
+    viewee_ids = viewee_sampler.sample(num_rows)
+    records = []
+    for i in range(num_rows):
+        records.append(
+            {
+                "vieweeId": int(viewee_ids[i]),
+                "viewerId": rng.randrange(NUM_MEMBERS),
+                "viewerCompany": COMPANIES[rng.randrange(len(COMPANIES))],
+                "viewerRegion": REGIONS[rng.randrange(len(REGIONS))],
+                "viewerOccupation": OCCUPATIONS[
+                    rng.randrange(len(OCCUPATIONS))
+                ],
+                "views": 1,
+                "day": FIRST_DAY + rng.randrange(NUM_DAYS),
+            }
+        )
+    return records
+
+
+def generate_queries(num_queries: int = 200, seed: int = 32) -> list[str]:
+    """The WVMP page's query pattern: always ``vieweeId = me``."""
+    rng = random.Random(seed)
+    viewee_sampler = ZipfSampler(NUM_MEMBERS, s=1.05, seed=seed + 1)
+    facets = ["viewerCompany", "viewerRegion", "viewerOccupation"]
+    queries = []
+    for __ in range(num_queries):
+        viewee = int(viewee_sampler.sample())
+        roll = rng.random()
+        if roll < 0.35:
+            queries.append(
+                f"SELECT sum(views) FROM wvmp WHERE vieweeId = {viewee}"
+            )
+        elif roll < 0.6:
+            queries.append(
+                f"SELECT distinctcount(viewerId) FROM wvmp "
+                f"WHERE vieweeId = {viewee}"
+            )
+        else:
+            facet = facets[rng.randrange(len(facets))]
+            day_low = FIRST_DAY + rng.randrange(NUM_DAYS - 7)
+            queries.append(
+                f"SELECT sum(views) FROM wvmp WHERE vieweeId = {viewee} "
+                f"AND day >= {day_low} GROUP BY {facet} TOP 10"
+            )
+    return queries
+
+
+def segment_config(indexing: str) -> SegmentConfig:
+    """Fig 15 series: 'sorted' (physical ordering on vieweeId) versus
+    'inverted' (roaring-bitmap inverted index, no ordering)."""
+    if indexing == "sorted":
+        return SegmentConfig(sorted_column="vieweeId")
+    if indexing == "inverted":
+        return SegmentConfig(inverted_columns=("vieweeId",))
+    raise ValueError(f"unknown indexing mode {indexing!r}")

@@ -1,0 +1,6 @@
+"""Simulated Zookeeper: hierarchical metadata store with watches,
+ephemeral nodes, and CAS writes."""
+
+from repro.zk.store import ZkError, ZkSession, ZkStore
+
+__all__ = ["ZkError", "ZkSession", "ZkStore"]

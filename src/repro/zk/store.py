@@ -1,0 +1,238 @@
+"""An in-memory Zookeeper-like metadata store (§3.2).
+
+Pinot stores all cluster state, segment assignment and metadata in
+Zookeeper (through Helix) and uses it as the communication mechanism
+between nodes. This simulation provides the Zookeeper primitives the
+rest of the system needs:
+
+* a hierarchical namespace of znodes holding JSON-able payloads;
+* persistent and *ephemeral* znodes — ephemerals vanish when their
+  owning session closes, which is how node liveness and leader election
+  work;
+* version-checked conditional writes (optimistic concurrency);
+* watches on a node or on a node's children, fired synchronously on
+  change (the simulation is single-threaded and deterministic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ClusterError
+
+
+class ZkError(ClusterError):
+    """A znode operation failed (missing node, bad version, ...)."""
+
+
+@dataclass
+class _Znode:
+    data: Any = None
+    version: int = 0
+    ephemeral_owner: int | None = None
+    children: dict[str, "_Znode"] = field(default_factory=dict)
+    sequence_counter: int = 0
+
+
+WatchCallback = Callable[[str, str], None]  # (event, path)
+
+
+class ZkSession:
+    """A client session; closing it removes its ephemeral nodes."""
+
+    def __init__(self, store: "ZkStore", session_id: int):
+        self._store = store
+        self.session_id = session_id
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._store._expire_session(self.session_id)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"ZkSession({self.session_id}, {state})"
+
+
+class ZkStore:
+    """The shared store; one instance per simulated cluster."""
+
+    def __init__(self) -> None:
+        self._root = _Znode()
+        self._session_ids = itertools.count(1)
+        self._data_watches: dict[str, list[WatchCallback]] = {}
+        self._child_watches: dict[str, list[WatchCallback]] = {}
+
+    # -- sessions ---------------------------------------------------------
+
+    def connect(self) -> ZkSession:
+        return ZkSession(self, next(self._session_ids))
+
+    def _expire_session(self, session_id: int) -> None:
+        for path in self._find_ephemerals(self._root, "", session_id):
+            self.delete(path)
+
+    def _find_ephemerals(self, node: _Znode, path: str,
+                         session_id: int) -> list[str]:
+        out = []
+        for name, child in node.children.items():
+            child_path = f"{path}/{name}"
+            if child.ephemeral_owner == session_id:
+                out.append(child_path)
+            else:
+                out.extend(self._find_ephemerals(child, child_path,
+                                                 session_id))
+        return out
+
+    # -- path helpers -------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise ZkError(f"path must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise ZkError("cannot operate on the root node")
+        return parts
+
+    def _lookup(self, path: str) -> _Znode | None:
+        node = self._root
+        for part in self._split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _parent_of(self, path: str) -> tuple[_Znode, str]:
+        parts = self._split(path)
+        node = self._root
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                raise ZkError(f"parent path missing for {path!r}")
+            node = child
+        return node, parts[-1]
+
+    @staticmethod
+    def _parent_path(path: str) -> str:
+        return path.rsplit("/", 1)[0] or "/"
+
+    # -- CRUD ------------------------------------------------------------------
+
+    def create(self, path: str, data: Any = None,
+               session: ZkSession | None = None,
+               ephemeral: bool = False, sequential: bool = False,
+               make_parents: bool = False) -> str:
+        """Create a znode; returns the created path (differs for
+        sequential nodes)."""
+        if ephemeral and session is None:
+            raise ZkError("ephemeral nodes require a session")
+        if make_parents:
+            self._ensure_parents(path)
+        parent, name = self._parent_of(path)
+        if sequential:
+            name = f"{name}{parent.sequence_counter:010d}"
+            parent.sequence_counter += 1
+        if name in parent.children:
+            raise ZkError(f"node already exists: {path!r}")
+        parent.children[name] = _Znode(
+            data=data,
+            ephemeral_owner=session.session_id if ephemeral else None,
+        )
+        created = f"{self._parent_path(path)}/{name}".replace("//", "/")
+        self._fire_child_watches(self._parent_path(path))
+        self._fire_data_watches("created", created)
+        return created
+
+    def _ensure_parents(self, path: str) -> None:
+        parts = self._split(path)[:-1]
+        node = self._root
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            if part not in node.children:
+                node.children[part] = _Znode()
+                self._fire_child_watches(self._parent_path(current))
+            node = node.children[part]
+
+    def exists(self, path: str) -> bool:
+        return self._lookup(path) is not None
+
+    def get(self, path: str) -> Any:
+        node = self._lookup(path)
+        if node is None:
+            raise ZkError(f"no such node: {path!r}")
+        return node.data
+
+    def get_or_default(self, path: str, default: Any = None) -> Any:
+        node = self._lookup(path)
+        return default if node is None else node.data
+
+    def version(self, path: str) -> int:
+        node = self._lookup(path)
+        if node is None:
+            raise ZkError(f"no such node: {path!r}")
+        return node.version
+
+    def set(self, path: str, data: Any,
+            expected_version: int | None = None) -> int:
+        """Write data; with ``expected_version`` it is a CAS write."""
+        node = self._lookup(path)
+        if node is None:
+            raise ZkError(f"no such node: {path!r}")
+        if expected_version is not None and node.version != expected_version:
+            raise ZkError(
+                f"bad version for {path!r}: expected {expected_version}, "
+                f"have {node.version}"
+            )
+        node.data = data
+        node.version += 1
+        self._fire_data_watches("changed", path)
+        return node.version
+
+    def upsert(self, path: str, data: Any) -> None:
+        if self.exists(path):
+            self.set(path, data)
+        else:
+            self.create(path, data, make_parents=True)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        try:
+            parent, name = self._parent_of(path)
+        except ZkError:
+            return  # parent gone means the node is already gone
+        node = parent.children.get(name)
+        if node is None:
+            return
+        if node.children and not recursive:
+            raise ZkError(f"node {path!r} has children")
+        del parent.children[name]
+        self._fire_child_watches(self._parent_path(path))
+        self._fire_data_watches("deleted", path)
+
+    def children(self, path: str) -> list[str]:
+        node = self._lookup(path)
+        if node is None:
+            return []
+        return sorted(node.children)
+
+    # -- watches ---------------------------------------------------------------
+
+    def watch_data(self, path: str, callback: WatchCallback) -> None:
+        """Persistent watch on a znode's data changes."""
+        self._data_watches.setdefault(path, []).append(callback)
+
+    def watch_children(self, path: str, callback: WatchCallback) -> None:
+        """Persistent watch on a znode's children list."""
+        self._child_watches.setdefault(path, []).append(callback)
+
+    def _fire_data_watches(self, event: str, path: str) -> None:
+        for callback in list(self._data_watches.get(path, ())):
+            callback(event, path)
+
+    def _fire_child_watches(self, parent_path: str) -> None:
+        for callback in list(self._child_watches.get(parent_path, ())):
+            callback("children", parent_path)

@@ -1,0 +1,77 @@
+"""Tests for the benchmark measurement harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    compile_queries,
+    make_druid_executor,
+    make_segment_executor,
+    measure,
+    verify_engines_agree,
+)
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+
+
+@pytest.fixture(scope="module")
+def segment():
+    schema = Schema("t", [dimension("d"), metric("m", DataType.LONG)])
+    builder = SegmentBuilder("s", "t", schema)
+    for i in range(500):
+        builder.add({"d": f"v{i % 7}", "m": i % 13})
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return compile_queries([
+        "SELECT count(*) FROM t WHERE d = 'v3'",
+        "SELECT sum(m) FROM t GROUP BY d TOP 10",
+    ])
+
+
+class TestExecutors:
+    def test_segment_executor_answers(self, segment, queries):
+        execute = make_segment_executor([segment])
+        response = execute(queries[0])
+        assert response.rows[0][0] > 0
+
+    def test_druid_executor_agrees(self, segment, queries):
+        pinot = make_segment_executor([segment])
+        druid = make_druid_executor([segment])
+        verify_engines_agree(queries, {"pinot": pinot, "druid": druid})
+
+    def test_disagreement_detected(self, segment, queries):
+        good = make_segment_executor([segment])
+
+        def broken(query):
+            response = good(query)
+            response.table.rows = [(99999,) * len(response.table.columns)]
+            return response
+
+        with pytest.raises(AssertionError, match="disagrees"):
+            verify_engines_agree(
+                queries, {"good": good, "broken": broken}
+            )
+
+
+class TestMeasure:
+    def test_measure_counts_and_positivity(self, segment, queries):
+        execute = make_segment_executor([segment])
+        measured = measure("x", execute, queries, repeats=3)
+        assert len(measured.service_times_s) == len(queries) * 3
+        assert (measured.service_times_s > 0).all()
+        assert measured.mean_ms > 0
+        assert measured.p99_ms >= measured.mean_ms * 0.5
+
+    def test_stats_collected_per_execution(self, segment, queries):
+        execute = make_segment_executor([segment])
+        measured = measure("x", execute, queries)
+        assert len(measured.stats) == len(queries)
+        assert measured.stats[0].num_segments_queried == 1
+
+    def test_responses_kept_on_request(self, segment, queries):
+        execute = make_segment_executor([segment])
+        measured = measure("x", execute, queries, keep_responses=True)
+        assert len(measured.responses) == len(queries)

@@ -1,0 +1,105 @@
+"""Tests for the load simulator and benchmark reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.loadsim import (
+    LoadSimConfig,
+    qps_sweep,
+    saturation_qps,
+    simulate_open_loop,
+)
+from repro.bench.report import (
+    render_histogram,
+    render_sweep,
+    render_table,
+    technique_comparison,
+)
+
+
+def config(**kwargs):
+    defaults = dict(num_servers=4, workers_per_server=2,
+                    overhead_s=0.0005, duration_s=2.0, warmup_s=0.2,
+                    seed=1)
+    defaults.update(kwargs)
+    return LoadSimConfig(**defaults)
+
+
+class TestSimulator:
+    def test_latency_grows_with_offered_load(self):
+        service = np.full(10, 0.004)  # 4 ms of work per query
+        fanouts = np.full(10, 4)
+        low = simulate_open_loop(service, fanouts, qps=100, config=config())
+        high = simulate_open_loop(service, fanouts, qps=4000,
+                                  config=config())
+        assert high.p99_ms > low.p99_ms
+
+    def test_saturation_detected(self):
+        service = np.full(5, 0.02)  # 20 ms per query
+        fanouts = np.full(5, 4)
+        # Capacity ~ 8 workers / (5ms + overhead per sub-request x4).
+        overloaded = simulate_open_loop(service, fanouts, qps=5000,
+                                        config=config())
+        assert overloaded.completion_ratio < 0.99
+
+    def test_low_load_latency_near_service_time(self):
+        service = np.full(5, 0.008)
+        fanouts = np.full(5, 1)
+        stats = simulate_open_loop(service, fanouts, qps=5,
+                                   config=config())
+        assert stats.p50_ms == pytest.approx(8.5, rel=0.2)
+
+    def test_faster_engine_sustains_more_qps(self):
+        fast = np.full(10, 0.001)
+        slow = np.full(10, 0.010)
+        fanouts = np.full(10, 4)
+        grid = [100, 500, 1000, 2000, 4000]
+        fast_stats = qps_sweep(fast, fanouts, grid, config())
+        slow_stats = qps_sweep(slow, fanouts, grid, config())
+        assert saturation_qps(fast_stats) > saturation_qps(slow_stats)
+
+    def test_lower_fanout_beats_higher_at_high_rate(self):
+        """The Fig 16 mechanism: same total work, smaller fan-out."""
+        service = np.full(10, 0.004)
+        grid = [200, 1000, 3000]
+        wide = qps_sweep(service, np.full(10, 4), grid, config())
+        narrow = qps_sweep(service, np.full(10, 1), grid, config())
+        assert saturation_qps(narrow, latency_budget_ms=50) >= \
+            saturation_qps(wide, latency_budget_ms=50)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_open_loop(np.ones(3), np.ones(2), 10, config())
+
+    def test_deterministic_by_seed(self):
+        service = np.full(5, 0.002)
+        fanouts = np.full(5, 2)
+        a = simulate_open_loop(service, fanouts, 100, config(seed=7))
+        b = simulate_open_loop(service, fanouts, 100, config(seed=7))
+        assert a.row() == b.row()
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, "xx"], [22, "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_render_sweep_marks_saturation(self):
+        service = np.full(5, 0.050)
+        fanouts = np.full(5, 4)
+        series = {"slow": qps_sweep(service, fanouts, [10, 10_000],
+                                    config())}
+        text = render_sweep(series)
+        assert "SATURATED" in text
+
+    def test_render_histogram(self):
+        text = render_histogram([1, 1, 2, 5, 5, 5], bins=4, title="t")
+        assert text.startswith("t")
+        assert "#" in text
+
+    def test_technique_comparison_is_table_1(self):
+        text = technique_comparison()
+        for name in ("RDBMS", "KV stores", "Druid", "Pinot"):
+            assert name in text

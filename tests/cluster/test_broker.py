@@ -1,0 +1,183 @@
+"""Tests for broker behaviour: routing upkeep, hybrid split, partials."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def offline_records(days, per_day=10):
+    return [{"country": "us", "views": 1, "day": day}
+            for day in days for __ in range(per_day)]
+
+
+class TestBasics:
+    def test_unknown_table_rejected(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        with pytest.raises(ClusterError, match="no such table"):
+            cluster.execute("SELECT count(*) FROM mystery")
+
+    def test_physical_table_name_accepted(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", offline_records([17000]))
+        response = cluster.execute("SELECT count(*) FROM events_OFFLINE")
+        assert response.rows[0][0] == 10
+
+    def test_round_robin_brokers(self, schema):
+        cluster = PinotCluster(num_servers=1, num_brokers=3)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", offline_records([17000]))
+        for __ in range(6):
+            cluster.execute("SELECT count(*) FROM events")
+        assert all(b.queries_served == 2 for b in cluster.brokers)
+
+
+class TestRoutingUpkeep:
+    def test_routing_follows_new_segments(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", offline_records([17000]))
+        assert cluster.execute("SELECT count(*) FROM events").rows[0][0] \
+            == 10
+        cluster.upload_records("events", offline_records([17001]))
+        assert cluster.execute("SELECT count(*) FROM events").rows[0][0] \
+            == 20
+
+    def test_dead_server_not_routed_to(self, schema):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", offline_records([17000, 17001]),
+                               rows_per_segment=5)
+        cluster.kill_server("server-1")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 20
+
+
+class TestPartialResults:
+    def test_server_error_marks_partial(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", offline_records([17000, 17001]),
+                               rows_per_segment=10)
+        for server in cluster.servers:
+            server.faults.fail_next = 1
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.is_partial
+        assert response.exceptions
+
+    def test_straggler_timeout_marks_partial(self, schema):
+        """A server slower than the query's timeoutMs is treated as
+        timed out; the rest of the data still comes back (§3.3.3)."""
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=1))
+        cluster.upload_records("events", offline_records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.servers[0].faults.extra_latency_s = 5.0  # straggler
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (timeoutMs = 100)"
+        )
+        assert response.is_partial
+        assert any("timed out" in e for e in response.exceptions)
+        assert 0 <= response.rows[0][0] <= 20
+        # Without a timeout option the straggler is simply waited for.
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 20
+
+    def test_client_sees_remaining_data(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=1))
+        cluster.upload_records("events", offline_records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.servers[0].faults.fail_next = 1
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.is_partial
+        assert 0 <= response.rows[0][0] <= 20
+
+
+class TestHybridTables:
+    def make_hybrid(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_kafka_topic("events-topic", 2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.create_table(TableConfig.realtime(
+            "events", schema,
+            StreamConfig("events-topic", flush_threshold_rows=10_000),
+        ))
+        return cluster
+
+    def test_hybrid_merges_offline_and_realtime(self, schema):
+        cluster = self.make_hybrid(schema)
+        # Offline has days 17000-17002; realtime has 17002-17004
+        # (overlap on 17002, the lambda-architecture overlap of Fig 6).
+        cluster.upload_records("events",
+                               offline_records([17000, 17001, 17002]))
+        realtime = [{"country": "us", "views": 1, "day": day}
+                    for day in (17002, 17003, 17004) for __ in range(10)]
+        cluster.ingest("events-topic", realtime)
+        cluster.drain_realtime()
+
+        response = cluster.execute("SELECT count(*) FROM events")
+        # Time boundary = offline max (17002) - 1 = 17001: offline serves
+        # days <= 17001 (20 rows), realtime serves days >= 17002 (30).
+        assert response.rows[0][0] == 50
+
+    def test_hybrid_no_double_counting_on_overlap(self, schema):
+        cluster = self.make_hybrid(schema)
+        cluster.upload_records("events",
+                               offline_records([17000, 17001, 17002]))
+        realtime = [{"country": "us", "views": 1, "day": 17002}
+                    for __ in range(10)]
+        cluster.ingest("events-topic", realtime)
+        cluster.drain_realtime()
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE day = 17002"
+        )
+        assert response.rows[0][0] == 10  # realtime side only
+
+    def test_hybrid_filters_apply_to_both_sides(self, schema):
+        cluster = self.make_hybrid(schema)
+        cluster.upload_records("events",
+                               offline_records([17000, 17001, 17002]))
+        cluster.ingest("events-topic",
+                       [{"country": "ca", "views": 2, "day": 17003}
+                        for __ in range(5)])
+        cluster.drain_realtime()
+        response = cluster.execute(
+            "SELECT sum(views) FROM events WHERE country = 'ca'"
+        )
+        assert response.rows[0][0] == 10.0
+
+    def test_realtime_only_before_offline_push(self, schema):
+        cluster = self.make_hybrid(schema)
+        cluster.ingest("events-topic",
+                       [{"country": "us", "views": 1, "day": 17000}
+                        for __ in range(7)])
+        cluster.drain_realtime()
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 7
+
+    def test_fanout_instrumentation(self, schema):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events",
+                               offline_records([17000, 17001, 17002]),
+                               rows_per_segment=10)
+        broker = cluster.brokers[0]
+        assert 1 <= broker.fanout_for("SELECT count(*) FROM events") <= 3

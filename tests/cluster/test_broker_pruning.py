@@ -1,0 +1,108 @@
+"""Tests for broker-side time pruning, explain, and response counters."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+
+@pytest.fixture
+def cluster():
+    schema = Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+    cluster = PinotCluster(num_servers=3)
+    cluster.create_table(TableConfig.offline("events", schema,
+                                             replication=1))
+    # One segment per day: days 17000..17005, half us / half ca.
+    for day in range(17000, 17006):
+        records = [
+            {"country": "us" if i % 2 else "ca", "views": 1, "day": day}
+            for i in range(100)
+        ]
+        cluster.upload_records("events", records, rows_per_segment=100)
+    return cluster
+
+
+class TestBrokerTimePruning:
+    def test_point_day_query_prunes_other_segments(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE day = 17002"
+        )
+        assert response.rows[0][0] == 100
+        assert response.num_segments_pruned_by_broker == 5
+        assert response.stats.num_segments_queried == 1
+
+    def test_range_query_prunes_partially(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events "
+            "WHERE day BETWEEN 17001 AND 17003"
+        )
+        assert response.rows[0][0] == 300
+        assert response.num_segments_pruned_by_broker == 3
+
+    def test_unbounded_query_prunes_nothing(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE country = 'us'"
+        )
+        assert response.rows[0][0] == 300
+        assert response.num_segments_pruned_by_broker == 0
+
+    def test_pruning_can_reduce_server_fanout(self, cluster):
+        full = cluster.execute("SELECT count(*) FROM events")
+        narrow = cluster.execute(
+            "SELECT count(*) FROM events WHERE day = 17000"
+        )
+        assert narrow.num_servers_queried <= full.num_servers_queried
+        assert narrow.num_servers_queried == 1
+
+    def test_or_predicate_not_pruned(self, cluster):
+        """An OR gives no usable bound; results must stay correct."""
+        response = cluster.execute(
+            "SELECT count(*) FROM events "
+            "WHERE day = 17000 OR country = 'us'"
+        )
+        # 100 rows on day 17000 plus 250 'us' rows on the other days.
+        assert response.rows[0][0] == 350
+        assert response.num_segments_pruned_by_broker == 0
+
+
+class TestResponseCounters:
+    def test_servers_queried_and_responded(self, cluster):
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.num_servers_queried == 3
+        assert response.num_servers_responded == 3
+
+    def test_failed_server_counted(self, cluster):
+        cluster.servers[0].faults.fail_next = 1
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.num_servers_queried == 3
+        assert response.num_servers_responded == 2
+        assert response.is_partial
+
+
+class TestExplain:
+    def test_explain_covers_all_segments(self, cluster):
+        plans = cluster.explain(
+            "SELECT count(*) FROM events WHERE country = 'us'"
+        )
+        segments = [s for server in plans.values() for s in server]
+        assert len(segments) == 6
+        assert all("Scan(country" in description
+                   for server in plans.values()
+                   for description in server.values())
+
+    def test_explain_shows_metadata_plans(self, cluster):
+        plans = cluster.explain("SELECT count(*) FROM events")
+        descriptions = [d for server in plans.values()
+                        for d in server.values()]
+        assert all(d.startswith("METADATA") for d in descriptions)
+
+    def test_explain_does_not_execute(self, cluster):
+        before = sum(s.queries_executed for s in cluster.servers)
+        cluster.explain("SELECT count(*) FROM events")
+        after = sum(s.queries_executed for s in cluster.servers)
+        assert after == before

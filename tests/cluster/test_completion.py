@@ -1,0 +1,157 @@
+"""Tests for the segment-completion consensus protocol (§3.3.6)."""
+
+import pytest
+
+from repro.cluster.completion import Instruction, SegmentCompletionManager
+
+
+@pytest.fixture
+def manager():
+    return SegmentCompletionManager(expected_replicas=3)
+
+
+class TestHappyPath:
+    def test_holds_until_all_replicas_report(self, manager):
+        assert manager.segment_consumed("seg", "s1", 100).instruction is \
+            Instruction.HOLD
+        assert manager.segment_consumed("seg", "s2", 100).instruction is \
+            Instruction.HOLD
+
+    def test_aligned_replicas_single_commit(self, manager):
+        manager.segment_consumed("seg", "s1", 100)
+        manager.segment_consumed("seg", "s2", 100)
+        response = manager.segment_consumed("seg", "s3", 100)
+        # All aligned: the third poll decides; committer is deterministic.
+        assert response.instruction in (Instruction.COMMIT,
+                                        Instruction.HOLD)
+        # Re-polls now give the committer COMMIT and others HOLD.
+        commit_count = 0
+        for server in ("s1", "s2", "s3"):
+            response = manager.segment_consumed("seg", server, 100)
+            if response.instruction is Instruction.COMMIT:
+                commit_count += 1
+                assert response.offset == 100
+        assert commit_count == 1
+
+    def test_commit_then_keep_for_aligned_replicas(self, manager):
+        for server in ("s1", "s2", "s3"):
+            manager.segment_consumed("seg", server, 100)
+        committer = next(
+            server for server in ("s1", "s2", "s3")
+            if manager.segment_consumed(
+                "seg", server, 100
+            ).instruction is Instruction.COMMIT
+        )
+        assert manager.segment_commit("seg", committer, 100)
+        assert manager.is_committed("seg")
+        assert manager.committed_offset("seg") == 100
+        for server in ("s1", "s2", "s3"):
+            if server == committer:
+                continue
+            response = manager.segment_consumed("seg", server, 100)
+            assert response.instruction is Instruction.KEEP
+
+
+class TestDivergentOffsets:
+    def test_catchup_to_largest_offset(self, manager):
+        manager.segment_consumed("seg", "s1", 100)
+        manager.segment_consumed("seg", "s2", 150)
+        response = manager.segment_consumed("seg", "s3", 120)
+        # Decision made: s2 has the largest offset.
+        assert response.instruction is Instruction.CATCHUP
+        assert response.offset == 150
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.CATCHUP
+        assert response.offset == 150
+
+    def test_committer_is_replica_at_largest_offset(self, manager):
+        manager.segment_consumed("seg", "s1", 100)
+        manager.segment_consumed("seg", "s2", 150)
+        manager.segment_consumed("seg", "s3", 120)
+        response = manager.segment_consumed("seg", "s2", 150)
+        assert response.instruction is Instruction.COMMIT
+
+    def test_laggard_discards_if_it_cannot_catch_up(self, manager):
+        manager.segment_consumed("seg", "s1", 100)
+        manager.segment_consumed("seg", "s2", 150)
+        manager.segment_consumed("seg", "s3", 120)
+        manager.segment_consumed("seg", "s2", 150)
+        assert manager.segment_commit("seg", "s2", 150)
+        # s1 re-polls still at offset 100 (e.g. Kafka data expired).
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.DISCARD
+        # s3 caught up to exactly 150: KEEP.
+        response = manager.segment_consumed("seg", "s3", 150)
+        assert response.instruction is Instruction.KEEP
+
+
+class TestCommitValidation:
+    def test_wrong_server_cannot_commit(self, manager):
+        for server, offset in (("s1", 100), ("s2", 150), ("s3", 120)):
+            manager.segment_consumed("seg", server, offset)
+        assert not manager.segment_commit("seg", "s1", 100)
+        assert not manager.is_committed("seg")
+
+    def test_wrong_offset_cannot_commit(self, manager):
+        for server in ("s1", "s2", "s3"):
+            manager.segment_consumed("seg", server, 100)
+        committer = next(
+            s for s in ("s1", "s2", "s3")
+            if manager.segment_consumed("seg", s, 100).instruction
+            is Instruction.COMMIT
+        )
+        assert not manager.segment_commit("seg", committer, 99)
+
+    def test_double_commit_rejected(self, manager):
+        for server in ("s1", "s2", "s3"):
+            manager.segment_consumed("seg", server, 100)
+        committer = next(
+            s for s in ("s1", "s2", "s3")
+            if manager.segment_consumed("seg", s, 100).instruction
+            is Instruction.COMMIT
+        )
+        assert manager.segment_commit("seg", committer, 100)
+        assert not manager.segment_commit("seg", committer, 100)
+
+
+class TestFailures:
+    def test_decision_with_missing_replica_after_budget(self):
+        manager = SegmentCompletionManager(expected_replicas=3,
+                                           max_hold_polls=2)
+        # Only two replicas ever report; they poll repeatedly.
+        for __ in range(3):
+            manager.segment_consumed("seg", "s1", 100)
+            manager.segment_consumed("seg", "s2", 100)
+        # Poll budget exhausted: a committer is eventually chosen.
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.COMMIT
+
+    def test_committer_failure_picks_new_committer(self, manager):
+        manager.segment_consumed("seg", "s1", 100)
+        manager.segment_consumed("seg", "s2", 150)
+        manager.segment_consumed("seg", "s3", 150)
+        committer = next(
+            s for s in ("s2", "s3")
+            if manager.segment_consumed("seg", s, 150).instruction
+            is Instruction.COMMIT
+        )
+        manager.committer_failed("seg", committer)
+        other = "s3" if committer == "s2" else "s2"
+        response = manager.segment_consumed("seg", other, 150)
+        assert response.instruction is Instruction.COMMIT
+        assert manager.segment_commit("seg", other, 150)
+
+    def test_forget_resets_state(self, manager):
+        """A new leader controller starts a blank state machine; the
+        protocol just restarts (§3.3.6: delays commit, still correct)."""
+        for server in ("s1", "s2", "s3"):
+            manager.segment_consumed("seg", server, 100)
+        manager.forget("seg")
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.HOLD
+
+    def test_segments_independent(self, manager):
+        manager.segment_consumed("segA", "s1", 10)
+        response = manager.segment_consumed("segB", "s1", 99)
+        assert response.instruction is Instruction.HOLD
+        assert not manager.is_committed("segA")

@@ -1,0 +1,100 @@
+"""Tests for source-controlled table-config synchronization (§5.2)."""
+
+import json
+
+import pytest
+
+from repro.cluster.configsync import export_configs, sync_configs
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [dimension("c"),
+                             metric("v", DataType.LONG)])
+
+
+@pytest.fixture
+def cluster(schema):
+    cluster = PinotCluster(num_servers=1)
+    cluster.create_table(TableConfig.offline("events", schema))
+    return cluster
+
+
+class TestExport:
+    def test_export_writes_one_file_per_table(self, cluster, tmp_path):
+        count = export_configs(cluster.leader_controller(), tmp_path)
+        assert count == 1
+        payload = json.loads((tmp_path / "events_OFFLINE.json").read_text())
+        assert payload["logical_name"] == "events"
+
+    def test_export_import_is_stable(self, cluster, tmp_path):
+        controller = cluster.leader_controller()
+        export_configs(controller, tmp_path)
+        report = sync_configs(controller, tmp_path)
+        assert not report.changed
+        assert report.unchanged == ["events_OFFLINE"]
+
+
+class TestSync:
+    def test_new_file_creates_table(self, cluster, schema, tmp_path):
+        controller = cluster.leader_controller()
+        new_config = TableConfig.offline("metrics", schema)
+        (tmp_path / "metrics_OFFLINE.json").write_text(
+            json.dumps(new_config.to_dict())
+        )
+        export_configs(controller, tmp_path)  # keep existing too
+        report = sync_configs(controller, tmp_path)
+        assert report.created == ["metrics_OFFLINE"]
+        assert "metrics_OFFLINE" in controller.list_tables()
+
+    def test_changed_file_updates_config(self, cluster, tmp_path):
+        controller = cluster.leader_controller()
+        export_configs(controller, tmp_path)
+        payload = json.loads((tmp_path / "events_OFFLINE.json").read_text())
+        payload["retention"] = 90
+        (tmp_path / "events_OFFLINE.json").write_text(json.dumps(payload))
+        report = sync_configs(controller, tmp_path)
+        assert report.updated == ["events_OFFLINE"]
+        assert controller.table_config("events_OFFLINE").retention == 90
+
+    def test_missing_file_deletes_when_opted_in(self, cluster, tmp_path):
+        controller = cluster.leader_controller()
+        report = sync_configs(controller, tmp_path)  # empty dir
+        assert not report.deleted  # deletion is opt-in
+        report = sync_configs(controller, tmp_path, delete_missing=True)
+        assert report.deleted == ["events_OFFLINE"]
+        assert controller.list_tables() == []
+
+    def test_invalid_file_reported_not_applied(self, cluster, tmp_path):
+        controller = cluster.leader_controller()
+        (tmp_path / "broken_OFFLINE.json").write_text("{not json")
+        report = sync_configs(controller, tmp_path)
+        assert "broken_OFFLINE.json" in report.errors
+        assert "broken_OFFLINE" not in controller.list_tables()
+
+    def test_mismatched_file_name_rejected(self, cluster, schema,
+                                           tmp_path):
+        config = TableConfig.offline("other", schema)
+        (tmp_path / "wrongname_OFFLINE.json").write_text(
+            json.dumps(config.to_dict())
+        )
+        report = sync_configs(cluster.leader_controller(), tmp_path)
+        assert "wrongname_OFFLINE.json" in report.errors
+
+    def test_updated_config_applies_to_future_segments(self, cluster,
+                                                       tmp_path):
+        controller = cluster.leader_controller()
+        export_configs(controller, tmp_path)
+        payload = json.loads((tmp_path / "events_OFFLINE.json").read_text())
+        payload["inverted_columns"] = ["c"]
+        (tmp_path / "events_OFFLINE.json").write_text(json.dumps(payload))
+        sync_configs(controller, tmp_path)
+
+        cluster.upload_records("events", [{"c": "x", "v": 1}] * 10)
+        [segment_name] = controller.list_segments("events_OFFLINE")
+        segment = cluster.object_store.get("events_OFFLINE", segment_name)
+        assert segment.column("c").inverted is not None

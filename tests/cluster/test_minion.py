@@ -1,0 +1,161 @@
+"""Tests for the minion task framework (purge, index backfill)."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("memberId", DataType.LONG), dimension("country"),
+        metric("views", DataType.LONG), time_column("day", DataType.INT),
+    ])
+
+
+@pytest.fixture
+def cluster(schema):
+    cluster = PinotCluster(num_servers=2, num_minions=1)
+    cluster.create_table(TableConfig.offline("events", schema))
+    records = [{"memberId": i % 10, "country": "us", "views": 1,
+                "day": 17000} for i in range(100)]
+    cluster.upload_records("events", records, rows_per_segment=25)
+    return cluster
+
+
+class TestPurge:
+    def test_purge_removes_member_data(self, cluster):
+        """The paper's GDPR-style purge: download, expunge, rewrite,
+        reindex, re-upload (§3.2)."""
+        controller = cluster.leader_controller()
+        task_id = controller.schedule_task(
+            "purge", "events_OFFLINE",
+            {"column": "memberId", "values": [3, 7]},
+        )
+        assert controller.task_status(task_id) == "PENDING"
+        assert cluster.run_minions() == 1
+        assert controller.task_status(task_id) == "COMPLETED"
+
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE memberId IN (3, 7)"
+        )
+        assert response.rows[0][0] == 0
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 80
+
+    def test_purge_preserves_segment_count_and_names(self, cluster):
+        controller = cluster.leader_controller()
+        before = controller.list_segments("events_OFFLINE")
+        controller.schedule_task("purge", "events_OFFLINE",
+                                 {"column": "memberId", "values": [0]})
+        cluster.run_minions()
+        assert controller.list_segments("events_OFFLINE") == before
+
+    def test_purge_everything_deletes_segments(self, cluster):
+        controller = cluster.leader_controller()
+        controller.schedule_task(
+            "purge", "events_OFFLINE",
+            {"column": "memberId", "values": list(range(10))},
+        )
+        cluster.run_minions()
+        assert controller.list_segments("events_OFFLINE") == []
+
+
+class TestIndexBackfill:
+    def test_add_inverted_index(self, cluster):
+        """§5.2: inverted indexes added automatically from query logs."""
+        controller = cluster.leader_controller()
+        store = cluster.object_store
+        before = store.get("events_OFFLINE",
+                           store.list_segments("events_OFFLINE")[0])
+        assert before.column("country").inverted is None
+
+        controller.schedule_task("add_inverted_index", "events_OFFLINE",
+                                 {"column": "country"})
+        cluster.run_minions()
+        after = store.get("events_OFFLINE",
+                          store.list_segments("events_OFFLINE")[0])
+        assert after.column("country").inverted is not None
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE country = 'us'"
+        )
+        assert response.rows[0][0] == 100
+
+
+class TestMergeRollup:
+    def test_merge_reduces_segment_count(self, cluster):
+        controller = cluster.leader_controller()
+        assert len(controller.list_segments("events_OFFLINE")) == 4
+        before = cluster.execute(
+            "SELECT sum(views) FROM events"
+        ).rows[0][0]
+        controller.schedule_task("merge_rollup", "events_OFFLINE",
+                                 {"rollup": False})
+        cluster.run_minions()
+        assert len(controller.list_segments("events_OFFLINE")) == 1
+        after = cluster.execute("SELECT sum(views) FROM events")
+        assert after.rows[0][0] == before
+        assert after.rows[0][0] == 100.0
+
+    def test_rollup_collapses_duplicate_dimensions(self, cluster):
+        controller = cluster.leader_controller()
+        controller.schedule_task("merge_rollup", "events_OFFLINE",
+                                 {"rollup": True})
+        cluster.run_minions()
+        [name] = controller.list_segments("events_OFFLINE")
+        merged = cluster.object_store.get("events_OFFLINE", name)
+        # 10 members x 1 country x 1 day = 10 unique combinations.
+        assert merged.num_docs == 10
+        response = cluster.execute(
+            "SELECT sum(views) FROM events GROUP BY memberId TOP 20"
+        )
+        assert all(row[1] == 10.0 for row in response.rows)
+
+    def test_batched_merge(self, cluster):
+        controller = cluster.leader_controller()
+        controller.schedule_task(
+            "merge_rollup", "events_OFFLINE",
+            {"rollup": False, "max_segments_per_merge": 2},
+        )
+        cluster.run_minions()
+        assert len(controller.list_segments("events_OFFLINE")) == 2
+        assert cluster.execute(
+            "SELECT count(*) FROM events"
+        ).rows[0][0] == 100
+
+    def test_single_segment_is_noop(self, cluster):
+        controller = cluster.leader_controller()
+        controller.schedule_task("merge_rollup", "events_OFFLINE", {})
+        cluster.run_minions()
+        controller.schedule_task("merge_rollup", "events_OFFLINE", {})
+        cluster.run_minions()
+        assert len(controller.list_segments("events_OFFLINE")) == 1
+
+
+class TestTaskFramework:
+    def test_unknown_task_type_fails(self, cluster):
+        controller = cluster.leader_controller()
+        task_id = controller.schedule_task("teleport", "events_OFFLINE")
+        cluster.run_minions()
+        assert controller.task_status(task_id) == "FAILED"
+
+    def test_custom_task_type_registered(self, cluster):
+        ran = []
+        cluster.minions[0].register_task_type(
+            "custom", lambda minion, task: ran.append(task["id"])
+        )
+        controller = cluster.leader_controller()
+        task_id = controller.schedule_task("custom", "events_OFFLINE")
+        cluster.run_minions()
+        assert ran == [task_id]
+        assert controller.task_status(task_id) == "COMPLETED"
+
+    def test_tasks_run_once(self, cluster):
+        controller = cluster.leader_controller()
+        controller.schedule_task("purge", "events_OFFLINE",
+                                 {"column": "memberId", "values": []})
+        assert cluster.run_minions() == 1
+        assert cluster.run_minions() == 0

@@ -1,0 +1,65 @@
+"""Tests for the deep-store implementations."""
+
+import pytest
+
+from repro.cluster.objectstore import FileObjectStore, MemoryObjectStore
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.errors import ClusterError
+from repro.segment.builder import SegmentBuilder
+
+
+def make_segment(name="seg1", rows=50):
+    schema = Schema("t", [dimension("d"), metric("m", DataType.LONG)])
+    builder = SegmentBuilder(name, "t", schema)
+    for i in range(rows):
+        builder.add({"d": f"v{i % 5}", "m": i})
+    return builder.build()
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryObjectStore()
+    return FileObjectStore(tmp_path / "deepstore")
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, store):
+        segment = make_segment()
+        store.put("tableA", segment)
+        loaded = store.get("tableA", "seg1")
+        assert loaded.num_docs == segment.num_docs
+        assert loaded.record(3) == segment.record(3)
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ClusterError):
+            store.get("tableA", "ghost")
+
+    def test_exists_and_list(self, store):
+        store.put("tableA", make_segment("s1"))
+        store.put("tableA", make_segment("s2"))
+        store.put("tableB", make_segment("s3"))
+        assert store.exists("tableA", "s1")
+        assert not store.exists("tableA", "s3")
+        assert store.list_segments("tableA") == ["s1", "s2"]
+        assert store.list_segments("missing") == []
+
+    def test_delete_idempotent(self, store):
+        store.put("tableA", make_segment("s1"))
+        store.delete("tableA", "s1")
+        store.delete("tableA", "s1")
+        assert not store.exists("tableA", "s1")
+
+    def test_put_replaces(self, store):
+        store.put("tableA", make_segment("s1", rows=10))
+        store.put("tableA", make_segment("s1", rows=20))
+        assert store.get("tableA", "s1").num_docs == 20
+
+    def test_size_accounting(self, store):
+        assert store.size_bytes("tableA") == 0
+        store.put("tableA", make_segment("s1"))
+        size_one = store.size_bytes("tableA")
+        assert size_one > 0
+        store.put("tableA", make_segment("s2"))
+        assert store.size_bytes("tableA") > size_one

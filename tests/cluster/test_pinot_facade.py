@@ -1,0 +1,94 @@
+"""Edge cases of the PinotCluster facade."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [dimension("c"),
+                             metric("v", DataType.LONG)])
+
+
+class TestConstruction:
+    def test_requires_components(self):
+        with pytest.raises(ClusterError):
+            PinotCluster(num_servers=0)
+        with pytest.raises(ClusterError):
+            PinotCluster(num_brokers=0)
+
+    def test_unknown_server_lookup(self):
+        cluster = PinotCluster(num_servers=1)
+        with pytest.raises(ClusterError):
+            cluster.server("server-99")
+
+
+class TestLeaderResolution:
+    def test_all_controllers_dead_raises(self, schema):
+        cluster = PinotCluster(num_servers=1, num_controllers=1)
+        cluster.kill_controller("controller-0")
+        with pytest.raises(ClusterError, match="no live controller"):
+            cluster.leader_controller()
+
+    def test_leader_stable_across_calls(self):
+        cluster = PinotCluster(num_servers=1)
+        assert (cluster.leader_controller().instance_id
+                == cluster.leader_controller().instance_id)
+
+
+class TestUploadPaths:
+    def test_upload_by_logical_and_physical_name(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", [{"c": "a", "v": 1}])
+        cluster.upload_records("events_OFFLINE", [{"c": "b", "v": 2}])
+        assert cluster.execute(
+            "SELECT count(*) FROM events"
+        ).rows[0][0] == 2
+
+    def test_build_segments_without_upload(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        segments = cluster.build_segments(
+            "events_OFFLINE", [{"c": "a", "v": 1}] * 250,
+            rows_per_segment=100,
+        )
+        assert [s.num_docs for s in segments] == [100, 100, 50]
+        # Nothing was uploaded.
+        assert cluster.execute(
+            "SELECT count(*) FROM events"
+        ).rows[0][0] == 0
+
+    def test_segment_names_unique_across_uploads(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        first = cluster.upload_records("events", [{"c": "a", "v": 1}])
+        second = cluster.upload_records("events", [{"c": "a", "v": 1}])
+        assert set(first).isdisjoint(second)
+
+
+class TestRealtimeGuards:
+    def test_realtime_table_requires_existing_topic(self, schema):
+        from repro.cluster.table import StreamConfig
+        from repro.errors import IngestionError
+
+        cluster = PinotCluster(num_servers=1)
+        with pytest.raises(IngestionError):
+            cluster.create_table(TableConfig.realtime(
+                "events", schema, StreamConfig("missing-topic"),
+            ))
+        # A failed create leaves nothing behind.
+        assert cluster.leader_controller().list_tables() == []
+
+    def test_duplicate_topic_rejected(self):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_kafka_topic("t", 1)
+        from repro.errors import IngestionError
+
+        with pytest.raises(IngestionError):
+            cluster.create_kafka_topic("t", 1)

@@ -1,0 +1,107 @@
+"""Tests for server instances: transitions, queries, fault injection."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.server import (
+    parse_realtime_segment_name,
+    realtime_segment_name,
+)
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+@pytest.fixture
+def cluster(schema):
+    cluster = PinotCluster(num_servers=2, num_brokers=1)
+    cluster.create_table(TableConfig.offline("events", schema,
+                                             replication=2))
+    records = [{"country": c, "views": i, "day": 17000 + i % 3}
+               for i, c in enumerate(["us", "ca"] * 20)]
+    cluster.upload_records("events", records)
+    return cluster
+
+
+class TestSegmentNames:
+    def test_realtime_name_roundtrip(self):
+        name = realtime_segment_name("t_REALTIME", 3, 7)
+        assert parse_realtime_segment_name(name) == ("t_REALTIME", 3, 7)
+
+
+class TestHosting:
+    def test_replicas_host_all_segments(self, cluster):
+        for server in cluster.servers:
+            assert server.hosted_segments("events_OFFLINE")
+            assert server.num_docs("events_OFFLINE") == 40
+
+    def test_unload_on_offline_transition(self, cluster):
+        from repro.helix.statemachine import SegmentState
+
+        server = cluster.servers[0]
+        [segment_name] = server.hosted_segments("events_OFFLINE")
+        server.process_transition("events_OFFLINE", segment_name,
+                                  SegmentState.ONLINE,
+                                  SegmentState.OFFLINE)
+        assert server.hosted_segments("events_OFFLINE") == []
+
+    def test_unknown_segment_query_fails_gracefully(self, cluster):
+        server = cluster.servers[0]
+        query = optimize(parse("SELECT count(*) FROM events_OFFLINE"))
+        result = server.execute(query, "events_OFFLINE", ["ghost"])
+        assert result.error is not None
+
+
+class TestQueryExecution:
+    def test_execute_on_subset(self, cluster):
+        server = cluster.servers[0]
+        segments = server.hosted_segments("events_OFFLINE")
+        query = optimize(parse(
+            "SELECT count(*) FROM events_OFFLINE WHERE country = 'us'"
+        ))
+        result = server.execute(query, "events_OFFLINE", segments)
+        assert result.error is None
+        assert result.aggregation.states[0] == 20
+
+    def test_fault_injection(self, cluster):
+        server = cluster.servers[0]
+        server.faults.fail_next = 1
+        query = optimize(parse("SELECT count(*) FROM events_OFFLINE"))
+        result = server.execute(query, "events_OFFLINE", [])
+        assert result.error == "injected failure"
+        result = server.execute(query, "events_OFFLINE", [])
+        assert result.error is None
+
+    def test_query_counter(self, cluster):
+        server = cluster.servers[0]
+        before = server.queries_executed
+        query = optimize(parse("SELECT count(*) FROM events_OFFLINE"))
+        server.execute(query, "events_OFFLINE", [])
+        assert server.queries_executed == before + 1
+
+
+class TestBlankNodeRecovery:
+    def test_new_server_serves_from_object_store(self, cluster):
+        """§3.4: any node can be replaced by a blank one."""
+        new_server = cluster.add_server("server-fresh")
+        controller = cluster.leader_controller()
+        # Rebalance one segment onto the fresh server via ideal state.
+        mapping = cluster.helix.ideal_state("events_OFFLINE")
+        segment_name = next(iter(mapping))
+        mapping[segment_name]["server-fresh"] = "ONLINE"
+        cluster.helix.set_ideal_state("events_OFFLINE", mapping)
+        assert new_server.hosted_segments("events_OFFLINE") == [
+            segment_name
+        ]
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 40

@@ -1,0 +1,96 @@
+"""Tests for table configuration."""
+
+import pytest
+
+from repro.cluster.table import (
+    PartitionConfig,
+    StreamConfig,
+    TableConfig,
+    TableType,
+)
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.errors import ClusterError
+from repro.segment.builder import SegmentConfig
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("memberId", DataType.LONG), dimension("country"),
+        metric("views", DataType.LONG), time_column("day", DataType.INT),
+    ])
+
+
+class TestValidation:
+    def test_physical_name_carries_type(self, schema):
+        config = TableConfig.offline("events", schema)
+        assert config.name == "events_OFFLINE"
+        realtime = TableConfig.realtime("events", schema,
+                                        StreamConfig("events-topic"))
+        assert realtime.name == "events_REALTIME"
+
+    def test_realtime_requires_stream(self, schema):
+        with pytest.raises(ClusterError, match="stream"):
+            TableConfig(logical_name="events",
+                        table_type=TableType.REALTIME, schema=schema)
+
+    def test_offline_rejects_stream(self, schema):
+        with pytest.raises(ClusterError):
+            TableConfig.offline("events", schema,
+                                stream=StreamConfig("t"))
+
+    def test_replication_positive(self, schema):
+        with pytest.raises(ClusterError):
+            TableConfig.offline("events", schema, replication=0)
+
+    def test_partition_aware_requires_partition(self, schema):
+        with pytest.raises(ClusterError):
+            TableConfig.offline("events", schema,
+                                routing_strategy="partition_aware")
+
+    def test_partition_config_propagates_to_segments(self, schema):
+        config = TableConfig.offline(
+            "events", schema,
+            partition=PartitionConfig("memberId", 8),
+        )
+        assert config.segment_config.partition_column == "memberId"
+        assert config.segment_config.num_partitions == 8
+
+    def test_time_column_exposed(self, schema):
+        assert TableConfig.offline("events", schema).time_column == "day"
+
+
+class TestSerialization:
+    def test_roundtrip_offline(self, schema):
+        config = TableConfig.offline(
+            "events", schema, replication=2, retention=30,
+            quota_bytes=10_000_000, tenant="analytics",
+            segment_config=SegmentConfig(sorted_column="memberId",
+                                         inverted_columns=("country",)),
+            partition=PartitionConfig("memberId", 4),
+            routing_strategy="partition_aware",
+        )
+        clone = TableConfig.from_dict(config.to_dict())
+        assert clone.name == config.name
+        assert clone.replication == 2
+        assert clone.retention == 30
+        assert clone.quota_bytes == 10_000_000
+        assert clone.tenant == "analytics"
+        assert clone.segment_config.sorted_column == "memberId"
+        assert clone.segment_config.inverted_columns == ("country",)
+        assert clone.partition.num_partitions == 4
+        assert clone.routing_strategy == "partition_aware"
+
+    def test_roundtrip_realtime(self, schema):
+        config = TableConfig.realtime(
+            "events", schema,
+            StreamConfig("events-topic", flush_threshold_rows=123,
+                         flush_threshold_ticks=9, records_per_poll=45),
+        )
+        clone = TableConfig.from_dict(config.to_dict())
+        assert clone.stream.topic == "events-topic"
+        assert clone.stream.flush_threshold_rows == 123
+        assert clone.stream.flush_threshold_ticks == 9
+        assert clone.stream.records_per_poll == 45
+        assert clone.schema == schema

@@ -1,0 +1,89 @@
+"""Tests for token-bucket multitenancy."""
+
+import pytest
+
+from repro.cluster.tenant import TenantQuotaManager, TokenBucket
+from repro.errors import ThrottledError
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(capacity=10, refill_rate=1)
+        assert bucket.try_consume(10, now=0.0)
+        assert not bucket.try_consume(0.1, now=0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(capacity=10, refill_rate=2)
+        bucket.try_consume(10, now=0.0)
+        assert not bucket.try_consume(4, now=1.0)  # only 2 back
+        assert bucket.try_consume(4, now=2.0)      # 4 tokens at t=2
+
+    def test_capacity_capped(self):
+        bucket = TokenBucket(capacity=5, refill_rate=100)
+        bucket.try_consume(1, now=0.0)
+        bucket.try_consume(0, now=100.0)
+        assert bucket.tokens == 5
+
+    def test_debt_allowed(self):
+        bucket = TokenBucket(capacity=5, refill_rate=1)
+        bucket.consume_debt(20, now=0.0)
+        assert bucket.tokens == -15
+        assert not bucket.try_consume(1, now=0.0)
+
+    def test_seconds_until(self):
+        bucket = TokenBucket(capacity=10, refill_rate=2)
+        bucket.try_consume(10, now=0.0)
+        assert bucket.seconds_until(4, now=0.0) == pytest.approx(2.0)
+        assert bucket.seconds_until(0, now=0.0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_rate=1)
+
+
+class TestQuotaManager:
+    def test_admit_within_quota(self):
+        quotas = TenantQuotaManager(default_capacity=2,
+                                    default_refill_rate=1)
+        quotas.admit("tenantA", now=0.0)
+        quotas.admit("tenantA", now=0.0)
+
+    def test_throttles_when_empty(self):
+        quotas = TenantQuotaManager(default_capacity=1,
+                                    default_refill_rate=0.5)
+        quotas.admit("tenantA", now=0.0)
+        with pytest.raises(ThrottledError) as excinfo:
+            quotas.admit("tenantA", now=0.0)
+        assert excinfo.value.retry_after_s == pytest.approx(2.0)
+
+    def test_tenants_isolated(self):
+        """A misbehaving tenant cannot exhaust another tenant's tokens
+        (the §4.5 guarantee)."""
+        quotas = TenantQuotaManager(default_capacity=1,
+                                    default_refill_rate=0.1)
+        quotas.admit("noisy", now=0.0)
+        with pytest.raises(ThrottledError):
+            quotas.admit("noisy", now=0.0)
+        quotas.admit("quiet", now=0.0)  # unaffected
+
+    def test_charge_by_execution_time(self):
+        quotas = TenantQuotaManager(default_capacity=100,
+                                    default_refill_rate=1)
+        quotas.charge("tenantA", execution_seconds=5.0, now=0.0,
+                      tokens_per_second=10.0)
+        assert quotas.bucket("tenantA").tokens == pytest.approx(50.0)
+
+    def test_configure_overrides_defaults(self):
+        quotas = TenantQuotaManager()
+        quotas.configure("vip", capacity=1000, refill_rate=100)
+        assert quotas.bucket("vip").capacity == 1000
+
+    def test_burst_then_recover(self):
+        """Short spikes pass; sustained load throttles; time heals."""
+        quotas = TenantQuotaManager(default_capacity=5,
+                                    default_refill_rate=1)
+        for __ in range(5):
+            quotas.admit("bursty", now=0.0)
+        with pytest.raises(ThrottledError):
+            quotas.admit("bursty", now=0.0)
+        quotas.admit("bursty", now=1.5)  # refilled

@@ -1,0 +1,45 @@
+"""Tests for record helpers."""
+
+from repro.common.record import normalize_stream, project, records_equal
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+
+
+def make_schema():
+    return Schema("t", [dimension("d"),
+                        dimension("tags", DataType.STRING,
+                                  multi_value=True),
+                        metric("m", DataType.LONG)])
+
+
+class TestNormalizeStream:
+    def test_lazy_normalization(self):
+        schema = make_schema()
+        stream = normalize_stream(schema, iter([{"d": "x"},
+                                                {"m": "5"}]))
+        first = next(stream)
+        assert first == {"d": "x", "tags": ["null"], "m": 0}
+        second = next(stream)
+        assert second["m"] == 5
+
+
+class TestRecordsEqual:
+    def test_equal(self):
+        assert records_equal({"a": 1, "b": [1, 2]},
+                             {"b": [1, 2], "a": 1})
+
+    def test_tuple_vs_list_cells_equal(self):
+        assert records_equal({"b": (1, 2)}, {"b": [1, 2]})
+
+    def test_different_keys(self):
+        assert not records_equal({"a": 1}, {"b": 1})
+
+    def test_different_values(self):
+        assert not records_equal({"a": 1}, {"a": 2})
+        assert not records_equal({"a": [1, 2]}, {"a": [2, 1]})
+
+
+class TestProject:
+    def test_project(self):
+        assert project({"a": 1, "b": 2, "c": 3}, ["a", "c"]) == \
+            {"a": 1, "c": 3}

@@ -1,0 +1,101 @@
+"""Unit tests for schemas: validation, normalization, evolution."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        "events",
+        [
+            dimension("country"),
+            dimension("tags", DataType.STRING, multi_value=True),
+            metric("clicks", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("empty", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("dup", [dimension("a"), dimension("a")])
+
+    def test_two_time_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t2", [time_column("t1"), time_column("t2")])
+
+    def test_time_column_optional(self):
+        schema = Schema("nt", [dimension("d")])
+        assert schema.time_column is None
+
+    def test_introspection(self, schema):
+        assert schema.column_names == ("country", "tags", "clicks", "day")
+        assert schema.dimension_names == ("country", "tags")
+        assert schema.metric_names == ("clicks",)
+        assert schema.time_column == "day"
+        assert "country" in schema
+        assert "missing" not in schema
+        assert len(schema) == 4
+
+    def test_field_lookup_error_lists_columns(self, schema):
+        with pytest.raises(SchemaError, match="country"):
+            schema.field("nope")
+
+
+class TestNormalize:
+    def test_full_record(self, schema):
+        record = schema.normalize(
+            {"country": "us", "tags": ["a"], "clicks": "3", "day": 17000}
+        )
+        assert record == {"country": "us", "tags": ["a"], "clicks": 3,
+                          "day": 17000}
+
+    def test_missing_columns_get_defaults(self, schema):
+        record = schema.normalize({"country": "us"})
+        assert record["clicks"] == 0
+        assert record["day"] == 0
+        assert record["tags"] == ["null"]
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(SchemaError, match="extra"):
+            schema.normalize({"country": "us", "extra": 1})
+
+    def test_bad_value_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.normalize({"clicks": "many"})
+
+
+class TestEvolution:
+    def test_with_column_appends(self, schema):
+        evolved = schema.with_column(dimension("os"))
+        assert "os" in evolved
+        assert "os" not in schema  # original untouched
+
+    def test_with_existing_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.with_column(dimension("country"))
+
+    def test_new_column_defaults_in_old_records(self, schema):
+        evolved = schema.with_column(dimension("os"))
+        record = evolved.normalize({"country": "us"})
+        assert record["os"] == "null"
+
+
+class TestSerialization:
+    def test_roundtrip(self, schema):
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+    def test_roundtrip_preserves_roles_and_types(self, schema):
+        clone = Schema.from_dict(schema.to_dict())
+        assert clone.field("clicks").is_metric
+        assert clone.field("tags").multi_value
+        assert clone.field("day").dtype is DataType.INT

@@ -1,0 +1,51 @@
+"""Unit tests for time utilities."""
+
+import pytest
+
+from repro.common.timeutils import (
+    TimeGranularity,
+    TimeUnit,
+    retention_cutoff,
+    time_boundary,
+)
+
+
+class TestTimeUnit:
+    def test_millis(self):
+        assert TimeUnit.SECONDS.millis == 1000
+        assert TimeUnit.DAYS.millis == 86_400_000
+
+    def test_convert_down(self):
+        assert TimeUnit.DAYS.convert(2, TimeUnit.HOURS) == 48
+
+    def test_convert_up_floors(self):
+        assert TimeUnit.HOURS.convert(25, TimeUnit.DAYS) == 1
+
+    def test_convert_identity(self):
+        assert TimeUnit.MINUTES.convert(7, TimeUnit.MINUTES) == 7
+
+
+class TestGranularity:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TimeGranularity(TimeUnit.DAYS, 0)
+
+    def test_truncate(self):
+        granularity = TimeGranularity(TimeUnit.DAYS, 7)
+        assert granularity.truncate(17003) == 16996 + 7  # 17003 - 17003 % 7
+
+    def test_millis(self):
+        assert TimeGranularity(TimeUnit.HOURS, 6).millis == 6 * 3_600_000
+
+
+class TestBoundaries:
+    def test_time_boundary_backs_off_one_bucket(self):
+        granularity = TimeGranularity(TimeUnit.DAYS, 1)
+        assert time_boundary(17010, granularity) == 17009
+
+    def test_time_boundary_wider_bucket(self):
+        granularity = TimeGranularity(TimeUnit.DAYS, 7)
+        assert time_boundary(17010, granularity) == 17003
+
+    def test_retention_cutoff(self):
+        assert retention_cutoff(now=17100, retention=30) == 17070

@@ -1,0 +1,118 @@
+"""Unit tests for the data-type layer."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import (
+    DataType,
+    FieldRole,
+    FieldSpec,
+    dimension,
+    metric,
+    time_column,
+)
+from repro.errors import SchemaError
+
+
+class TestDataTypeCoercion:
+    def test_int_from_string(self):
+        assert DataType.INT.coerce("42") == 42
+
+    def test_int_rejects_overflow(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.coerce(2**31)
+
+    def test_long_accepts_wide_values(self):
+        assert DataType.LONG.coerce(2**40) == 2**40
+
+    def test_long_rejects_overflow(self):
+        with pytest.raises(SchemaError):
+            DataType.LONG.coerce(2**63)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.coerce(True)
+
+    def test_double_from_int(self):
+        assert DataType.DOUBLE.coerce(3) == 3.0
+
+    def test_string_from_number(self):
+        assert DataType.STRING.coerce(17) == "17"
+
+    def test_boolean_from_string(self):
+        assert DataType.BOOLEAN.coerce("true") is True
+        assert DataType.BOOLEAN.coerce("FALSE") is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            DataType.BOOLEAN.coerce("maybe")
+
+    def test_int_rejects_garbage_string(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.coerce("not-a-number")
+
+    def test_numeric_classification(self):
+        assert DataType.INT.is_numeric
+        assert DataType.DOUBLE.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+
+    def test_numpy_dtypes(self):
+        assert DataType.LONG.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT.numpy_dtype == np.dtype(np.float32)
+
+    def test_defaults(self):
+        assert DataType.INT.default_value == 0
+        assert DataType.STRING.default_value == "null"
+        assert DataType.BOOLEAN.default_value is False
+
+
+class TestFieldSpec:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("bad name", DataType.INT)
+
+    def test_metric_must_be_numeric(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("m", DataType.STRING, FieldRole.METRIC)
+
+    def test_time_column_must_be_integral(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("t", DataType.DOUBLE, FieldRole.TIME)
+        spec = FieldSpec("t", DataType.LONG, FieldRole.TIME)
+        assert spec.is_time
+
+    def test_only_dimensions_can_be_multi_value(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("m", DataType.LONG, FieldRole.METRIC, multi_value=True)
+
+    def test_default_is_type_default(self):
+        assert dimension("d").default == "null"
+        assert metric("m").default == 0
+
+    def test_explicit_default_is_coerced(self):
+        spec = FieldSpec("d", DataType.INT, default="7")
+        assert spec.default == 7
+
+    def test_coerce_scalar(self):
+        assert dimension("d", DataType.LONG).coerce("5") == 5
+
+    def test_coerce_none_gives_default(self):
+        assert dimension("d").coerce(None) == "null"
+
+    def test_coerce_multi_value_list(self):
+        spec = dimension("tags", DataType.STRING, multi_value=True)
+        assert spec.coerce(["a", 1]) == ["a", "1"]
+
+    def test_coerce_multi_value_scalar_wraps(self):
+        spec = dimension("tags", DataType.STRING, multi_value=True)
+        assert spec.coerce("solo") == ["solo"]
+
+    def test_coerce_multi_value_none_gives_default_list(self):
+        spec = dimension("tags", DataType.STRING, multi_value=True)
+        assert spec.coerce(None) == ["null"]
+
+    def test_convenience_constructors(self):
+        assert dimension("d").role is FieldRole.DIMENSION
+        assert metric("m").role is FieldRole.METRIC
+        assert time_column("t").role is FieldRole.TIME

@@ -1,0 +1,78 @@
+"""Additional Druid-cluster behaviour tests."""
+
+import random
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.druid.cluster import DruidCluster
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    schema = Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+    rng = random.Random(3)
+    records = [
+        {"country": rng.choice(["us", "de"]), "views": 1,
+         "day": 17000 + rng.randrange(4)}
+        for __ in range(2000)
+    ]
+    druid = DruidCluster(num_historicals=3)
+    druid.create_table("events", schema)
+    druid.load_records("events", records, time_chunk=1)
+    return druid, records
+
+
+class TestDruidCluster:
+    def test_segments_distributed_round_robin(self, loaded):
+        druid, __ = loaded
+        counts = [
+            len(h.segments_of("events")) for h in druid.historicals
+        ]
+        assert sum(counts) == 4
+        assert max(counts) - min(counts) <= 1
+
+    def test_group_by_merged_across_historicals(self, loaded):
+        druid, records = loaded
+        expected = {}
+        for r in records:
+            expected[r["country"]] = expected.get(r["country"], 0) + 1
+        response = druid.execute(
+            "SELECT count(*) FROM events GROUP BY country TOP 10"
+        )
+        assert {row[0]: row[1] for row in response.rows} == expected
+
+    def test_selection_query(self, loaded):
+        druid, __ = loaded
+        response = druid.execute(
+            "SELECT country, views FROM events WHERE day = 17001 LIMIT 5"
+        )
+        assert 0 < len(response.rows) <= 5
+
+    def test_like_predicate_works_on_druid(self, loaded):
+        druid, records = loaded
+        response = druid.execute(
+            "SELECT count(*) FROM events WHERE country LIKE 'u%'"
+        )
+        expected = sum(1 for r in records if r["country"] == "us")
+        assert response.rows[0][0] == expected
+
+    def test_having_applies(self, loaded):
+        druid, records = loaded
+        response = druid.execute(
+            "SELECT count(*) FROM events GROUP BY country "
+            "HAVING count(*) > 999999 TOP 5"
+        )
+        assert response.rows == []
+
+    def test_stats_aggregated(self, loaded):
+        druid, __ = loaded
+        response = druid.execute(
+            "SELECT count(*) FROM events WHERE country = 'us'"
+        )
+        assert response.stats.num_segments_queried == 4
+        assert response.stats.num_docs_scanned > 0

@@ -1,0 +1,222 @@
+"""Per-segment execution correctness against brute-force references."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.engine.executor import execute_segment
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(11)
+    rows = []
+    for __ in range(2000):
+        rows.append({
+            "s": rng.choice("abcde"),
+            "n": rng.randint(0, 9),
+            "tags": rng.sample(["x", "y", "z", "w"], k=rng.randint(0, 3)),
+            "m": rng.randint(0, 100),
+            "f": round(rng.random() * 10, 3),
+            "day": 17000 + rng.randint(0, 9),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def segment(dataset):
+    schema = Schema("t", [
+        dimension("s"), dimension("n", DataType.LONG),
+        dimension("tags", DataType.STRING, multi_value=True),
+        metric("m", DataType.LONG), metric("f", DataType.DOUBLE),
+        time_column("day", DataType.INT),
+    ])
+    builder = SegmentBuilder(
+        "seg", "t", schema,
+        SegmentConfig(sorted_column="s", inverted_columns=("n",)),
+    )
+    builder.add_all(dataset)
+    return builder.build()
+
+
+def run(segment, pql):
+    query = optimize(parse(pql))
+    result = execute_segment(segment, query)
+    server = combine_segment_results(query, [result])
+    return reduce_server_results(query, [server])
+
+
+def matched(dataset, predicate):
+    return [r for r in dataset if predicate(r)]
+
+
+class TestAggregations:
+    def test_count_sum(self, segment, dataset):
+        response = run(segment, "SELECT count(*), sum(m) FROM t "
+                                "WHERE s = 'b'")
+        rows = matched(dataset, lambda r: r["s"] == "b")
+        assert response.rows[0] == (len(rows), sum(r["m"] for r in rows))
+
+    def test_min_max_avg(self, segment, dataset):
+        response = run(segment, "SELECT min(f), max(f), avg(f) FROM t "
+                                "WHERE n < 3")
+        rows = matched(dataset, lambda r: r["n"] < 3)
+        values = [r["f"] for r in rows]
+        got = response.rows[0]
+        assert got[0] == pytest.approx(min(values))
+        assert got[1] == pytest.approx(max(values))
+        assert got[2] == pytest.approx(sum(values) / len(values))
+
+    def test_distinctcount(self, segment, dataset):
+        response = run(segment, "SELECT distinctcount(s) FROM t "
+                                "WHERE m > 50")
+        rows = matched(dataset, lambda r: r["m"] > 50)
+        assert response.rows[0][0] == len({r["s"] for r in rows})
+
+    def test_minmaxrange(self, segment, dataset):
+        response = run(segment, "SELECT minmaxrange(m) FROM t")
+        values = [r["m"] for r in dataset]
+        assert response.rows[0][0] == max(values) - min(values)
+
+    def test_percentiles(self, segment, dataset):
+        response = run(
+            segment,
+            "SELECT percentile50(m), percentile99(m) FROM t WHERE s = 'a'"
+        )
+        values = [r["m"] for r in dataset if r["s"] == "a"]
+        assert response.rows[0][0] == pytest.approx(
+            np.percentile(values, 50))
+        assert response.rows[0][1] == pytest.approx(
+            np.percentile(values, 99))
+
+    def test_aggregation_on_empty_match(self, segment):
+        response = run(segment, "SELECT count(*), sum(m), min(m) FROM t "
+                                "WHERE s = 'zzz'")
+        count, total, minimum = response.rows[0]
+        assert count == 0
+        assert total == 0.0
+        assert math.isinf(minimum)
+
+    def test_filter_on_multi_value_column(self, segment, dataset):
+        response = run(segment, "SELECT count(*) FROM t WHERE tags = 'x'")
+        expected = len(matched(dataset, lambda r: "x" in r["tags"]))
+        assert response.rows[0][0] == expected
+
+    def test_multi_value_aggregation_rejected(self, segment):
+        from repro.errors import ExecutionError
+        from repro.pql.ast_nodes import AggFunc, Aggregation, Query
+
+        query = Query("t", (Aggregation(AggFunc.SUM, "tags"),))
+        with pytest.raises(ExecutionError, match="multi-value"):
+            execute_segment(segment, query)
+
+
+class TestGroupBy:
+    def test_single_column(self, segment, dataset):
+        response = run(segment, "SELECT sum(m) FROM t WHERE n >= 5 "
+                                "GROUP BY s TOP 50")
+        expected = {}
+        for r in matched(dataset, lambda r: r["n"] >= 5):
+            expected[r["s"]] = expected.get(r["s"], 0) + r["m"]
+        assert {row[0]: row[1] for row in response.rows} == expected
+
+    def test_multi_column(self, segment, dataset):
+        response = run(segment, "SELECT count(*) FROM t GROUP BY s, n "
+                                "TOP 1000")
+        expected = {}
+        for r in dataset:
+            key = (r["s"], r["n"])
+            expected[key] = expected.get(key, 0) + 1
+        assert {(row[0], row[1]): row[2]
+                for row in response.rows} == expected
+
+    def test_top_n_orders_by_first_aggregation_desc(self, segment):
+        response = run(segment, "SELECT sum(m) FROM t GROUP BY s TOP 2")
+        assert len(response.rows) == 2
+        assert response.rows[0][1] >= response.rows[1][1]
+
+    def test_order_by_aggregation_asc(self, segment):
+        response = run(segment, "SELECT sum(m) FROM t GROUP BY s "
+                                "ORDER BY sum(m) TOP 5")
+        sums = [row[1] for row in response.rows]
+        assert sums == sorted(sums)
+
+    def test_order_by_group_key(self, segment):
+        response = run(segment, "SELECT count(*) FROM t GROUP BY s "
+                                "ORDER BY s TOP 5")
+        keys = [row[0] for row in response.rows]
+        assert keys == sorted(keys)
+
+    def test_group_by_multi_value_column(self, segment, dataset):
+        response = run(segment, "SELECT count(*) FROM t GROUP BY tags "
+                                "TOP 10")
+        expected = {}
+        for r in dataset:
+            for tag in r["tags"]:
+                expected[tag] = expected.get(tag, 0) + 1
+        assert {row[0]: row[1] for row in response.rows} == expected
+
+    def test_group_key_projected(self, segment):
+        response = run(segment, "SELECT s, count(*) FROM t GROUP BY s "
+                                "TOP 5")
+        assert response.table.columns == ("s", "count(*)")
+
+
+class TestSelection:
+    def test_projection_with_limit(self, segment):
+        response = run(segment, "SELECT s, m FROM t WHERE n = 4 LIMIT 7")
+        assert len(response.rows) <= 7
+        assert response.table.columns == ("s", "m")
+
+    def test_select_star(self, segment):
+        response = run(segment, "SELECT * FROM t LIMIT 3")
+        assert len(response.rows) == 3
+        assert len(response.table.columns) == 6
+
+    def test_order_by_desc(self, segment, dataset):
+        response = run(segment, "SELECT m FROM t WHERE s = 'c' "
+                                "ORDER BY m DESC LIMIT 5")
+        values = sorted((r["m"] for r in dataset if r["s"] == "c"),
+                        reverse=True)
+        assert [row[0] for row in response.rows] == values[:5]
+
+    def test_offset_pagination(self, segment, dataset):
+        page1 = run(segment, "SELECT m FROM t WHERE s = 'c' "
+                             "ORDER BY m LIMIT 5")
+        page2 = run(segment, "SELECT m FROM t WHERE s = 'c' "
+                             "ORDER BY m LIMIT 5, 5")
+        values = sorted(r["m"] for r in dataset if r["s"] == "c")
+        assert [row[0] for row in page1.rows] == values[:5]
+        assert [row[0] for row in page2.rows] == values[5:10]
+
+    def test_rows_match_filter(self, segment, dataset):
+        response = run(segment, "SELECT s, n FROM t WHERE n > 7 LIMIT 500")
+        assert all(row[1] > 7 for row in response.rows)
+        expected = len(matched(dataset, lambda r: r["n"] > 7))
+        assert len(response.rows) == expected
+
+    def test_multi_value_projection(self, segment):
+        response = run(segment, "SELECT tags FROM t LIMIT 4")
+        assert all(isinstance(row[0], tuple) for row in response.rows)
+
+
+class TestStats:
+    def test_docs_scanned(self, segment, dataset):
+        query = optimize(parse("SELECT sum(m) FROM t WHERE s = 'a'"))
+        result = execute_segment(segment, query)
+        expected = len(matched(dataset, lambda r: r["s"] == "a"))
+        assert result.stats.num_docs_scanned == expected
+
+    def test_metadata_only_scans_nothing(self, segment):
+        query = optimize(parse("SELECT count(*) FROM t"))
+        result = execute_segment(segment, query)
+        assert result.stats.metadata_only
+        assert result.stats.num_docs_scanned == 0

@@ -1,0 +1,78 @@
+"""Edge cases of vectorized group-by execution."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.engine.executor import execute_segment
+from repro.engine.groupby import execute_group_by
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.engine.operators import DocSelection
+from repro.errors import ExecutionError
+from repro.pql.ast_nodes import AggFunc, Aggregation, Query
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize
+from repro.segment.builder import SegmentBuilder
+
+
+@pytest.fixture(scope="module")
+def segment():
+    schema = Schema("t", [
+        dimension("d"),
+        dimension("tags", DataType.STRING, multi_value=True),
+        dimension("labels", DataType.STRING, multi_value=True),
+        metric("m", DataType.LONG),
+    ])
+    builder = SegmentBuilder("seg", "t", schema)
+    builder.add_all([
+        {"d": "a", "tags": ["x", "y"], "labels": ["p"], "m": 1},
+        {"d": "a", "tags": [], "labels": ["q"], "m": 2},
+        {"d": "b", "tags": ["y"], "labels": [], "m": 3},
+        {"d": "b", "tags": ["x", "x"], "labels": ["p", "q"], "m": 4},
+    ])
+    return builder.build()
+
+
+def run(segment, pql):
+    query = optimize(parse(pql))
+    result = execute_segment(segment, query)
+    return reduce_server_results(
+        query, [combine_segment_results(query, [result])]
+    )
+
+
+class TestMultiValueGroupBy:
+    def test_empty_cells_contribute_nothing(self, segment):
+        response = run(segment,
+                       "SELECT sum(m) FROM t GROUP BY tags TOP 10")
+        got = {row[0]: row[1] for row in response.rows}
+        # Row 2 (tags=[]) contributes to no group; row 4's duplicate
+        # 'x' values contribute twice (per-value semantics).
+        assert got == {"x": 1.0 + 4.0 + 4.0, "y": 1.0 + 3.0}
+
+    def test_mixed_single_and_multi_group(self, segment):
+        response = run(segment,
+                       "SELECT count(*) FROM t GROUP BY d, tags TOP 10")
+        got = {(row[0], row[1]): row[2] for row in response.rows}
+        assert got == {("a", "x"): 1, ("a", "y"): 1, ("b", "y"): 1,
+                       ("b", "x"): 2}
+
+    def test_two_multi_value_group_columns_rejected(self, segment):
+        query = Query("t", (Aggregation(AggFunc.COUNT, "*"),),
+                      group_by=("tags", "labels"))
+        selection = DocSelection.full(segment.num_docs)
+        with pytest.raises(ExecutionError, match="multi-value"):
+            execute_group_by(segment, query, selection)
+
+    def test_all_rows_filtered_out(self, segment):
+        response = run(segment,
+                       "SELECT sum(m) FROM t WHERE d = 'zz' "
+                       "GROUP BY tags TOP 10")
+        assert response.rows == []
+
+    def test_group_by_after_multi_value_filter(self, segment):
+        response = run(segment,
+                       "SELECT count(*) FROM t WHERE tags = 'x' "
+                       "GROUP BY d TOP 10")
+        got = {row[0]: row[1] for row in response.rows}
+        assert got == {"a": 1, "b": 1}

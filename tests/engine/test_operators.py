@@ -1,0 +1,154 @@
+"""Tests for DocSelection algebra and physical filter operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.engine.operators import DocSelection, FilterStats
+from repro.engine.planner import plan_segment
+from repro.pql.parser import parse
+from repro.pql.rewriter import optimize
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+
+doc_sets = st.sets(st.integers(0, 200), max_size=80)
+
+
+class TestDocSelection:
+    def test_full_and_empty(self):
+        assert DocSelection.full(5).count == 5
+        assert DocSelection.empty().is_empty
+
+    def test_from_docs_detects_contiguity(self):
+        selection = DocSelection.from_docs(np.array([3, 4, 5]))
+        assert selection.is_contiguous
+        assert (selection.start, selection.end) == (3, 6)
+
+    def test_from_docs_sparse(self):
+        selection = DocSelection.from_docs(np.array([1, 5]))
+        assert not selection.is_contiguous
+        assert selection.count == 2
+
+    def test_intersect_ranges(self):
+        a = DocSelection.from_range(0, 10)
+        b = DocSelection.from_range(5, 20)
+        out = a.intersect(b)
+        assert (out.start, out.end) == (5, 10)
+
+    def test_intersect_range_with_docs(self):
+        a = DocSelection.from_range(2, 6)
+        b = DocSelection.from_docs(np.array([1, 3, 5, 7]))
+        assert a.intersect(b).doc_array().tolist() == [3, 5]
+
+    def test_union_adjacent_ranges_stays_contiguous(self):
+        a = DocSelection.from_range(0, 5)
+        b = DocSelection.from_range(5, 8)
+        out = a.union(b)
+        assert out.is_contiguous
+        assert out.count == 8
+
+    @settings(max_examples=80, deadline=None)
+    @given(doc_sets, doc_sets)
+    def test_algebra_matches_sets(self, a, b):
+        sel_a = DocSelection.from_docs(
+            np.array(sorted(a), dtype=np.int64)
+        ) if a else DocSelection.empty()
+        sel_b = DocSelection.from_docs(
+            np.array(sorted(b), dtype=np.int64)
+        ) if b else DocSelection.empty()
+        assert set(sel_a.intersect(sel_b).doc_array().tolist()) == a & b
+        assert set(sel_a.union(sel_b).doc_array().tolist()) == a | b
+
+
+def _build_segment(sorted_column=None, inverted=()):
+    schema = Schema("t", [dimension("s"), dimension("n", DataType.LONG),
+                          metric("m", DataType.LONG)])
+    builder = SegmentBuilder(
+        "seg", "t", schema,
+        SegmentConfig(sorted_column=sorted_column,
+                      inverted_columns=tuple(inverted)),
+    )
+    import random
+
+    rng = random.Random(3)
+    rows = []
+    for __ in range(500):
+        row = {"s": rng.choice("abcdef"), "n": rng.randint(0, 9),
+               "m": rng.randint(0, 100)}
+        rows.append(row)
+        builder.add(row)
+    segment = builder.build()
+    # Recover physical order for brute-force comparison.
+    physical = [segment.record(i) for i in range(segment.num_docs)]
+    return segment, physical
+
+
+def _execute_filter(segment, pql):
+    query = optimize(parse(pql))
+    plan = plan_segment(segment, query)
+    return set(plan.filter_plan.execute().doc_array().tolist())
+
+
+def _brute(physical, predicate):
+    return {i for i, r in enumerate(physical) if predicate(r)}
+
+
+FILTER_CASES = [
+    ("SELECT count(*) FROM t WHERE s = 'c'", lambda r: r["s"] == "c"),
+    ("SELECT count(*) FROM t WHERE n > 5 AND s != 'a'",
+     lambda r: r["n"] > 5 and r["s"] != "a"),
+    ("SELECT count(*) FROM t WHERE s IN ('a', 'b') OR n = 9",
+     lambda r: r["s"] in ("a", "b") or r["n"] == 9),
+    ("SELECT count(*) FROM t WHERE n BETWEEN 3 AND 6 AND s = 'd'",
+     lambda r: 3 <= r["n"] <= 6 and r["s"] == "d"),
+    ("SELECT count(*) FROM t WHERE NOT (s = 'a' OR n < 2)",
+     lambda r: not (r["s"] == "a" or r["n"] < 2)),
+]
+
+
+@pytest.mark.parametrize("config_name,sorted_column,inverted", [
+    ("scan-only", None, ()),
+    ("sorted", "s", ()),
+    ("inverted", None, ("s", "n")),
+    ("sorted+inverted", "s", ("n",)),
+])
+class TestFilterExecutionEquivalence:
+    @pytest.mark.parametrize("pql,predicate", FILTER_CASES)
+    def test_matches_brute_force(self, config_name, sorted_column,
+                                 inverted, pql, predicate):
+        segment, physical = _build_segment(sorted_column, inverted)
+        assert _execute_filter(segment, pql) == _brute(physical, predicate)
+
+
+class TestOperatorSelection:
+    def test_sorted_column_yields_contiguous_selection(self):
+        segment, physical = _build_segment(sorted_column="s")
+        query = optimize(parse("SELECT count(*) FROM t WHERE s = 'c'"))
+        plan = plan_segment(segment, query)
+        selection = plan.filter_plan.execute()
+        assert selection.is_contiguous
+
+    def test_match_all_shortcut(self):
+        segment, __ = _build_segment()
+        query = optimize(parse("SELECT count(*) FROM t WHERE n >= 0"))
+        plan = plan_segment(segment, query)
+        assert "MatchAll" in plan.filter_plan.describe()
+        assert plan.filter_plan.execute().count == segment.num_docs
+
+    def test_match_none_shortcut(self):
+        segment, __ = _build_segment()
+        query = optimize(parse("SELECT count(*) FROM t WHERE s = 'zz'"))
+        plan = plan_segment(segment, query)
+        assert "MatchNone" in plan.filter_plan.describe()
+        assert plan.filter_plan.execute().is_empty
+
+    def test_stats_collected(self):
+        segment, __ = _build_segment(inverted=("s",))
+        query = optimize(parse(
+            "SELECT count(*) FROM t WHERE s = 'a' AND n < 5"
+        ))
+        plan = plan_segment(segment, query)
+        plan.filter_plan.execute()
+        assert plan.filter_plan.stats.entries_scanned > 0

@@ -1,0 +1,131 @@
+"""Tests for leaf-predicate compilation into dictionary-id ranges."""
+
+import numpy as np
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.engine.predicates import compile_leaf
+from repro.errors import PlanningError
+from repro.pql.ast_nodes import Between, CompareOp, Comparison, In
+from repro.segment.builder import SegmentBuilder
+
+
+@pytest.fixture(scope="module")
+def segment():
+    schema = Schema("t", [dimension("s"), dimension("n", DataType.LONG),
+                          metric("m", DataType.LONG)])
+    builder = SegmentBuilder("seg", "t", schema)
+    for s, n in [("a", 10), ("c", 20), ("e", 30), ("a", 20), ("c", 10)]:
+        builder.add({"s": s, "n": n, "m": 1})
+    return builder.build()
+    # dictionaries: s -> [a, c, e], n -> [10, 20, 30]
+
+
+class TestEquality:
+    def test_eq_present(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.EQ, "c"),
+                             segment.column("s"))
+        assert match.ranges == ((1, 2),)
+
+    def test_eq_absent(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.EQ, "zzz"),
+                             segment.column("s"))
+        assert match.is_empty
+
+    def test_neq(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.NEQ, "c"),
+                             segment.column("s"))
+        assert match.ranges == ((0, 1), (2, 3))
+
+    def test_neq_absent_matches_all(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.NEQ, "zzz"),
+                             segment.column("s"))
+        assert match.is_all
+
+
+class TestRanges:
+    def test_lt(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.LT, 20),
+                             segment.column("n"))
+        assert match.ranges == ((0, 1),)
+
+    def test_lte(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.LTE, 20),
+                             segment.column("n"))
+        assert match.ranges == ((0, 2),)
+
+    def test_gt(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.GT, 10),
+                             segment.column("n"))
+        assert match.ranges == ((1, 3),)
+
+    def test_gte_covers_all(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.GTE, 0),
+                             segment.column("n"))
+        assert match.is_all
+
+    def test_between(self, segment):
+        match = compile_leaf(Between("n", 10, 20), segment.column("n"))
+        assert match.ranges == ((0, 2),)
+
+    def test_between_no_overlap(self, segment):
+        match = compile_leaf(Between("n", 40, 50), segment.column("n"))
+        assert match.is_empty
+
+    def test_range_between_values(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.LT, 15),
+                             segment.column("n"))
+        assert match.ranges == ((0, 1),)
+
+
+class TestIn:
+    def test_in_coalesces_adjacent(self, segment):
+        match = compile_leaf(In("s", ("a", "c")), segment.column("s"))
+        assert match.ranges == ((0, 2),)
+
+    def test_in_disjoint(self, segment):
+        match = compile_leaf(In("s", ("a", "e")), segment.column("s"))
+        assert match.ranges == ((0, 1), (2, 3))
+
+    def test_in_ignores_absent_values(self, segment):
+        match = compile_leaf(In("s", ("a", "nope")), segment.column("s"))
+        assert match.ranges == ((0, 1),)
+
+    def test_not_in(self, segment):
+        match = compile_leaf(In("s", ("c",), negated=True),
+                             segment.column("s"))
+        assert match.ranges == ((0, 1), (2, 3))
+
+
+class TestTypeHandling:
+    def test_numeric_literal_against_string_column(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.EQ, 5),
+                             segment.column("s"))
+        assert match.is_empty  # coerced to "5", absent
+
+    def test_string_literal_against_numeric_rejected(self, segment):
+        with pytest.raises(PlanningError):
+            compile_leaf(Comparison("n", CompareOp.EQ, "ten"),
+                         segment.column("n"))
+
+    def test_float_literal_against_int_column(self, segment):
+        match = compile_leaf(Comparison("n", CompareOp.LT, 15.5),
+                             segment.column("n"))
+        assert match.ranges == ((0, 1),)
+
+
+class TestIdMatchHelpers:
+    def test_mask_for(self, segment):
+        match = compile_leaf(In("s", ("a", "e")), segment.column("s"))
+        ids = np.array([0, 1, 2, 0], dtype=np.uint32)
+        assert match.mask_for(ids).tolist() == [True, False, True, True]
+
+    def test_id_array(self, segment):
+        match = compile_leaf(In("s", ("a", "e")), segment.column("s"))
+        assert match.id_array().tolist() == [0, 2]
+
+    def test_selectivity(self, segment):
+        match = compile_leaf(Comparison("s", CompareOp.EQ, "a"),
+                             segment.column("s"))
+        assert match.selectivity() == pytest.approx(1 / 3)

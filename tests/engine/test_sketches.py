@@ -1,0 +1,129 @@
+"""Tests for the HyperLogLog sketch and the DISTINCTCOUNTHLL path."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.sketches import HyperLogLog, hash64
+
+
+class TestHyperLogLog:
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog().cardinality() == 0
+
+    def test_small_cardinalities_near_exact(self):
+        sketch = HyperLogLog()
+        for i in range(100):
+            sketch.add(f"value-{i}")
+        assert sketch.cardinality() == pytest.approx(100, abs=3)
+
+    def test_duplicates_ignored(self):
+        sketch = HyperLogLog()
+        for __ in range(10_000):
+            sketch.add("same")
+        assert sketch.cardinality() == 1
+
+    def test_large_cardinality_within_error(self):
+        sketch = HyperLogLog(precision=12)
+        n = 50_000
+        for i in range(n):
+            sketch.add(i)
+        error = abs(sketch.cardinality() - n) / n
+        assert error < 4 * sketch.relative_error  # ~6.5% at p=12
+
+    def test_merge_equals_union(self):
+        a, b = HyperLogLog(), HyperLogLog()
+        for i in range(1000):
+            a.add(i)
+        for i in range(500, 1500):
+            b.add(i)
+        union = a.merge(b)
+        both = HyperLogLog()
+        for i in range(1500):
+            both.add(i)
+        assert union == both
+
+    def test_merge_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+
+    def test_copy_is_independent(self):
+        a = HyperLogLog()
+        a.add("x")
+        b = a.copy()
+        b.add("y")
+        assert a != b
+
+    def test_hash64_deterministic_and_spread(self):
+        assert hash64("abc") == hash64("abc")
+        hashes = {hash64(i) >> 52 for i in range(1000)}
+        assert len(hashes) > 500  # top bits well spread
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 10_000), min_size=0, max_size=300))
+    def test_order_independent(self, values):
+        ordered = HyperLogLog()
+        ordered.add_many(sorted(values))
+        shuffled = HyperLogLog()
+        items = list(values)
+        random.Random(0).shuffle(items)
+        shuffled.add_many(items)
+        assert ordered == shuffled
+
+
+class TestDistinctCountHllEndToEnd:
+    @pytest.fixture(scope="class")
+    def segment(self):
+        from repro.common.schema import Schema
+        from repro.common.types import DataType, dimension, metric
+        from repro.segment.builder import SegmentBuilder
+
+        schema = Schema("t", [dimension("user", DataType.LONG),
+                              dimension("grp"),
+                              metric("m", DataType.LONG)])
+        builder = SegmentBuilder("s", "t", schema)
+        rng = random.Random(8)
+        for __ in range(5000):
+            builder.add({"user": rng.randrange(800),
+                         "grp": rng.choice("ab"), "m": 1})
+        return builder.build()
+
+    def run(self, segment, pql):
+        from repro.engine.executor import execute_segment
+        from repro.engine.merge import (
+            combine_segment_results,
+            reduce_server_results,
+        )
+        from repro.pql.parser import parse
+        from repro.pql.rewriter import optimize
+
+        query = optimize(parse(pql))
+        result = execute_segment(segment, query)
+        return reduce_server_results(
+            query, [combine_segment_results(query, [result])]
+        )
+
+    def test_hll_close_to_exact(self, segment):
+        approx = self.run(
+            segment, "SELECT distinctcounthll(user) FROM t"
+        ).rows[0][0]
+        exact = self.run(
+            segment, "SELECT distinctcount(user) FROM t"
+        ).rows[0][0]
+        assert abs(approx - exact) / exact < 0.06
+
+    def test_hll_group_by(self, segment):
+        response = self.run(
+            segment,
+            "SELECT distinctcounthll(user) FROM t GROUP BY grp TOP 5",
+        )
+        assert len(response.rows) == 2
+        for row in response.rows:
+            assert 300 < row[1] < 900

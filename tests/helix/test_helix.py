@@ -1,0 +1,157 @@
+"""Tests for the Helix-style cluster manager and state machine."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.helix.manager import HelixManager
+from repro.helix.statemachine import (
+    SegmentState,
+    is_valid_transition,
+    transition_path,
+)
+from repro.zk.store import ZkStore
+
+
+class TestStateMachine:
+    def test_valid_edges(self):
+        assert is_valid_transition(SegmentState.OFFLINE, SegmentState.ONLINE)
+        assert is_valid_transition(SegmentState.OFFLINE,
+                                   SegmentState.CONSUMING)
+        assert is_valid_transition(SegmentState.CONSUMING,
+                                   SegmentState.ONLINE)
+        assert not is_valid_transition(SegmentState.ONLINE,
+                                       SegmentState.CONSUMING)
+        assert not is_valid_transition(SegmentState.DROPPED,
+                                       SegmentState.ONLINE)
+
+    def test_path_direct(self):
+        path = transition_path(SegmentState.OFFLINE, SegmentState.ONLINE)
+        assert path == [(SegmentState.OFFLINE, SegmentState.ONLINE)]
+
+    def test_path_via_offline(self):
+        path = transition_path(SegmentState.ONLINE, SegmentState.DROPPED)
+        assert path == [
+            (SegmentState.ONLINE, SegmentState.OFFLINE),
+            (SegmentState.OFFLINE, SegmentState.DROPPED),
+        ]
+
+    def test_identity_path_is_empty(self):
+        assert transition_path(SegmentState.ONLINE,
+                               SegmentState.ONLINE) == []
+
+    def test_impossible_path_rejected(self):
+        with pytest.raises(ClusterError):
+            transition_path(SegmentState.DROPPED, SegmentState.ONLINE)
+
+
+class RecordingParticipant:
+    """Minimal participant logging its transitions."""
+
+    def __init__(self, instance_id, fail=False):
+        self.instance_id = instance_id
+        self.transitions = []
+        self.fail = fail
+
+    def process_transition(self, resource, segment, from_state, to_state):
+        if self.fail:
+            raise ClusterError("boom")
+        self.transitions.append((resource, segment, from_state.value,
+                                 to_state.value))
+
+
+@pytest.fixture
+def helix():
+    return HelixManager(ZkStore(), "test")
+
+
+class TestMembership:
+    def test_register_and_live(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant, tags=["server"])
+        assert helix.live_instances() == ["s1"]
+        assert helix.instance_tags("s1") == ["server"]
+        assert helix.instances_with_tag("server") == ["s1"]
+
+    def test_double_register_rejected(self, helix):
+        helix.register_participant(RecordingParticipant("s1"))
+        with pytest.raises(ClusterError):
+            helix.register_participant(RecordingParticipant("s1"))
+
+    def test_deregister_removes_liveness(self, helix):
+        helix.register_participant(RecordingParticipant("s1"))
+        helix.deregister_participant("s1")
+        assert helix.live_instances() == []
+
+
+class TestConvergence:
+    def test_ideal_state_drives_transitions(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        assert participant.transitions == [
+            ("tableA", "seg1", "OFFLINE", "ONLINE")
+        ]
+        assert helix.external_view("tableA") == {"seg1": {"s1": "ONLINE"}}
+
+    def test_converge_is_idempotent(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        helix.converge("tableA")
+        assert len(participant.transitions) == 1
+
+    def test_removal_from_ideal_state_drops_replica(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        helix.set_ideal_state("tableA", {})
+        assert helix.external_view("tableA") == {}
+        assert participant.transitions[-1][3] == "DROPPED"
+
+    def test_failed_transition_marks_error(self, helix):
+        participant = RecordingParticipant("s1", fail=True)
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        assert helix.external_view("tableA")["seg1"]["s1"] == "ERROR"
+
+    def test_dead_instance_skipped(self, helix):
+        helix.set_ideal_state("tableA", {"seg1": {"ghost": "ONLINE"}})
+        assert helix.external_view("tableA") == {}
+
+    def test_consuming_transition(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "CONSUMING"}})
+        assert participant.transitions == [
+            ("tableA", "seg1", "OFFLINE", "CONSUMING")
+        ]
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        assert participant.transitions[-1] == (
+            "tableA", "seg1", "CONSUMING", "ONLINE"
+        )
+
+    def test_instance_death_purges_views(self, helix):
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        helix.deregister_participant("s1")
+        helix.handle_instance_death("s1")
+        assert helix.external_view("tableA") == {}
+
+    def test_view_watch_fires(self, helix):
+        events = []
+        helix.watch_external_view(lambda event, path: events.append(path))
+        participant = RecordingParticipant("s1")
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        assert any("tableA" in path for path in events)
+
+
+class TestPropertyStore:
+    def test_properties(self, helix):
+        helix.set_property("segments/t/s1", {"docs": 5})
+        assert helix.get_property("segments/t/s1") == {"docs": 5}
+        assert helix.get_property("segments/t/none") is None
+        assert helix.list_properties("segments/t") == ["s1"]
+        helix.delete_property("segments/t/s1")
+        assert helix.get_property("segments/t/s1") is None

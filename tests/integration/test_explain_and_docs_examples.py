@@ -1,0 +1,79 @@
+"""Smoke checks that documented snippets keep working.
+
+Executes the README quickstart flow and the docs/PQL.md example query
+shapes against a live cluster, so the documentation cannot silently rot.
+"""
+
+import pytest
+
+from repro.cluster import PinotCluster, TableConfig
+from repro.common import DataType, Schema, dimension, metric, time_column
+from repro.segment import SegmentConfig
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = PinotCluster(num_servers=3)
+    schema = Schema("pageviews", [
+        dimension("country"),
+        dimension("browser"),
+        metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+    cluster.create_table(TableConfig.offline(
+        "pageviews", schema, replication=2,
+        segment_config=SegmentConfig(sorted_column="country",
+                                     inverted_columns=("browser",)),
+    ))
+    records = [
+        {"country": ["us", "de", "in"][i % 3],
+         "browser": ["chrome", "firefox", "safari"][i % 3],
+         "views": i % 7, "day": 17000 + i % 5}
+        for i in range(3000)
+    ]
+    cluster.upload_records("pageviews", records, rows_per_segment=1000)
+    return cluster
+
+
+README_QUERIES = [
+    "SELECT sum(views) FROM pageviews WHERE browser = 'chrome' "
+    "GROUP BY country TOP 5",
+    "SELECT count(*), sum(views) FROM pageviews",
+]
+
+PQL_DOC_QUERIES = [
+    "SELECT sum(views) FROM pageviews WHERE browser = 'firefox'",
+    "SELECT sum(views) FROM pageviews "
+    "WHERE browser = 'firefox' OR browser = 'safari' GROUP BY country",
+    "SELECT country, sum(views) FROM pageviews "
+    "WHERE browser = 'chrome' AND day >= 17001 GROUP BY country",
+    "SELECT count(*) FROM pageviews GROUP BY country "
+    "HAVING count(*) >= 100 TOP 50",
+    "SELECT country, views FROM pageviews WHERE browser = 'safari' "
+    "ORDER BY views DESC LIMIT 20, 10",
+    "SELECT count(*) FROM pageviews WHERE country LIKE 'u%'",
+    "SELECT distinctcounthll(views) FROM pageviews",
+    "SELECT count(*) FROM pageviews OPTION (timeoutMs = 10000)",
+]
+
+
+class TestDocumentedQueries:
+    @pytest.mark.parametrize("pql", README_QUERIES + PQL_DOC_QUERIES)
+    def test_runs_without_error(self, cluster, pql):
+        response = cluster.execute(pql)
+        assert not response.is_partial
+        assert response.table.columns
+
+    def test_quickstart_shape(self, cluster):
+        response = cluster.execute(README_QUERIES[1])
+        assert response.rows[0][0] == 3000
+
+    def test_explain_output_shape(self, cluster):
+        plans = cluster.explain(
+            "SELECT sum(views) FROM pageviews WHERE country = 'us'"
+        )
+        assert plans  # at least one server
+        for server, segments in plans.items():
+            assert server.startswith("server-")
+            for description in segments.values():
+                assert "SortedRange(country" in description

@@ -1,0 +1,67 @@
+"""Multitenant admission control across the whole stack (§4.5)."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.cluster.tenant import TenantQuotaManager
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.errors import ThrottledError
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [dimension("c"), metric("v", DataType.LONG)])
+
+
+def make_cluster(schema, capacity=3, refill=0.5):
+    quotas = TenantQuotaManager(default_capacity=capacity,
+                                default_refill_rate=refill)
+    cluster = PinotCluster(num_servers=1, quotas=quotas)
+    cluster.create_table(TableConfig.offline("events", schema,
+                                             tenant="analytics"))
+    cluster.upload_records(
+        "events", [{"c": "x", "v": i} for i in range(100)]
+    )
+    return cluster
+
+
+class TestThrottling:
+    def test_tenant_throttled_after_burst(self, schema):
+        # Each query costs 1 admission token plus a small execution-time
+        # charge, so a capacity just under 4 admits exactly 3 queries.
+        cluster = make_cluster(schema, capacity=3.9)
+        for __ in range(3):
+            cluster.execute("SELECT count(*) FROM events", now=0.0)
+        with pytest.raises(ThrottledError) as excinfo:
+            cluster.execute("SELECT count(*) FROM events", now=0.0)
+        assert excinfo.value.tenant == "analytics"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_bucket_refills_with_time(self, schema):
+        cluster = make_cluster(schema, capacity=2.5, refill=1.0)
+        cluster.execute("SELECT count(*) FROM events", now=0.0)
+        cluster.execute("SELECT count(*) FROM events", now=0.0)
+        with pytest.raises(ThrottledError):
+            cluster.execute("SELECT count(*) FROM events", now=0.0)
+        # One virtual second later a token is back.
+        response = cluster.execute("SELECT count(*) FROM events", now=1.1)
+        assert response.rows[0][0] == 100
+
+    def test_tenant_override_per_query(self, schema):
+        cluster = make_cluster(schema, capacity=1)
+        cluster.execute("SELECT count(*) FROM events", now=0.0)
+        with pytest.raises(ThrottledError):
+            cluster.execute("SELECT count(*) FROM events", now=0.0)
+        # A different tenant's bucket is unaffected.
+        response = cluster.execute("SELECT count(*) FROM events",
+                                   tenant="other", now=0.0)
+        assert response.rows[0][0] == 100
+
+    def test_default_cluster_has_no_practical_limit(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", [{"c": "x", "v": 1}])
+        for __ in range(50):
+            cluster.execute("SELECT count(*) FROM events")

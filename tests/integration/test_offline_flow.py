@@ -1,0 +1,189 @@
+"""End-to-end offline path: build, upload, query, scale, survive."""
+
+import random
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import PartitionConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.segment.builder import SegmentConfig
+from repro.startree.builder import StarTreeConfig
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return Schema("events", [
+        dimension("memberId", DataType.LONG), dimension("country"),
+        dimension("platform"),
+        metric("views", DataType.LONG), time_column("day", DataType.INT),
+    ])
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(99)
+    return [
+        {"memberId": rng.randrange(200),
+         "country": rng.choice(["us", "de", "in", "br"]),
+         "platform": rng.choice(["ios", "android", "web"]),
+         "views": rng.randint(1, 5), "day": 17000 + rng.randrange(14)}
+        for __ in range(8000)
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster(schema, dataset):
+    cluster = PinotCluster(num_servers=4, num_brokers=2)
+    cluster.create_table(TableConfig.offline(
+        "events", schema, replication=2,
+        segment_config=SegmentConfig(
+            sorted_column="memberId",
+            inverted_columns=("country",),
+            star_tree=StarTreeConfig(
+                dimensions=("country", "platform", "day"),
+                max_leaf_records=50),
+        ),
+    ))
+    cluster.upload_records("events", dataset, rows_per_segment=2000)
+    return cluster
+
+
+def brute(dataset, predicate=lambda r: True):
+    return [r for r in dataset if predicate(r)]
+
+
+class TestQueryCorrectness:
+    def test_count_star(self, cluster, dataset):
+        assert cluster.execute(
+            "SELECT count(*) FROM events"
+        ).rows[0][0] == len(dataset)
+
+    def test_filtered_aggregation(self, cluster, dataset):
+        rows = brute(dataset,
+                     lambda r: r["country"] == "de" and r["views"] >= 3)
+        response = cluster.execute(
+            "SELECT count(*), sum(views) FROM events "
+            "WHERE country = 'de' AND views >= 3"
+        )
+        assert response.rows[0] == (
+            len(rows), float(sum(r["views"] for r in rows))
+        )
+
+    def test_group_by_across_segments_and_servers(self, cluster, dataset):
+        expected = {}
+        for r in dataset:
+            expected[r["country"]] = expected.get(r["country"], 0) \
+                + r["views"]
+        response = cluster.execute(
+            "SELECT sum(views) FROM events GROUP BY country TOP 10"
+        )
+        assert {row[0]: row[1] for row in response.rows} == expected
+
+    def test_point_lookup_on_sorted_column(self, cluster, dataset):
+        member = dataset[0]["memberId"]
+        rows = brute(dataset, lambda r: r["memberId"] == member)
+        response = cluster.execute(
+            f"SELECT count(*) FROM events WHERE memberId = {member}"
+        )
+        assert response.rows[0][0] == len(rows)
+
+    def test_selection_with_order(self, cluster, dataset):
+        response = cluster.execute(
+            "SELECT memberId, views FROM events WHERE country = 'us' "
+            "ORDER BY views DESC, memberId LIMIT 10"
+        )
+        assert len(response.rows) == 10
+        views = [row[1] for row in response.rows]
+        assert views == sorted(views, reverse=True)
+
+    def test_distinctcount_across_merge(self, cluster, dataset):
+        expected = len({r["memberId"] for r in dataset})
+        response = cluster.execute(
+            "SELECT distinctcount(memberId) FROM events"
+        )
+        assert response.rows[0][0] == expected
+
+    def test_time_filter_prunes_but_stays_correct(self, cluster, dataset):
+        rows = brute(dataset, lambda r: 17002 <= r["day"] <= 17004)
+        response = cluster.execute(
+            "SELECT count(*) FROM events "
+            "WHERE day BETWEEN 17002 AND 17004"
+        )
+        assert response.rows[0][0] == len(rows)
+
+
+class TestResilience:
+    def test_replication_survives_one_server(self, schema, dataset):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", dataset, rows_per_segment=2000)
+        cluster.kill_server("server-2")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == len(dataset)
+        assert not response.is_partial
+
+    def test_scale_out_with_blank_node(self, schema, dataset):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=1))
+        cluster.upload_records("events", dataset, rows_per_segment=2000)
+        cluster.add_server()
+        # Future uploads land on the least-loaded (new) server.
+        cluster.upload_records("events", dataset[:2000],
+                               rows_per_segment=2000)
+        assert cluster.servers[-1].hosted_segments("events_OFFLINE")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == len(dataset) + 2000
+
+
+class TestFileBackedObjectStore:
+    def test_full_flow_through_disk_format(self, schema, dataset,
+                                           tmp_path):
+        from repro.cluster.objectstore import FileObjectStore
+
+        cluster = PinotCluster(
+            num_servers=2, object_store=FileObjectStore(tmp_path)
+        )
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", dataset[:3000],
+                               rows_per_segment=1000)
+        response = cluster.execute(
+            "SELECT count(*), max(views) FROM events"
+        )
+        assert response.rows[0][0] == 3000
+        assert (tmp_path / "events_OFFLINE").exists()
+
+
+class TestPartitionedTables:
+    def test_partitioned_upload_and_query(self, schema, dataset):
+        cluster = PinotCluster(num_servers=4)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, replication=1,
+            partition=PartitionConfig("memberId", 4),
+            routing_strategy="partition_aware",
+        ))
+        cluster.upload_records("events", dataset, rows_per_segment=1000)
+        member = dataset[10]["memberId"]
+        rows = brute(dataset, lambda r: r["memberId"] == member)
+        response = cluster.execute(
+            f"SELECT count(*) FROM events WHERE memberId = {member}"
+        )
+        assert response.rows[0][0] == len(rows)
+
+    def test_partition_routing_reduces_fanout(self, schema, dataset):
+        cluster = PinotCluster(num_servers=4)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, replication=1,
+            partition=PartitionConfig("memberId", 4),
+            routing_strategy="partition_aware",
+        ))
+        cluster.upload_records("events", dataset, rows_per_segment=1000)
+        broker = cluster.brokers[0]
+        point = broker.fanout_for(
+            "SELECT count(*) FROM events WHERE memberId = 7"
+        )
+        full = broker.fanout_for("SELECT count(*) FROM events")
+        assert point < full

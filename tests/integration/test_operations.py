@@ -1,0 +1,184 @@
+"""Operational flows: rebalance, large-cluster routing end to end,
+partitioned realtime tables, and replica divergence handling."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import PartitionConfig, StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("memberId", DataType.LONG), dimension("country"),
+        metric("views", DataType.LONG), time_column("day", DataType.INT),
+    ])
+
+
+def records(n, seed_day=17000):
+    return [{"memberId": i % 97, "country": "us", "views": 1,
+             "day": seed_day + i % 5} for i in range(n)]
+
+
+class TestRebalance:
+    def test_rebalance_spreads_to_new_servers(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", records(6000),
+                               rows_per_segment=1000)
+        new_server = cluster.add_server("server-new")
+        assert new_server.hosted_segments("events_OFFLINE") == []
+
+        mapping = cluster.leader_controller().rebalance_table(
+            "events_OFFLINE"
+        )
+        assert "server-new" in mapping
+        assert new_server.hosted_segments("events_OFFLINE")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 6000
+        assert not response.is_partial
+
+    def test_rebalance_preserves_replication(self, schema):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", records(4000),
+                               rows_per_segment=1000)
+        cluster.add_server()
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        view = cluster.helix.external_view("events_OFFLINE")
+        for segment, replicas in view.items():
+            online = [s for s, state in replicas.items()
+                      if state == "ONLINE"]
+            assert len(online) == 2, segment
+
+    def test_rebalance_keeps_existing_replicas_when_possible(self, schema):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=1))
+        cluster.upload_records("events", records(3000),
+                               rows_per_segment=1000)
+        before = cluster.helix.ideal_state("events_OFFLINE")
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        after = cluster.helix.ideal_state("events_OFFLINE")
+        # Balanced before, balanced after: nothing should have moved.
+        assert before == after
+
+
+class TestLargeClusterRoutingE2E:
+    def test_queries_touch_fewer_servers(self, schema):
+        cluster = PinotCluster(num_servers=8)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, replication=3,
+            routing_strategy="large_cluster",
+            routing_options={"target_servers": 3, "keep_tables": 5,
+                             "generate_tables": 40},
+        ))
+        cluster.upload_records("events", records(16_000),
+                               rows_per_segment=1000)
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 16_000
+        fanout = cluster.brokers[0].fanout_for(
+            "SELECT count(*) FROM events"
+        )
+        assert fanout < 8  # strictly fewer than every server
+
+    def test_correct_after_server_loss(self, schema):
+        cluster = PinotCluster(num_servers=8)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, replication=3,
+            routing_strategy="large_cluster",
+            routing_options={"target_servers": 3, "keep_tables": 5,
+                             "generate_tables": 40},
+        ))
+        cluster.upload_records("events", records(8_000),
+                               rows_per_segment=1000)
+        cluster.kill_server("server-3")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 8_000
+        assert not response.is_partial
+
+
+class TestPartitionedRealtime:
+    def test_partition_aware_routing_on_realtime_table(self, schema):
+        cluster = PinotCluster(num_servers=4)
+        cluster.create_kafka_topic("events-rt", 4)
+        cluster.create_table(TableConfig.realtime(
+            "events", schema,
+            StreamConfig("events-rt", flush_threshold_rows=500,
+                         records_per_poll=250),
+            replication=1,
+            partition=PartitionConfig("memberId", 4),
+            routing_strategy="partition_aware",
+        ))
+        cluster.ingest("events-rt", records(4000), key_column="memberId")
+        cluster.drain_realtime()
+
+        total = cluster.execute("SELECT count(*) FROM events")
+        assert total.rows[0][0] == 4000
+
+        member = 42
+        expected = sum(1 for r in records(4000) if r["memberId"] == member)
+        response = cluster.execute(
+            f"SELECT count(*) FROM events WHERE memberId = {member}"
+        )
+        assert response.rows[0][0] == expected
+        # Point queries route to a strict subset of the cluster.
+        point = cluster.brokers[0].fanout_for(
+            f"SELECT count(*) FROM events WHERE memberId = {member}"
+        )
+        full = cluster.brokers[0].fanout_for(
+            "SELECT count(*) FROM events"
+        )
+        assert point < full
+
+
+class TestReplicaDivergence:
+    def test_mismatched_replica_downloads_committed_copy(self, schema):
+        """DISCARD semantics: a replica whose local rows don't match the
+        committed offset replaces them with the authoritative copy."""
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_kafka_topic("div", 1)
+        cluster.create_table(TableConfig.realtime(
+            "events", schema,
+            StreamConfig("div", flush_threshold_rows=100,
+                         records_per_poll=100),
+            replication=2,
+        ))
+        cluster.ingest("div", records(100))
+
+        # Let replicas consume to the end criteria, then force one
+        # replica to lag (as if its time-based flush fired early at
+        # offset 50) and expire Kafka below the committed offset, so it
+        # cannot CATCHUP and must take the committed copy (DISCARD).
+        cluster.process_realtime(ticks=1)
+        victim = None
+        for server in cluster.servers:
+            for state in server._consuming.values():  # noqa: SLF001
+                if victim is None:
+                    victim = (server, state)
+        assert victim is not None
+        server, state = victim
+        state.mutable.discard_and_replace(records(50))
+        state.consumer.position = 50
+        state.reached_end_criteria = True
+        state.sealed = None
+        state.sealed_offset = None
+        cluster.kafka.expire_before("div", 0, 100)
+
+        cluster.drain_realtime()
+        view = cluster.helix.external_view("events_REALTIME")
+        segment_name = "events_REALTIME__0__0"
+        replicas = [
+            cluster.server(instance).segment("events_REALTIME",
+                                             segment_name)
+            for instance, s in view[segment_name].items()
+            if s == "ONLINE"
+        ]
+        assert len(replicas) == 2
+        assert replicas[0].num_docs == replicas[1].num_docs == 100
+        assert (list(replicas[0].iter_records())
+                == list(replicas[1].iter_records()))

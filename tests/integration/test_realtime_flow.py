@@ -1,0 +1,165 @@
+"""End-to-end realtime ingestion tests (§3.3.6)."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+
+@pytest.fixture
+def schema():
+    return Schema("clicks", [
+        dimension("userId", DataType.LONG), dimension("page"),
+        metric("n", DataType.LONG), time_column("ts", DataType.LONG),
+    ])
+
+
+def make_cluster(schema, flush_rows=200, replication=2, partitions=2,
+                 flush_ticks=None):
+    cluster = PinotCluster(num_servers=3)
+    cluster.create_kafka_topic("clicks-topic", partitions)
+    cluster.create_table(TableConfig.realtime(
+        "clicks", schema,
+        StreamConfig("clicks-topic", flush_threshold_rows=flush_rows,
+                     flush_threshold_ticks=flush_ticks,
+                     records_per_poll=50),
+        replication=replication,
+    ))
+    return cluster
+
+
+def events(n, start=0):
+    return [{"userId": start + i, "page": f"p{i % 5}", "n": 1,
+             "ts": start + i} for i in range(n)]
+
+
+class TestIngestion:
+    def test_counts_exact_after_drain(self, schema):
+        cluster = make_cluster(schema)
+        cluster.ingest("clicks-topic", events(1000), key_column="userId")
+        cluster.drain_realtime()
+        response = cluster.execute("SELECT count(*), sum(n) FROM clicks")
+        assert response.rows[0] == (1000, 1000.0)
+        assert not response.is_partial
+
+    def test_fresh_data_queryable_mid_consumption(self, schema):
+        """Seconds-level freshness: rows are visible while the segment
+        is still CONSUMING, before any flush."""
+        cluster = make_cluster(schema, flush_rows=100_000)
+        cluster.ingest("clicks-topic", events(120), key_column="userId")
+        cluster.process_realtime(ticks=1)  # one poll: <= 50/partition
+        response = cluster.execute("SELECT count(*) FROM clicks")
+        assert 0 < response.rows[0][0] <= 120
+        cluster.drain_realtime()
+        assert cluster.execute(
+            "SELECT count(*) FROM clicks"
+        ).rows[0][0] == 120
+
+    def test_segments_roll_over(self, schema):
+        cluster = make_cluster(schema, flush_rows=100, partitions=1)
+        cluster.ingest("clicks-topic", events(350), key_column="userId")
+        cluster.drain_realtime()
+        segments = cluster.leader_controller().list_segments(
+            "clicks_REALTIME"
+        )
+        # 350 rows at 100/segment: at least 3 sealed + 1 consuming.
+        assert len(segments) >= 4
+        assert cluster.execute(
+            "SELECT count(*) FROM clicks"
+        ).rows[0][0] == 350
+
+    def test_time_based_flush(self, schema):
+        cluster = make_cluster(schema, flush_rows=100_000, flush_ticks=3,
+                               partitions=1)
+        cluster.ingest("clicks-topic", events(40), key_column="userId")
+        cluster.process_realtime(ticks=10)
+        meta = cluster.helix.get_property(
+            "realtime/clicks_REALTIME/clicks_REALTIME__0__0"
+        )
+        assert meta["status"] == "DONE"
+        assert cluster.execute(
+            "SELECT count(*) FROM clicks"
+        ).rows[0][0] == 40
+
+
+class TestReplicaConsistency:
+    def test_replicas_identical_after_commit(self, schema):
+        """The completion protocol's core guarantee: all replicas of a
+        committed segment hold the exact same rows."""
+        cluster = make_cluster(schema, flush_rows=100, partitions=1,
+                               replication=2)
+        cluster.ingest("clicks-topic", events(250), key_column="userId")
+        cluster.drain_realtime()
+
+        view = cluster.helix.external_view("clicks_REALTIME")
+        committed = [
+            segment for segment, replicas in view.items()
+            if all(state == "ONLINE" for state in replicas.values())
+        ]
+        assert committed
+        for segment_name in committed:
+            replicas = [
+                cluster.server(instance).segment("clicks_REALTIME",
+                                                 segment_name)
+                for instance in view[segment_name]
+            ]
+            assert len(replicas) == 2
+            rows = [list(replica.iter_records()) for replica in replicas]
+            assert rows[0] == rows[1]
+
+    def test_commit_offsets_recorded(self, schema):
+        cluster = make_cluster(schema, flush_rows=100, partitions=1)
+        cluster.ingest("clicks-topic", events(150), key_column="userId")
+        cluster.drain_realtime()
+        meta = cluster.helix.get_property(
+            "realtime/clicks_REALTIME/clicks_REALTIME__0__0"
+        )
+        assert meta["status"] == "DONE"
+        assert meta["end_offset"] >= 100
+        next_meta = cluster.helix.get_property(
+            "realtime/clicks_REALTIME/clicks_REALTIME__0__1"
+        )
+        assert next_meta["start_offset"] == meta["end_offset"]
+
+
+class TestFailover:
+    def test_controller_failover_does_not_lose_data(self, schema):
+        cluster = make_cluster(schema, flush_rows=100, partitions=1)
+        cluster.ingest("clicks-topic", events(150), key_column="userId")
+        cluster.drain_realtime()
+        leader = cluster.leader_controller()
+        cluster.kill_controller(leader.instance_id)
+        cluster.ingest("clicks-topic", events(150, start=150),
+                       key_column="userId")
+        cluster.drain_realtime()
+        assert cluster.execute(
+            "SELECT count(*) FROM clicks"
+        ).rows[0][0] == 300
+
+    def test_server_loss_keeps_table_queryable(self, schema):
+        cluster = make_cluster(schema, flush_rows=100, partitions=2,
+                               replication=2)
+        cluster.ingest("clicks-topic", events(400), key_column="userId")
+        cluster.drain_realtime()
+        cluster.kill_server(cluster.servers[0].instance_id)
+        response = cluster.execute("SELECT count(*) FROM clicks")
+        assert response.rows[0][0] == 400
+        assert not response.is_partial
+
+    def test_sealed_replica_kept_not_redownloaded(self, schema):
+        """A replica whose local offset matches the committed offset
+        KEEPs its local copy (minimal network transfer)."""
+        cluster = make_cluster(schema, flush_rows=100, partitions=1,
+                               replication=2)
+        cluster.ingest("clicks-topic", events(120), key_column="userId")
+        cluster.drain_realtime()
+        view = cluster.helix.external_view("clicks_REALTIME")
+        segment_name = "clicks_REALTIME__0__0"
+        hosts = list(view[segment_name])
+        assert len(hosts) == 2
+        for host in hosts:
+            segment = cluster.server(host).segment("clicks_REALTIME",
+                                                   segment_name)
+            assert segment.num_docs == 100

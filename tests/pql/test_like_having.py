@@ -1,0 +1,194 @@
+"""Tests for the LIKE predicate and HAVING clause extensions."""
+
+import random
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.engine.executor import execute_segment
+from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.errors import PlanningError, PQLSyntaxError
+from repro.pql.ast_nodes import CompareOp, Like
+from repro.pql.parser import parse
+from repro.pql.rewriter import normalize_predicate, optimize
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+
+
+class TestLikeParsing:
+    def test_like(self):
+        query = parse("SELECT a FROM t WHERE name LIKE 'ab%'")
+        assert query.where == Like("name", "ab%")
+
+    def test_not_like(self):
+        query = parse("SELECT a FROM t WHERE name NOT LIKE '%x_'")
+        assert query.where == Like("name", "%x_", negated=True)
+
+    def test_like_to_regex(self):
+        assert Like("c", "a%b_c").to_regex() == "a.*b.c"
+        assert Like("c", "100%.txt").to_regex() == r"100.*\.txt"
+
+    def test_not_pushdown_flips_negation(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE NOT name LIKE 'x%'"
+        ).where
+        assert normalize_predicate(predicate) == Like("name", "x%",
+                                                      negated=True)
+
+    def test_roundtrip_through_str(self):
+        query = parse("SELECT a FROM t WHERE name NOT LIKE 'a%'")
+        assert parse(str(query)) == query
+
+
+class TestHavingParsing:
+    def test_having(self):
+        query = parse(
+            "SELECT sum(m) FROM t GROUP BY c HAVING sum(m) > 100"
+        )
+        [condition] = query.having
+        assert condition.op is CompareOp.GT
+        assert condition.value == 100
+
+    def test_having_multiple_conditions(self):
+        query = parse(
+            "SELECT sum(m), count(*) FROM t GROUP BY c "
+            "HAVING sum(m) >= 10 AND count(*) < 5"
+        )
+        assert len(query.having) == 2
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(PQLSyntaxError, match="GROUP BY"):
+            parse("SELECT sum(m) FROM t HAVING sum(m) > 1")
+
+    def test_having_aggregation_must_be_selected(self):
+        with pytest.raises(PQLSyntaxError, match="select list"):
+            parse("SELECT sum(m) FROM t GROUP BY c HAVING max(m) > 1")
+
+    def test_having_rejects_plain_column(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("SELECT sum(m) FROM t GROUP BY c HAVING c > 1")
+
+    def test_roundtrip_through_str(self):
+        query = parse(
+            "SELECT sum(m) FROM t GROUP BY c HAVING sum(m) > 100 TOP 5"
+        )
+        assert parse(str(query)) == query
+
+
+@pytest.fixture(scope="module")
+def segment():
+    schema = Schema("t", [
+        dimension("name"), dimension("grp"),
+        metric("m", DataType.LONG),
+    ])
+    builder = SegmentBuilder(
+        "seg", "t", schema, SegmentConfig(sorted_column="name"),
+    )
+    rng = random.Random(2)
+    names = ["alpha", "albatross", "beta", "bees", "gamma", "alps"]
+    for __ in range(600):
+        builder.add({"name": rng.choice(names),
+                     "grp": rng.choice("pq"),
+                     "m": rng.randint(1, 9)})
+    return builder.build()
+
+
+def run(segment, pql):
+    query = optimize(parse(pql))
+    result = execute_segment(segment, query)
+    return reduce_server_results(
+        query, [combine_segment_results(query, [result])]
+    )
+
+
+class TestLikeExecution:
+    def test_prefix_match(self, segment):
+        response = run(segment,
+                       "SELECT count(*) FROM t WHERE name LIKE 'al%'")
+        expected = run(
+            segment,
+            "SELECT count(*) FROM t "
+            "WHERE name IN ('alpha', 'albatross', 'alps')",
+        )
+        assert response.rows == expected.rows
+
+    def test_underscore_wildcard(self, segment):
+        response = run(segment,
+                       "SELECT count(*) FROM t WHERE name LIKE 'bee_'")
+        expected = run(segment,
+                       "SELECT count(*) FROM t WHERE name = 'bees'")
+        assert response.rows == expected.rows
+
+    def test_not_like(self, segment):
+        like = run(segment,
+                   "SELECT count(*) FROM t WHERE name LIKE '%a'").rows[0][0]
+        not_like = run(
+            segment, "SELECT count(*) FROM t WHERE name NOT LIKE '%a'"
+        ).rows[0][0]
+        assert like + not_like == segment.num_docs
+
+    def test_like_on_numeric_column_rejected(self, segment):
+        with pytest.raises(PlanningError, match="string column"):
+            run(segment, "SELECT count(*) FROM t WHERE m LIKE '1%'")
+
+    def test_like_combined_with_filter(self, segment):
+        response = run(
+            segment,
+            "SELECT sum(m) FROM t WHERE name LIKE 'a%' AND grp = 'p'",
+        )
+        brute = run(
+            segment,
+            "SELECT sum(m) FROM t "
+            "WHERE name IN ('alpha', 'albatross', 'alps') AND grp = 'p'",
+        )
+        assert response.rows == brute.rows
+
+
+class TestHavingExecution:
+    def test_iceberg_filtering(self, segment):
+        full = run(segment,
+                   "SELECT count(*) FROM t GROUP BY name TOP 100")
+        counts = {row[0]: row[1] for row in full.rows}
+        threshold = sorted(counts.values())[len(counts) // 2]
+        iceberg = run(
+            segment,
+            f"SELECT count(*) FROM t GROUP BY name "
+            f"HAVING count(*) >= {threshold} TOP 100",
+        )
+        expected = {k: v for k, v in counts.items() if v >= threshold}
+        assert {row[0]: row[1] for row in iceberg.rows} == expected
+
+    def test_having_multiple_conditions(self, segment):
+        response = run(
+            segment,
+            "SELECT count(*), sum(m) FROM t GROUP BY name "
+            "HAVING count(*) > 0 AND sum(m) < 0 TOP 100",
+        )
+        assert response.rows == []
+
+    def test_having_applies_after_merge(self, segment):
+        """HAVING must filter on the *global* aggregate, not per-segment
+        partials — verified by splitting data across two segments."""
+        records = list(segment.iter_records())
+        half = len(records) // 2
+        schema = segment.schema
+        pieces = []
+        for i, chunk in enumerate((records[:half], records[half:])):
+            builder = SegmentBuilder(f"piece{i}", "t", schema)
+            builder.add_all(chunk)
+            pieces.append(builder.build())
+
+        query = optimize(parse(
+            "SELECT count(*) FROM t GROUP BY name "
+            "HAVING count(*) >= 50 TOP 100"
+        ))
+        results = [execute_segment(piece, query) for piece in pieces]
+        split_response = reduce_server_results(
+            query, [combine_segment_results(query, results)]
+        )
+        whole_response = run(
+            segment,
+            "SELECT count(*) FROM t GROUP BY name "
+            "HAVING count(*) >= 50 TOP 100",
+        )
+        assert sorted(split_response.rows) == sorted(whole_response.rows)

@@ -1,0 +1,184 @@
+"""Tests for the query rewriter, including a semantic property test."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pql.ast_nodes import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    In,
+    Not,
+    Or,
+)
+from repro.pql.parser import parse
+from repro.pql.rewriter import normalize_predicate, optimize, split_hybrid
+
+
+from tests.reference import evaluate  # noqa: E402 - shared reference
+
+
+class TestNormalization:
+    def test_not_pushed_into_comparison(self):
+        predicate = parse("SELECT a FROM t WHERE NOT x = 1").where
+        assert normalize_predicate(predicate) == Comparison(
+            "x", CompareOp.NEQ, 1
+        )
+
+    def test_double_negation(self):
+        predicate = parse("SELECT a FROM t WHERE NOT NOT x = 1").where
+        assert normalize_predicate(predicate) == Comparison(
+            "x", CompareOp.EQ, 1
+        )
+
+    def test_de_morgan(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE NOT (x = 1 AND y = 2)"
+        ).where
+        normalized = normalize_predicate(predicate)
+        assert isinstance(normalized, Or)
+        assert Comparison("x", CompareOp.NEQ, 1) in normalized.children
+
+    def test_not_between_becomes_range_or(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE NOT x BETWEEN 1 AND 5"
+        ).where
+        normalized = normalize_predicate(predicate)
+        assert isinstance(normalized, Or)
+
+    def test_not_in_flips_flag(self):
+        predicate = parse("SELECT a FROM t WHERE NOT x IN (1, 2)").where
+        assert normalize_predicate(predicate) == In("x", (1, 2),
+                                                    negated=True)
+
+    def test_nested_ands_flattened(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE (x = 1 AND y = 2) AND z = 3"
+        ).where
+        normalized = normalize_predicate(predicate)
+        assert isinstance(normalized, And)
+        assert len(normalized.children) == 3
+
+    def test_duplicate_children_deduped(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE x = 1 AND x = 1"
+        ).where
+        assert normalize_predicate(predicate) == Comparison(
+            "x", CompareOp.EQ, 1
+        )
+
+    def test_or_of_equals_fused_to_in(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE b = 'x' OR b = 'y' OR b = 'z'"
+        ).where
+        assert normalize_predicate(predicate) == In("b", ("x", "y", "z"))
+
+    def test_or_of_in_and_eq_fused(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE b IN ('x') OR b = 'y'"
+        ).where
+        assert normalize_predicate(predicate) == In("b", ("x", "y"))
+
+    def test_or_across_columns_not_fused(self):
+        predicate = parse(
+            "SELECT a FROM t WHERE b = 'x' OR c = 'y'"
+        ).where
+        normalized = normalize_predicate(predicate)
+        assert isinstance(normalized, Or)
+        assert len(normalized.children) == 2
+
+    def test_optimize_without_where_is_identity(self):
+        query = parse("SELECT a FROM t")
+        assert optimize(query) is query
+
+
+# -- property: normalization preserves semantics -------------------------------
+
+columns = st.sampled_from(["a", "b", "c"])
+literals = st.integers(min_value=0, max_value=5)
+
+
+def predicates(depth=3):
+    leaf = st.one_of(
+        st.builds(Comparison, columns, st.sampled_from(list(CompareOp)),
+                  literals),
+        st.builds(
+            In, columns,
+            st.lists(literals, min_size=1, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(
+            lambda c, lo, span: Between(c, lo, lo + span),
+            columns, literals, st.integers(0, 3),
+        ),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.one_of(
+            st.builds(lambda kids: And(tuple(kids)),
+                      st.lists(inner, min_size=2, max_size=3)),
+            st.builds(lambda kids: Or(tuple(kids)),
+                      st.lists(inner, min_size=2, max_size=3)),
+            st.builds(Not, inner),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestNormalizationSemantics:
+    @settings(max_examples=150, deadline=None)
+    @given(predicates())
+    def test_normalize_preserves_semantics(self, predicate):
+        normalized = normalize_predicate(predicate)
+        rng = random.Random(0)
+        for __ in range(25):
+            record = {c: rng.randint(0, 5) for c in ("a", "b", "c")}
+            assert evaluate(predicate, record) == evaluate(normalized,
+                                                           record)
+
+    @settings(max_examples=80, deadline=None)
+    @given(predicates())
+    def test_normalized_form_has_no_not(self, predicate):
+        def has_not(node):
+            if isinstance(node, Not):
+                return True
+            if isinstance(node, (And, Or)):
+                return any(has_not(c) for c in node.children)
+            return False
+
+        assert not has_not(normalize_predicate(predicate))
+
+
+class TestHybridSplit:
+    def test_split_adds_boundary_filters(self):
+        query = parse("SELECT count(*) FROM events WHERE a = 1")
+        offline, realtime = split_hybrid(
+            query, "day", 17005, "events_OFFLINE", "events_REALTIME"
+        )
+        assert offline.table == "events_OFFLINE"
+        assert realtime.table == "events_REALTIME"
+        assert "day <= 17005" in str(offline.where)
+        assert "day > 17005" in str(realtime.where)
+        # Original filter preserved on both sides.
+        assert "a = 1" in str(offline.where)
+        assert "a = 1" in str(realtime.where)
+
+    def test_split_without_where(self):
+        query = parse("SELECT count(*) FROM events")
+        offline, realtime = split_hybrid(
+            query, "day", 100, "o", "r"
+        )
+        assert str(offline.where) == "day <= 100"
+        assert str(realtime.where) == "day > 100"
+
+    def test_split_covers_all_times_exactly_once(self):
+        query = parse("SELECT count(*) FROM events")
+        offline, realtime = split_hybrid(query, "day", 10, "o", "r")
+        for day in range(0, 21):
+            record = {"day": day}
+            offline_match = evaluate(offline.where, record)
+            realtime_match = evaluate(realtime.where, record)
+            assert offline_match != realtime_match  # exactly one side

@@ -1,0 +1,164 @@
+"""Unit and property-based tests for the roaring-style bitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segment.bitmap import ARRAY_MAX, RoaringBitmap, union_many
+
+value_sets = st.sets(st.integers(min_value=0, max_value=1 << 20),
+                     max_size=300)
+
+
+class TestBasics:
+    def test_empty(self):
+        bitmap = RoaringBitmap()
+        assert len(bitmap) == 0
+        assert not bitmap
+        assert 5 not in bitmap
+        assert list(bitmap) == []
+
+    def test_duplicates_collapse(self):
+        bitmap = RoaringBitmap([3, 3, 3, 1])
+        assert len(bitmap) == 2
+        assert list(bitmap) == [1, 3]
+
+    def test_membership_across_containers(self):
+        values = [0, 1, 65535, 65536, 200_000]
+        bitmap = RoaringBitmap(values)
+        for value in values:
+            assert value in bitmap
+        assert 2 not in bitmap
+        assert 131_072 not in bitmap
+
+    def test_min_max(self):
+        bitmap = RoaringBitmap([70000, 3, 12])
+        assert bitmap.min == 3
+        assert bitmap.max == 70000
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap().min
+
+    def test_from_sorted_matches_constructor(self):
+        values = np.arange(0, 100_000, 7, dtype=np.uint32)
+        assert RoaringBitmap.from_sorted(values) == RoaringBitmap(values)
+
+    def test_full_range(self):
+        bitmap = RoaringBitmap.full_range(10, 15)
+        assert list(bitmap) == [10, 11, 12, 13, 14]
+        assert len(RoaringBitmap.full_range(5, 5)) == 0
+
+    def test_dense_container_promotion(self):
+        # More than ARRAY_MAX values in one chunk forces a bitset.
+        values = np.arange(ARRAY_MAX + 10, dtype=np.uint32)
+        bitmap = RoaringBitmap(values)
+        assert len(bitmap) == ARRAY_MAX + 10
+        assert 17 in bitmap
+        assert int(values[-1]) in bitmap
+
+    def test_to_array_cached_and_correct(self):
+        bitmap = RoaringBitmap([9, 1, 70001])
+        first = bitmap.to_array()
+        assert first.tolist() == [1, 9, 70001]
+        assert bitmap.to_array() is first  # cached
+
+    def test_repr_is_compact(self):
+        text = repr(RoaringBitmap(range(100)))
+        assert "len=100" in text
+
+
+class TestSetAlgebra:
+    def test_and(self):
+        a = RoaringBitmap([1, 2, 3, 70_000])
+        b = RoaringBitmap([2, 70_000, 99])
+        assert list(a & b) == [2, 70_000]
+
+    def test_or(self):
+        a = RoaringBitmap([1, 5])
+        b = RoaringBitmap([5, 70_000])
+        assert list(a | b) == [1, 5, 70_000]
+
+    def test_sub(self):
+        a = RoaringBitmap([1, 2, 3])
+        b = RoaringBitmap([2])
+        assert list(a - b) == [1, 3]
+
+    def test_xor(self):
+        a = RoaringBitmap([1, 2])
+        b = RoaringBitmap([2, 3])
+        assert list(a ^ b) == [1, 3]
+
+    def test_and_disjoint_chunks_is_empty(self):
+        a = RoaringBitmap([1])
+        b = RoaringBitmap([70_000])
+        assert len(a & b) == 0
+
+    def test_flip(self):
+        bitmap = RoaringBitmap([1, 3])
+        assert list(bitmap.flip(0, 5)) == [0, 2, 4]
+
+    def test_union_many(self):
+        bitmaps = [RoaringBitmap([i, i + 10]) for i in range(5)]
+        assert len(union_many(bitmaps)) == 10
+        assert len(union_many([])) == 0
+
+
+class TestRunOptimize:
+    def test_run_optimize_preserves_contents(self):
+        values = np.arange(1000, 9000, dtype=np.uint32)
+        bitmap = RoaringBitmap(values).run_optimize()
+        assert np.array_equal(bitmap.to_array(), values)
+        assert 1000 in bitmap
+        assert 8999 in bitmap
+        assert 9000 not in bitmap
+
+    def test_run_encoding_shrinks_dense_runs(self):
+        values = np.arange(0, 60_000, dtype=np.uint32)
+        plain = RoaringBitmap(values)
+        optimized = plain.run_optimize()
+        assert optimized.memory_bytes() < plain.memory_bytes()
+
+    def test_run_container_membership_boundaries(self):
+        bitmap = RoaringBitmap(
+            np.concatenate([np.arange(100, 8000), np.arange(9000, 9100)])
+            .astype(np.uint32)
+        ).run_optimize()
+        assert 99 not in bitmap
+        assert 100 in bitmap
+        assert 7999 in bitmap
+        assert 8000 not in bitmap
+        assert 9099 in bitmap
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(value_sets)
+    def test_roundtrip(self, values):
+        bitmap = RoaringBitmap(values)
+        assert set(bitmap.to_array().tolist()) == values
+        assert len(bitmap) == len(values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_sets, value_sets)
+    def test_algebra_matches_python_sets(self, a, b):
+        bitmap_a, bitmap_b = RoaringBitmap(a), RoaringBitmap(b)
+        assert set((bitmap_a & bitmap_b).to_array().tolist()) == a & b
+        assert set((bitmap_a | bitmap_b).to_array().tolist()) == a | b
+        assert set((bitmap_a - bitmap_b).to_array().tolist()) == a - b
+        assert set((bitmap_a ^ bitmap_b).to_array().tolist()) == a ^ b
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_sets)
+    def test_run_optimize_is_identity_on_contents(self, values):
+        bitmap = RoaringBitmap(values)
+        assert bitmap.run_optimize() == bitmap
+
+    @settings(max_examples=60, deadline=None)
+    @given(value_sets)
+    def test_membership_matches_set(self, values):
+        bitmap = RoaringBitmap(values)
+        probes = list(values)[:20] + [0, 1, 65536, 1 << 20]
+        for probe in probes:
+            assert (probe in bitmap) == (probe in values)

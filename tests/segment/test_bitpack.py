@@ -1,0 +1,87 @@
+"""Tests for fixed-width bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SegmentError
+from repro.segment.bitpack import PackedIntArray, bits_required, pack, unpack
+
+
+class TestBitsRequired:
+    def test_zero_needs_one_bit(self):
+        assert bits_required(0) == 1
+
+    def test_powers_of_two(self):
+        assert bits_required(1) == 1
+        assert bits_required(2) == 2
+        assert bits_required(255) == 8
+        assert bits_required(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(SegmentError):
+            bits_required(-1)
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        values = np.array([0, 1, 2, 3, 7, 5], dtype=np.uint32)
+        packed = pack(values, 3)
+        assert np.array_equal(unpack(packed, 3, len(values)), values)
+
+    def test_packed_size_is_minimal(self):
+        values = np.zeros(64, dtype=np.uint32)
+        assert len(pack(values, 1)) == 8  # 64 bits
+
+    def test_empty(self):
+        assert pack(np.array([], dtype=np.uint32), 4) == b""
+        assert len(unpack(b"", 4, 0)) == 0
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(SegmentError):
+            pack(np.array([8]), 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SegmentError):
+            pack(np.array([-1]), 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SegmentError):
+            pack(np.array([1]), 0)
+        with pytest.raises(SegmentError):
+            pack(np.array([1]), 33)
+
+    def test_truncated_buffer_rejected(self):
+        packed = pack(np.arange(100, dtype=np.uint32), 7)
+        with pytest.raises(SegmentError):
+            unpack(packed[:-5], 7, 100)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**20 - 1), min_size=1,
+                 max_size=500),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_roundtrip_property(self, values, extra_bits):
+        array = np.asarray(values, dtype=np.uint32)
+        width = min(32, bits_required(int(array.max())) + extra_bits)
+        packed = pack(array, width)
+        assert np.array_equal(unpack(packed, width, len(array)), array)
+
+
+class TestPackedIntArray:
+    def test_from_values_autowidth(self):
+        packed = PackedIntArray.from_values(np.array([0, 5, 9]))
+        assert packed.bit_width == 4
+        assert len(packed) == 3
+        assert packed[1] == 5
+
+    def test_to_numpy_cached(self):
+        packed = PackedIntArray.from_values(np.arange(10))
+        assert packed.to_numpy() is packed.to_numpy()
+
+    def test_nbytes_smaller_than_raw(self):
+        values = np.arange(1000) % 4
+        packed = PackedIntArray.from_values(values)
+        assert packed.nbytes == 250  # 2 bits x 1000 / 8

@@ -1,0 +1,127 @@
+"""Tests for bloom filters and bloom-based broker pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segment.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(1000)
+        values = [f"v{i}" for i in range(1000)]
+        bloom.add_many(values)
+        assert all(bloom.might_contain(v) for v in values)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.for_capacity(1000, fpp=0.01)
+        bloom.add_many(f"v{i}" for i in range(1000))
+        false_positives = sum(
+            bloom.might_contain(f"absent{i}") for i in range(10_000)
+        )
+        assert false_positives / 10_000 < 0.05
+
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter.for_capacity(100)
+        assert not bloom.might_contain("anything")
+
+    def test_sizing(self):
+        small = BloomFilter.for_capacity(10)
+        large = BloomFilter.for_capacity(100_000)
+        assert large.num_bits > small.num_bits
+        assert large.nbytes < 200_000  # ~120 KB at 1% for 100k values
+
+    def test_payload_roundtrip(self):
+        bloom = BloomFilter.for_capacity(50)
+        bloom.add_many(range(50))
+        clone = BloomFilter.from_payload(bloom.to_payload())
+        assert clone.num_bits == bloom.num_bits
+        assert all(clone.might_contain(v) for v in range(50))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4, 1)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fpp=1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 100_000), min_size=1, max_size=200))
+    def test_membership_property(self, values):
+        bloom = BloomFilter.for_capacity(len(values))
+        bloom.add_many(values)
+        assert all(bloom.might_contain(v) for v in values)
+
+
+class TestBrokerBloomPruning:
+    @pytest.fixture
+    def cluster(self):
+        from repro.cluster.pinot import PinotCluster
+        from repro.cluster.table import TableConfig
+        from repro.common.schema import Schema
+        from repro.common.types import DataType, dimension, metric
+        from repro.segment.builder import SegmentConfig
+
+        schema = Schema("events", [
+            dimension("itemId", DataType.LONG), dimension("kind"),
+            metric("v", DataType.LONG),
+        ])
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, replication=1,
+            segment_config=SegmentConfig(bloom_columns=("itemId",)),
+        ))
+        # Three segments with disjoint itemId ranges.
+        for base in (0, 1000, 2000):
+            cluster.upload_records(
+                "events",
+                [{"itemId": base + i, "kind": "k", "v": 1}
+                 for i in range(100)],
+                rows_per_segment=100,
+            )
+        return cluster
+
+    def test_eq_query_prunes_foreign_segments(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE itemId = 1050"
+        )
+        assert response.rows[0][0] == 1
+        assert response.num_segments_pruned_by_broker >= 2
+        assert response.stats.num_segments_queried == 1
+
+    def test_in_query_keeps_all_matching_segments(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE itemId IN (5, 2005)"
+        )
+        assert response.rows[0][0] == 2
+        assert response.stats.num_segments_queried == 2
+
+    def test_absent_value_prunes_everything(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE itemId = 999999"
+        )
+        assert response.rows[0][0] == 0
+        assert response.num_segments_pruned_by_broker == 3
+
+    def test_range_query_not_bloom_pruned(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE itemId < 50"
+        )
+        assert response.rows[0][0] == 50
+        assert response.num_segments_pruned_by_broker == 0
+
+    def test_column_without_bloom_unaffected(self, cluster):
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE kind = 'nope'"
+        )
+        assert response.rows[0][0] == 0
+        assert response.num_segments_pruned_by_broker == 0
+
+    def test_float_literal_never_prunes(self, cluster):
+        # 5.0 equals itemId 5 under engine coercion; bloom pruning must
+        # not drop the segment just because floats hash differently.
+        response = cluster.execute(
+            "SELECT count(*) FROM events WHERE itemId = 5.0"
+        )
+        assert response.rows[0][0] == 1
+        assert response.num_segments_pruned_by_broker == 0

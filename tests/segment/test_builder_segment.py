@@ -1,0 +1,152 @@
+"""Tests for the segment builder and the ImmutableSegment API."""
+
+import numpy as np
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.errors import SegmentError
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+from repro.segment.forward import SortedForwardIndex
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        "events",
+        [
+            dimension("country"),
+            dimension("tags", DataType.STRING, multi_value=True),
+            metric("clicks", DataType.LONG),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+RECORDS = [
+    {"country": "us", "tags": ["a", "b"], "clicks": 3, "day": 17001},
+    {"country": "ca", "tags": ["b"], "clicks": 1, "day": 17002},
+    {"country": "us", "tags": [], "clicks": 2, "day": 17000},
+    {"country": "mx", "tags": ["c"], "clicks": 5, "day": 17001},
+]
+
+
+def build(schema, config=None, records=RECORDS):
+    builder = SegmentBuilder("seg1", "events", schema,
+                             config or SegmentConfig())
+    builder.add_all(records)
+    return builder.build()
+
+
+class TestBuild:
+    def test_empty_build_rejected(self, schema):
+        with pytest.raises(SegmentError):
+            SegmentBuilder("s", "t", schema).build()
+
+    def test_basic_metadata(self, schema):
+        segment = build(schema)
+        assert segment.num_docs == 4
+        assert segment.metadata.min_time == 17000
+        assert segment.metadata.max_time == 17002
+        assert segment.metadata.time_column == "day"
+        assert set(segment.column_names) == {"country", "tags", "clicks",
+                                             "day"}
+
+    def test_column_statistics(self, schema):
+        segment = build(schema)
+        meta = segment.metadata.column("country")
+        assert meta.cardinality == 3
+        assert meta.min_value == "ca"
+        assert meta.max_value == "us"
+        assert meta.total_docs == 4
+
+    def test_sorted_column_reorders_physically(self, schema):
+        segment = build(schema, SegmentConfig(sorted_column="country"))
+        column = segment.column("country")
+        assert isinstance(column.forward, SortedForwardIndex)
+        values = [segment.record(i)["country"] for i in range(4)]
+        assert values == sorted(values)
+        assert segment.metadata.sorted_column == "country"
+        assert segment.metadata.column("country").is_sorted
+
+    def test_sorted_multi_value_rejected(self, schema):
+        with pytest.raises(SegmentError):
+            SegmentBuilder("s", "t", schema,
+                           SegmentConfig(sorted_column="tags"))
+
+    def test_unknown_inverted_column_rejected(self, schema):
+        from repro.errors import PinotError
+
+        with pytest.raises(PinotError):
+            SegmentBuilder("s", "t", schema,
+                           SegmentConfig(inverted_columns=("missing",)))
+
+    def test_inverted_built_on_request(self, schema):
+        segment = build(schema, SegmentConfig(inverted_columns=("country",)))
+        assert segment.column("country").inverted is not None
+        assert segment.metadata.column("country").has_inverted_index
+        assert segment.column("clicks").inverted is None
+
+    def test_multi_value_stats(self, schema):
+        segment = build(schema)
+        meta = segment.metadata.column("tags")
+        assert meta.multi_value
+        assert meta.total_entries == 4  # a,b + b + (none) + c
+        assert meta.cardinality == 3
+
+    def test_partition_metadata(self, schema):
+        from repro.kafka.partitioner import kafka_partition
+
+        config = SegmentConfig(partition_column="country", num_partitions=4)
+        us_only = [r for r in RECORDS if r["country"] == "us"]
+        segment = build(schema, config, us_only)
+        assert segment.metadata.partition_column == "country"
+        assert segment.metadata.partition_id == kafka_partition("us", 4)
+
+    def test_mixed_partition_rejected(self, schema):
+        config = SegmentConfig(partition_column="country", num_partitions=4)
+        with pytest.raises(SegmentError, match="spans partitions"):
+            build(schema, config)
+
+    def test_partition_config_must_be_complete(self):
+        with pytest.raises(SegmentError):
+            SegmentConfig(partition_column="c")
+
+
+class TestSegmentApi:
+    def test_record_roundtrip(self, schema):
+        segment = build(schema)
+        assert segment.record(0) == {
+            "country": "us", "tags": ["a", "b"], "clicks": 3, "day": 17001
+        }
+        assert len(list(segment.iter_records())) == 4
+
+    def test_unknown_column_raises(self, schema):
+        segment = build(schema)
+        with pytest.raises(SegmentError):
+            segment.column("nope")
+
+    def test_values_decoded(self, schema):
+        segment = build(schema)
+        assert segment.column("clicks").values().tolist() == [3, 1, 2, 5]
+
+    def test_multi_value_dict_ids_rejected(self, schema):
+        segment = build(schema)
+        with pytest.raises(SegmentError):
+            segment.column("tags").dict_ids()
+
+    def test_ensure_inverted_on_demand(self, schema):
+        segment = build(schema)
+        assert segment.column("country").inverted is None
+        inverted = segment.ensure_inverted_index("country")
+        assert inverted is segment.column("country").inverted
+        assert segment.metadata.column("country").has_inverted_index
+
+    def test_time_range(self, schema):
+        assert build(schema).time_range() == (17000, 17002)
+
+    def test_column_count_mismatch_rejected(self, schema):
+        segment = build(schema)
+        other = build(schema, records=RECORDS[:2])
+        with pytest.raises(SegmentError):
+            segment.add_virtual_column(other.column("country"))

@@ -1,0 +1,81 @@
+"""Tests for the three forward-index layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentError
+from repro.segment.forward import (
+    MultiValueForwardIndex,
+    SingleValueForwardIndex,
+    SortedForwardIndex,
+)
+
+
+class TestSingleValue:
+    def test_roundtrip(self):
+        ids = np.array([3, 1, 4, 1, 5], dtype=np.uint32)
+        forward = SingleValueForwardIndex.from_dict_ids(ids)
+        assert forward.num_docs == 5
+        assert np.array_equal(forward.dict_ids(), ids)
+        assert forward.dict_id(2) == 4
+
+    def test_bit_packed_storage(self):
+        ids = np.arange(1000, dtype=np.uint32) % 8  # 3 bits each
+        forward = SingleValueForwardIndex.from_dict_ids(ids)
+        assert forward.nbytes == 375  # 3 * 1000 / 8
+
+
+class TestSorted:
+    def test_from_sorted_ids(self):
+        ids = np.array([0, 0, 1, 1, 1, 3], dtype=np.uint32)
+        forward = SortedForwardIndex.from_sorted_dict_ids(ids, 4)
+        assert forward.num_docs == 6
+        assert forward.doc_range(0) == (0, 2)
+        assert forward.doc_range(1) == (2, 5)
+        assert forward.doc_range(2) == (5, 5)  # absent id: empty range
+        assert forward.doc_range(3) == (5, 6)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(SegmentError):
+            SortedForwardIndex.from_sorted_dict_ids(
+                np.array([1, 0], dtype=np.uint32), 2
+            )
+
+    def test_doc_range_for_ids(self):
+        ids = np.array([0, 0, 1, 2, 2, 2], dtype=np.uint32)
+        forward = SortedForwardIndex.from_sorted_dict_ids(ids, 3)
+        assert forward.doc_range_for_ids(0, 2) == (0, 3)
+        assert forward.doc_range_for_ids(1, 3) == (2, 6)
+        assert forward.doc_range_for_ids(5, 9) == (6, 6)  # clamped
+
+    def test_dict_ids_reconstruction(self):
+        ids = np.array([0, 1, 1, 2], dtype=np.uint32)
+        forward = SortedForwardIndex.from_sorted_dict_ids(ids, 3)
+        assert np.array_equal(forward.dict_ids(), ids)
+        assert forward.dict_id(0) == 0
+        assert forward.dict_id(2) == 1
+        assert forward.dict_id(3) == 2
+
+
+class TestMultiValue:
+    def test_roundtrip(self):
+        lists = [np.array([0, 2], dtype=np.uint32),
+                 np.array([], dtype=np.uint32),
+                 np.array([1], dtype=np.uint32)]
+        forward = MultiValueForwardIndex.from_id_lists(lists)
+        assert forward.num_docs == 3
+        assert forward.total_entries == 3
+        assert forward.dict_ids_of(0).tolist() == [0, 2]
+        assert forward.dict_ids_of(1).tolist() == []
+        assert forward.dict_ids_of(2).tolist() == [1]
+
+    def test_max_entries(self):
+        lists = [np.array([0] * 5, dtype=np.uint32),
+                 np.array([1], dtype=np.uint32)]
+        forward = MultiValueForwardIndex.from_id_lists(lists)
+        assert forward.max_entries_per_doc() == 5
+
+    def test_empty_doc_list(self):
+        forward = MultiValueForwardIndex.from_id_lists([])
+        assert forward.num_docs == 0
+        assert forward.max_entries_per_doc() == 0

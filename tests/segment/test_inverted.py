@@ -1,0 +1,87 @@
+"""Tests for bitmap inverted indexes over each forward layout."""
+
+import numpy as np
+
+from repro.segment.forward import (
+    MultiValueForwardIndex,
+    SingleValueForwardIndex,
+    SortedForwardIndex,
+)
+from repro.segment.inverted import InvertedIndex
+
+
+def _single(ids, cardinality):
+    forward = SingleValueForwardIndex.from_dict_ids(
+        np.asarray(ids, dtype=np.uint32)
+    )
+    return InvertedIndex.build(forward, cardinality)
+
+
+class TestBuildFromSingleValue:
+    def test_docs_per_id(self):
+        inverted = _single([2, 0, 2, 1, 0], 3)
+        assert list(inverted.docs_for(0)) == [1, 4]
+        assert list(inverted.docs_for(1)) == [3]
+        assert list(inverted.docs_for(2)) == [0, 2]
+
+    def test_cardinality_and_docs(self):
+        inverted = _single([0, 1], 2)
+        assert inverted.cardinality == 2
+        assert inverted.num_docs == 2
+
+    def test_absent_id_is_empty(self):
+        inverted = _single([0, 0], 2)
+        assert len(inverted.docs_for(1)) == 0
+
+    def test_docs_for_ids_union(self):
+        inverted = _single([0, 1, 2, 1], 3)
+        assert list(inverted.docs_for_ids([0, 2])) == [0, 2]
+
+    def test_docs_for_id_range(self):
+        inverted = _single([0, 1, 2, 3], 4)
+        assert list(inverted.docs_for_id_range(1, 3)) == [1, 2]
+
+    def test_union_doc_array_disjoint_sorted(self):
+        inverted = _single([3, 1, 0, 2, 1], 4)
+        docs = inverted.union_doc_array([(0, 2), (3, 4)])
+        assert docs.tolist() == [0, 1, 2, 4]
+        assert docs.dtype == np.int64
+
+
+class TestBuildFromSorted:
+    def test_ranges_become_full_bitmaps(self):
+        forward = SortedForwardIndex.from_sorted_dict_ids(
+            np.array([0, 0, 1, 2, 2], dtype=np.uint32), 3
+        )
+        inverted = InvertedIndex.build(forward, 3)
+        assert list(inverted.docs_for(0)) == [0, 1]
+        assert list(inverted.docs_for(1)) == [2]
+        assert list(inverted.docs_for(2)) == [3, 4]
+
+
+class TestBuildFromMultiValue:
+    def test_doc_in_many_postings(self):
+        forward = MultiValueForwardIndex.from_id_lists(
+            [np.array([0, 1], dtype=np.uint32),
+             np.array([1], dtype=np.uint32),
+             np.array([], dtype=np.uint32)]
+        )
+        inverted = InvertedIndex.build(forward, 2)
+        assert list(inverted.docs_for(0)) == [0]
+        assert list(inverted.docs_for(1)) == [0, 1]
+
+    def test_union_doc_array_dedupes_overlap(self):
+        forward = MultiValueForwardIndex.from_id_lists(
+            [np.array([0, 1], dtype=np.uint32),
+             np.array([0], dtype=np.uint32)]
+        )
+        inverted = InvertedIndex.build(forward, 2)
+        docs = inverted.union_doc_array([(0, 2)])
+        assert docs.tolist() == [0, 1]  # doc 0 appears once
+
+    def test_duplicate_ids_within_doc(self):
+        forward = MultiValueForwardIndex.from_id_lists(
+            [np.array([1, 1, 1], dtype=np.uint32)]
+        )
+        inverted = InvertedIndex.build(forward, 2)
+        assert list(inverted.docs_for(1)) == [0]

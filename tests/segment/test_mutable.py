@@ -1,0 +1,102 @@
+"""Tests for mutable (consuming) realtime segments."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.errors import SegmentError
+from repro.segment.builder import SegmentConfig
+from repro.segment.mutable import MutableSegment
+
+
+@pytest.fixture
+def schema():
+    return Schema("rt", [dimension("user"), metric("n", DataType.LONG)])
+
+
+@pytest.fixture
+def mutable(schema):
+    return MutableSegment("rt__0__0", "rt", schema)
+
+
+class TestIngestion:
+    def test_index_and_count(self, mutable):
+        mutable.index({"user": "a", "n": 1})
+        mutable.index({"user": "b", "n": 2})
+        assert mutable.num_docs == 2
+
+    def test_records_are_normalized(self, mutable):
+        mutable.index({"user": "a"})
+        assert mutable.records() == [{"user": "a", "n": 0}]
+
+    def test_bad_record_rejected(self, mutable):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            mutable.index({"user": "a", "bogus": 1})
+
+
+class TestSnapshot:
+    def test_empty_snapshot_is_none(self, mutable):
+        assert mutable.snapshot() is None
+
+    def test_snapshot_reflects_rows(self, mutable):
+        mutable.index({"user": "a", "n": 5})
+        snapshot = mutable.snapshot()
+        assert snapshot.num_docs == 1
+        assert snapshot.record(0) == {"user": "a", "n": 5}
+
+    def test_snapshot_cached_until_new_rows(self, mutable):
+        mutable.index({"user": "a", "n": 1})
+        first = mutable.snapshot()
+        assert mutable.snapshot() is first
+        mutable.index({"user": "b", "n": 2})
+        second = mutable.snapshot()
+        assert second is not first
+        assert second.num_docs == 2
+
+    def test_invalidate_snapshot(self, mutable):
+        mutable.index({"user": "a", "n": 1})
+        first = mutable.snapshot()
+        mutable.invalidate_snapshot()
+        assert mutable.snapshot() is not first
+
+
+class TestSeal:
+    def test_seal_empty_rejected(self, mutable):
+        with pytest.raises(SegmentError):
+            mutable.seal()
+
+    def test_seal_applies_full_config(self, schema):
+        mutable = MutableSegment(
+            "rt__0__0", "rt", schema,
+            SegmentConfig(sorted_column="user"),
+        )
+        mutable.index({"user": "z", "n": 1})
+        mutable.index({"user": "a", "n": 2})
+        sealed = mutable.seal()
+        assert sealed.column("user").is_sorted
+        assert sealed.record(0)["user"] == "a"
+
+    def test_sealed_segment_rejects_more_rows(self, mutable):
+        mutable.index({"user": "a", "n": 1})
+        mutable.seal()
+        assert mutable.is_sealed
+        with pytest.raises(SegmentError):
+            mutable.index({"user": "b", "n": 1})
+
+
+class TestDiscard:
+    def test_discard_and_replace(self, mutable):
+        mutable.index({"user": "local", "n": 1})
+        mutable.discard_and_replace(
+            [{"user": "authoritative", "n": 9}]
+        )
+        assert mutable.records() == [{"user": "authoritative", "n": 9}]
+        assert mutable.snapshot().num_docs == 1
+
+    def test_discard_after_seal_rejected(self, mutable):
+        mutable.index({"user": "a", "n": 1})
+        mutable.seal()
+        with pytest.raises(SegmentError):
+            mutable.discard_and_replace([])

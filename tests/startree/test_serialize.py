@@ -1,0 +1,66 @@
+"""Star-tree serialization roundtrip tests."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.errors import SegmentFormatError
+from repro.startree.builder import StarTreeConfig, build_star_tree
+from repro.startree.serialize import star_tree_from_bytes, star_tree_to_bytes
+
+
+@pytest.fixture(scope="module")
+def tree():
+    schema = Schema("t", [dimension("a"), dimension("b"),
+                          metric("m", DataType.LONG)])
+    rng = random.Random(4)
+    records = [
+        {"a": rng.choice("xyz"), "b": rng.choice("pq"),
+         "m": rng.randint(0, 9)}
+        for __ in range(300)
+    ]
+    return build_star_tree(schema, records,
+                           StarTreeConfig(dimensions=("a", "b"),
+                                          max_leaf_records=5))
+
+
+class TestRoundTrip:
+    def test_roundtrip_metadata(self, tree):
+        clone = star_tree_from_bytes(star_tree_to_bytes(tree))
+        assert clone.dimensions == tree.dimensions
+        assert clone.metric_columns == tree.metric_columns
+        assert clone.dictionaries == tree.dictionaries
+        assert clone.num_raw_docs == tree.num_raw_docs
+        assert clone.max_leaf_records == tree.max_leaf_records
+
+    def test_roundtrip_arrays(self, tree):
+        clone = star_tree_from_bytes(star_tree_to_bytes(tree))
+        assert np.array_equal(clone.dim_ids, tree.dim_ids)
+        assert np.array_equal(clone.counts, tree.counts)
+        assert np.array_equal(clone.metrics["m"].sums,
+                              tree.metrics["m"].sums)
+
+    def test_roundtrip_tree_structure(self, tree):
+        clone = star_tree_from_bytes(star_tree_to_bytes(tree))
+
+        def structure(node):
+            return (
+                node.depth, node.start, node.end,
+                {k: structure(v) for k, v in node.children.items()},
+                structure(node.star_child) if node.star_child else None,
+            )
+
+        assert structure(clone.root) == structure(tree.root)
+
+    def test_truncated_blob_rejected(self, tree):
+        with pytest.raises(SegmentFormatError):
+            star_tree_from_bytes(b"abc")
+
+    def test_corrupt_header_rejected(self, tree):
+        payload = bytearray(star_tree_to_bytes(tree))
+        payload[10] ^= 0xFF
+        with pytest.raises(SegmentFormatError):
+            star_tree_from_bytes(bytes(payload))

@@ -1,0 +1,99 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.pql.parser import parse
+from repro.workloads import anomaly, impressions, share_analytics, wvmp
+from repro.workloads.generator import ZipfSampler, name_pool
+
+WORKLOADS = [anomaly, share_analytics, wvmp, impressions]
+
+
+class TestZipf:
+    def test_heavy_tail(self):
+        sampler = ZipfSampler(100, s=1.2, seed=0)
+        samples = sampler.sample(20_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts[0] > counts[50] > 0
+        # Top 10 values carry a large share of the mass.
+        assert counts[:10].sum() > 0.35 * len(samples)
+
+    def test_range(self):
+        sampler = ZipfSampler(7, seed=1)
+        samples = sampler.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 7
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(50, seed=3).sample(100)
+        b = ZipfSampler(50, seed=3).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_scalar_sample(self):
+        assert isinstance(ZipfSampler(10, seed=0).sample(), int)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_name_pool(self):
+        pool = name_pool("x", 3)
+        assert pool == ["x-00000", "x-00001", "x-00002"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS,
+                         ids=lambda w: w.__name__.rsplit(".", 1)[-1])
+class TestWorkloadContracts:
+    def test_records_conform_to_schema(self, workload):
+        schema = workload.schema()
+        records = workload.generate_records(500, seed=1)
+        assert len(records) == 500
+        for record in records[:50]:
+            normalized = schema.normalize(record)
+            assert set(normalized) == set(schema.column_names)
+
+    def test_queries_parse_and_reference_schema(self, workload):
+        schema = workload.schema()
+        queries = workload.generate_queries(50, seed=2)
+        assert len(queries) == 50
+        for text in queries:
+            query = parse(text)
+            for column in query.referenced_columns():
+                assert column in schema, (text, column)
+
+    def test_generation_deterministic(self, workload):
+        assert workload.generate_records(50, seed=9) == \
+            workload.generate_records(50, seed=9)
+        assert workload.generate_queries(20, seed=9) == \
+            workload.generate_queries(20, seed=9)
+
+
+class TestWorkloadSpecifics:
+    def test_anomaly_segment_configs(self):
+        assert anomaly.segment_config("none").inverted_columns == ()
+        assert anomaly.segment_config("inverted").inverted_columns
+        assert anomaly.segment_config("startree").star_tree is not None
+        with pytest.raises(ValueError):
+            anomaly.segment_config("bogus")
+
+    def test_wvmp_queries_always_filter_viewee(self):
+        for text in wvmp.generate_queries(30, seed=5):
+            assert "vieweeId =" in text
+
+    def test_wvmp_configs(self):
+        assert wvmp.segment_config("sorted").sorted_column == "vieweeId"
+        assert "vieweeId" in wvmp.segment_config("inverted").inverted_columns
+
+    def test_share_queries_always_filter_item(self):
+        for text in share_analytics.generate_queries(30, seed=5):
+            assert "itemId =" in text
+
+    def test_impressions_partition_config(self):
+        config = impressions.partition_config()
+        assert config.column == "memberId"
+        assert config.num_partitions == impressions.NUM_PARTITIONS
+
+    def test_impression_queries_filter_member(self):
+        for text in impressions.generate_queries(30, seed=5):
+            assert "memberId =" in text

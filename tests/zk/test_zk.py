@@ -1,0 +1,137 @@
+"""Tests for the simulated Zookeeper store."""
+
+import pytest
+
+from repro.zk.store import ZkError, ZkStore
+
+
+@pytest.fixture
+def zk():
+    return ZkStore()
+
+
+class TestCrud:
+    def test_create_and_get(self, zk):
+        zk.create("/a", {"x": 1})
+        assert zk.get("/a") == {"x": 1}
+        assert zk.exists("/a")
+
+    def test_create_duplicate_rejected(self, zk):
+        zk.create("/a")
+        with pytest.raises(ZkError, match="already exists"):
+            zk.create("/a")
+
+    def test_missing_parent_rejected(self, zk):
+        with pytest.raises(ZkError, match="parent"):
+            zk.create("/a/b/c")
+
+    def test_make_parents(self, zk):
+        zk.create("/a/b/c", 7, make_parents=True)
+        assert zk.get("/a/b/c") == 7
+        assert zk.children("/a") == ["b"]
+
+    def test_relative_path_rejected(self, zk):
+        with pytest.raises(ZkError, match="absolute"):
+            zk.create("a")
+
+    def test_get_missing_raises(self, zk):
+        with pytest.raises(ZkError):
+            zk.get("/nope")
+        assert zk.get_or_default("/nope", 42) == 42
+
+    def test_delete(self, zk):
+        zk.create("/a", 1)
+        zk.delete("/a")
+        assert not zk.exists("/a")
+        zk.delete("/a")  # idempotent
+
+    def test_delete_with_children_requires_recursive(self, zk):
+        zk.create("/a/b", make_parents=True)
+        with pytest.raises(ZkError, match="children"):
+            zk.delete("/a")
+        zk.delete("/a", recursive=True)
+        assert not zk.exists("/a")
+
+    def test_children_sorted(self, zk):
+        for name in ("c", "a", "b"):
+            zk.create(f"/p/{name}", make_parents=True)
+        assert zk.children("/p") == ["a", "b", "c"]
+        assert zk.children("/missing") == []
+
+    def test_upsert(self, zk):
+        zk.upsert("/deep/path", 1)
+        zk.upsert("/deep/path", 2)
+        assert zk.get("/deep/path") == 2
+
+
+class TestVersions:
+    def test_version_increments(self, zk):
+        zk.create("/a", 0)
+        assert zk.version("/a") == 0
+        zk.set("/a", 1)
+        assert zk.version("/a") == 1
+
+    def test_cas_write(self, zk):
+        zk.create("/a", 0)
+        zk.set("/a", 1, expected_version=0)
+        with pytest.raises(ZkError, match="bad version"):
+            zk.set("/a", 2, expected_version=0)
+        assert zk.get("/a") == 1
+
+
+class TestEphemeral:
+    def test_ephemeral_vanishes_on_session_close(self, zk):
+        session = zk.connect()
+        zk.create("/live", "me", session=session, ephemeral=True)
+        assert zk.exists("/live")
+        session.close()
+        assert not zk.exists("/live")
+
+    def test_ephemeral_requires_session(self, zk):
+        with pytest.raises(ZkError):
+            zk.create("/live", ephemeral=True)
+
+    def test_other_sessions_unaffected(self, zk):
+        s1, s2 = zk.connect(), zk.connect()
+        zk.create("/n1", session=s1, ephemeral=True)
+        zk.create("/n2", session=s2, ephemeral=True)
+        s1.close()
+        assert not zk.exists("/n1")
+        assert zk.exists("/n2")
+
+    def test_close_idempotent(self, zk):
+        session = zk.connect()
+        session.close()
+        session.close()
+
+
+class TestSequential:
+    def test_sequential_names(self, zk):
+        zk.create("/q", make_parents=True)
+        first = zk.create("/q/n-", sequential=True)
+        second = zk.create("/q/n-", sequential=True)
+        assert first == "/q/n-0000000000"
+        assert second == "/q/n-0000000001"
+
+
+class TestWatches:
+    def test_data_watch_fires_on_set(self, zk):
+        events = []
+        zk.create("/w", 0)
+        zk.watch_data("/w", lambda event, path: events.append((event, path)))
+        zk.set("/w", 1)
+        assert ("changed", "/w") in events
+
+    def test_data_watch_fires_on_delete(self, zk):
+        events = []
+        zk.create("/w", 0)
+        zk.watch_data("/w", lambda event, path: events.append(event))
+        zk.delete("/w")
+        assert "deleted" in events
+
+    def test_child_watch_fires_on_create(self, zk):
+        events = []
+        zk.create("/p")
+        zk.watch_children("/p", lambda event, path: events.append(path))
+        zk.create("/p/c1")
+        assert events == ["/p"]
