@@ -8,7 +8,6 @@ children execute in the order the query wrote them, so an expensive
 scan can run before a cheap sorted-range filter narrows the selection.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks._common import write_report

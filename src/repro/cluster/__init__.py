@@ -14,6 +14,7 @@ from repro.cluster.completion import (
     SegmentCompletionManager,
 )
 from repro.cluster.controller import Controller
+from repro.cluster.metrics import BrokerMetrics, StageTiming
 from repro.cluster.minion import MinionInstance
 from repro.cluster.objectstore import (
     FileObjectStore,
@@ -33,9 +34,11 @@ from repro.cluster.tenant import TenantQuotaManager, TokenBucket
 __all__ = [
     "AutoIndexAnalyzer",
     "BrokerInstance",
+    "BrokerMetrics",
     "IndexRecommendation",
     "QueryLogEntry",
     "CompletionResponse",
+    "StageTiming",
     "Controller",
     "FileObjectStore",
     "Instruction",

@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
+from repro.cluster.metrics import BrokerMetrics
 from repro.cluster.table import TableConfig, TableType
 from repro.cluster.tenant import TenantQuotaManager
 from repro.common.timeutils import TimeGranularity, time_boundary
 from repro.engine.merge import reduce_server_results
 from repro.engine.results import BrokerResponse, ServerResult
-from repro.errors import ClusterError, RoutingError
+from repro.errors import ClusterError, RoutingError, ServerUnreachableError
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.pql.ast_nodes import Query
@@ -86,11 +88,40 @@ class QueryLogEntry:
     docs_scanned: int
 
 
+@dataclass
+class _FailedSubRequest:
+    """One failed scatter sub-request awaiting failover."""
+
+    instance: str
+    segments: list[str]
+    result: ServerResult
+    tried: set[str]
+
+
+@dataclass
+class _ScatterOutcome:
+    """Everything one physical query's scatter/gather produced."""
+
+    results: list[ServerResult] = field(default_factory=list)
+    recovered_errors: list[str] = field(default_factory=list)
+    pruned: int = 0
+    contacted: set[str] = field(default_factory=set)
+    responded: set[str] = field(default_factory=set)
+    retries: int = 0
+    segments_failed_over: int = 0
+
+
 class BrokerInstance:
     """One Pinot broker."""
 
     #: Bound on the retained query log (oldest entries are dropped).
     QUERY_LOG_LIMIT = 10_000
+    #: Per sub-request attempt bound: the primary dispatch plus up to
+    #: two failovers to other replicas.
+    MAX_SUBREQUEST_ATTEMPTS = 3
+    #: Base of the exponential backoff charged against the query's
+    #: deadline before each retry (simulated — no real sleep).
+    RETRY_BACKOFF_BASE_MS = 25.0
 
     def __init__(self, instance_id: str, helix: HelixManager,
                  quotas: TenantQuotaManager | None = None,
@@ -103,6 +134,7 @@ class BrokerInstance:
         self._dirty: set[str] = set()
         self.queries_served = 0
         self.query_log: list[QueryLogEntry] = []
+        self.metrics = BrokerMetrics()
         helix.watch_external_view(self._on_view_change)
 
     # -- routing-table maintenance (§3.3.2) -----------------------------------
@@ -171,7 +203,15 @@ class BrokerInstance:
 
     def execute(self, pql: str | Query, tenant: str | None = None,
                 now: float | None = None) -> BrokerResponse:
-        """Run one query end to end and return the broker response."""
+        """Run one query end to end and return the broker response.
+
+        The scatter/gather is failure-hardened (§3.3.3 step 7 and the
+        resilience follow-up work): failed sub-requests are retried on
+        different replicas within the query's ``OPTION(timeoutMs=...)``
+        deadline, and when no replica can serve some segments the
+        merged response is returned with ``partial=True`` and per-server
+        error detail instead of failing the whole query.
+        """
         started = time.perf_counter()
         query = parse(pql) if isinstance(pql, str) else pql
         query = optimize(query)
@@ -183,26 +223,56 @@ class BrokerInstance:
             clock = now if now is not None else time.monotonic()
             self._quotas.admit(tenant, clock)
 
+        self.metrics.incr("queries")
+        timeout_ms = query.options.get("timeoutMs")
+        deadline = (started + timeout_ms / 1e3
+                    if timeout_ms is not None else None)
+        stage_times: dict[str, float] = {}
+
         server_results: list[ServerResult] = []
+        recovered: list[str] = []
+        contacted: set[str] = set()
+        responded: set[str] = set()
         pruned_total = 0
+        retries = 0
+        failed_over = 0
         for physical_query in physical:
-            results, pruned = self._scatter(physical_query)
-            server_results.extend(results)
-            pruned_total += pruned
-            self._record_query_log(physical_query, results)
+            outcome = self._scatter_gather(physical_query, deadline,
+                                           stage_times)
+            server_results.extend(outcome.results)
+            recovered.extend(outcome.recovered_errors)
+            pruned_total += outcome.pruned
+            contacted |= outcome.contacted
+            responded |= outcome.responded
+            retries += outcome.retries
+            failed_over += outcome.segments_failed_over
+            self._record_query_log(physical_query, outcome.results)
 
         elapsed_ms = (time.perf_counter() - started) * 1e3
         if self._quotas is not None:
             clock = now if now is not None else time.monotonic()
             self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
         self.queries_served += 1
-        response = reduce_server_results(query, server_results, elapsed_ms)
-        response.num_servers_queried = len(server_results)
-        response.num_servers_responded = sum(
-            1 for r in server_results if r.error is None
-        )
+        merge_started = time.perf_counter()
+        response = reduce_server_results(query, server_results, elapsed_ms,
+                                         recovered_exceptions=recovered)
+        self._record_stage("merge",
+                           (time.perf_counter() - merge_started) * 1e3,
+                           stage_times)
+        response.num_servers_queried = len(contacted)
+        response.num_servers_responded = len(responded)
         response.num_segments_pruned_by_broker = pruned_total
+        response.num_retries = retries
+        response.num_segments_failed_over = failed_over
+        response.stage_times_ms = stage_times
+        if response.is_partial:
+            self.metrics.incr("partial_responses")
         return response
+
+    def _record_stage(self, stage: str, elapsed_ms: float,
+                      stage_times: dict[str, float]) -> None:
+        self.metrics.record_stage(stage, elapsed_ms)
+        stage_times[stage] = stage_times.get(stage, 0.0) + elapsed_ms
 
     def _resolve_physical_queries(self, query: Query) -> list[Query]:
         """Map the logical table to physical queries, splitting hybrid
@@ -257,26 +327,125 @@ class BrokerInstance:
         granularity = TimeGranularity(config.retention_granularity.unit, 1)
         return time_boundary(max_time, granularity)
 
-    def _scatter(self, query: Query) -> tuple[list[ServerResult], int]:
+    def _scatter_gather(self, query: Query, deadline: float | None,
+                        stage_times: dict[str, float]) -> _ScatterOutcome:
+        """Route, scatter, and gather one physical query with replica
+        failover and graceful degradation."""
+        outcome = _ScatterOutcome()
+
+        route_started = time.perf_counter()
         strategy = self._strategy_for(query.table)
         try:
             routing_table = strategy.route(query)
         except RoutingError as exc:
-            return ([ServerResult(server=self.instance_id,
-                                  error=str(exc))], 0)
+            self._record_stage(
+                "route", (time.perf_counter() - route_started) * 1e3,
+                stage_times)
+            outcome.results.append(
+                ServerResult(server=self.instance_id, error=str(exc))
+            )
+            return outcome
         routing_table, pruned = self._prune_by_time(query, routing_table)
         routing_table, bloom_pruned = self._prune_by_bloom(query,
                                                            routing_table)
-        pruned += bloom_pruned
-        results = []
+        outcome.pruned = pruned + bloom_pruned
+        self._record_stage(
+            "route", (time.perf_counter() - route_started) * 1e3,
+            stage_times)
+
+        # Scatter: the primary fan-out over the chosen routing table.
+        scatter_started = time.perf_counter()
+        failures: deque[_FailedSubRequest] = deque()
         for instance, segments in routing_table.items():
-            server = self._helix.participant(instance)
-            if server is None:
-                results.append(ServerResult(server=instance,
-                                            error="server unreachable"))
+            result = self._dispatch(instance, query, segments, deadline,
+                                    outcome)
+            if result.error is None:
+                outcome.results.append(result)
+                outcome.responded.add(instance)
+            else:
+                failures.append(_FailedSubRequest(
+                    instance, segments, result, tried={instance}
+                ))
+        self._record_stage(
+            "scatter", (time.perf_counter() - scatter_started) * 1e3,
+            stage_times)
+
+        # Gather: fail sub-requests over to other replicas, bounded by
+        # MAX_SUBREQUEST_ATTEMPTS and the remaining deadline budget.
+        gather_started = time.perf_counter()
+        while failures:
+            failed = failures.popleft()
+            attempt = len(failed.tried)
+            backoff_ms = self.RETRY_BACKOFF_BASE_MS * (2 ** (attempt - 1))
+            within_deadline = (
+                deadline is None
+                or time.perf_counter() + backoff_ms / 1e3 < deadline
+            )
+            if attempt >= self.MAX_SUBREQUEST_ATTEMPTS or not within_deadline:
+                if not within_deadline:
+                    self.metrics.incr("deadline_exhausted")
+                outcome.results.append(failed.result)
                 continue
-            results.append(server.execute(query, query.table, segments))
-        return results, pruned
+            reroute, unroutable = strategy.reselect(failed.segments,
+                                                    failed.tried)
+            if unroutable:
+                # No replica left for these segments: keep the error so
+                # the merged response degrades to partial=True.
+                self.metrics.incr("segments_unroutable", len(unroutable))
+                outcome.results.append(ServerResult(
+                    server=failed.instance, error=failed.result.error
+                ))
+            for instance, segments in reroute.items():
+                self.metrics.incr("retries")
+                self.metrics.incr("retry_backoff_ms", backoff_ms)
+                outcome.retries += 1
+                result = self._dispatch(instance, query, segments,
+                                        deadline, outcome)
+                if result.error is None:
+                    outcome.results.append(result)
+                    outcome.responded.add(instance)
+                    outcome.segments_failed_over += len(segments)
+                    self.metrics.incr("failovers")
+                    self.metrics.incr("segments_failed_over",
+                                      len(segments))
+                    outcome.recovered_errors.append(
+                        f"{failed.instance}: {failed.result.error} "
+                        f"(recovered on {instance})"
+                    )
+                else:
+                    failures.append(_FailedSubRequest(
+                        instance, segments, result,
+                        tried=failed.tried | {instance},
+                    ))
+        self._record_stage(
+            "gather", (time.perf_counter() - gather_started) * 1e3,
+            stage_times)
+        return outcome
+
+    def _dispatch(self, instance: str, query: Query, segments: list[str],
+                  deadline: float | None,
+                  outcome: _ScatterOutcome) -> ServerResult:
+        """Send one sub-request to one server, mapping unreachability
+        and an exhausted deadline onto error results."""
+        outcome.contacted.add(instance)
+        self.metrics.incr("scatter_requests")
+        if deadline is not None and time.perf_counter() > deadline:
+            self.metrics.incr("deadline_exhausted")
+            return ServerResult(server=instance,
+                                error="broker deadline exceeded")
+        server = self._helix.participant(instance)
+        if server is None:
+            self.metrics.incr("servers_unreachable")
+            return ServerResult(server=instance,
+                                error="server unreachable")
+        try:
+            result = server.execute(query, query.table, segments)
+        except ServerUnreachableError as exc:
+            self.metrics.incr("servers_unreachable")
+            return ServerResult(server=instance, error=str(exc))
+        if result.error is not None:
+            self.metrics.incr("server_errors")
+        return result
 
     def _prune_by_time(self, query: Query, routing_table):
         """Drop segments whose time range cannot match the query before

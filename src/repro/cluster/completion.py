@@ -145,6 +145,26 @@ class SegmentCompletionManager:
         fsm.committed_offset = offset
         return True
 
+    def fail_server(self, server: str) -> None:
+        """A replica died: purge it from every in-flight state machine.
+
+        For segments where the dead replica was the elected committer,
+        a new committer is chosen among the survivors
+        (:meth:`committer_failed`). For segments still collecting, the
+        dead replica's offset report is dropped and one fewer replica
+        is expected, so the survivors are not held until the poll
+        budget expires waiting for a server that will never call.
+        """
+        for segment, fsm in list(self._fsms.items()):
+            if fsm.state is _State.COMMITTED:
+                continue
+            if server in fsm.offsets:
+                fsm.expected_replicas = max(1, fsm.expected_replicas - 1)
+            if fsm.state is _State.COMMITTING and fsm.committer == server:
+                self.committer_failed(segment, server)
+            else:
+                fsm.offsets.pop(server, None)
+
     def committer_failed(self, segment: str, server: str) -> None:
         """The chosen committer died mid-commit; pick a new one among the
         remaining replicas (resume the protocol)."""

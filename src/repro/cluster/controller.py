@@ -381,6 +381,14 @@ class Controller:
             )
         return self._completion[table]
 
+    def handle_server_death(self, instance_id: str) -> None:
+        """Purge a dead server from every in-flight completion protocol
+        so a surviving replica can be elected committer (§3.3.6)."""
+        if not self.is_leader:
+            return
+        for manager in self._completion.values():
+            manager.fail_server(instance_id)
+
     def segment_consumed(self, table: str, segment: str, server: str,
                          offset: int) -> CompletionResponse:
         """A server's completion-protocol poll (§3.3.6)."""

@@ -229,6 +229,17 @@ class PinotCluster:
             server for server in self.servers
             if server.instance_id != instance_id
         ]
+        try:
+            self.leader_controller().handle_server_death(instance_id)
+        except ClusterError:
+            pass  # no live controller; a new leader starts blank FSMs
+
+    def crash_server(self, instance_id: str) -> None:
+        """Inject a crash: the server stays in the cluster view (brokers
+        still route to it) but refuses every connection — the scenario
+        replica failover exists for. Contrast :meth:`kill_server`, which
+        also removes the instance from Helix so routing avoids it."""
+        self.server(instance_id).faults.crash()
 
     def kill_controller(self, instance_id: str) -> None:
         """Simulate a controller death; a surviving controller takes

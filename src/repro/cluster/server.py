@@ -11,6 +11,8 @@ always rebuild itself from the object store and Kafka (§3.4).
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -21,6 +23,7 @@ from repro.engine.executor import execute_segment
 from repro.engine.merge import combine_segment_results
 from repro.engine.results import SegmentResult, ServerResult
 from repro.errors import ClusterError, PinotError
+from repro.faults import FaultInjector, run_with_faults
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.kafka.broker import KafkaConsumer, SimKafka
@@ -52,14 +55,6 @@ class _ConsumingSegment:
         return self.consumer.position
 
 
-@dataclass
-class QueryFaults:
-    """Test/benchmark hooks for fault injection on a server."""
-
-    fail_next: int = 0
-    extra_latency_s: float = 0.0
-
-
 class ServerInstance:
     """One Pinot server."""
 
@@ -75,7 +70,9 @@ class ServerInstance:
         self._segments: dict[tuple[str, str], ImmutableSegment] = {}
         #: (table, segment) -> consuming replica state.
         self._consuming: dict[tuple[str, str], _ConsumingSegment] = {}
-        self.faults = QueryFaults()
+        #: Fault-injection hooks (crash / error / slow / flaky), seeded
+        #: per-instance so fault schedules are deterministic.
+        self.faults = FaultInjector(seed=zlib.crc32(instance_id.encode()))
         self.queries_executed = 0
 
     # -- introspection ------------------------------------------------------
@@ -182,6 +179,8 @@ class ServerInstance:
     def consume_tick(self) -> None:
         """Advance every consuming segment by one poll, and run the
         completion protocol for replicas that reached end criteria."""
+        if self.faults.crashed:
+            return  # a crashed server stops consuming and polling
         for consuming in list(self._consuming.values()):
             if not consuming.reached_end_criteria:
                 self._poll_once(consuming)
@@ -242,6 +241,12 @@ class ServerInstance:
             consuming.sealed_offset = None
             return
         if response.instruction is Instruction.COMMIT:
+            if self.faults.before_commit():
+                # Died mid-commit: the controller never hears from this
+                # replica again. Recovery runs when the death is
+                # observed (Controller.handle_server_death) and a new
+                # committer is elected among the survivors (§3.3.6).
+                return
             self._seal(consuming)
             assert consuming.sealed is not None
             controller.commit_segment(
@@ -300,25 +305,32 @@ class ServerInstance:
 
     def execute(self, query: Query, table: str,
                 segment_names: list[str]) -> ServerResult:
-        """Execute ``query`` on the given subset of hosted segments."""
+        """Execute ``query`` on the given subset of hosted segments.
+
+        Fault-injection decisions and the per-query timeout
+        (PQL ``OPTION(timeoutMs=...)``) are applied by
+        :func:`run_with_faults`: the timeout is honored against measured
+        execution time plus injected latency, and a mid-execution
+        deadline check stops scanning further segments once the budget
+        is spent (§3.3.3 step 7 — the broker treats the timed-out
+        sub-request like any other failed one).
+        """
         self.queries_executed += 1
-        if self.faults.fail_next > 0:
-            self.faults.fail_next -= 1
-            return ServerResult(server=self.instance_id,
-                                error="injected failure")
-        # Per-query timeout (PQL OPTION(timeoutMs=...)): a straggling
-        # server (simulated via extra_latency_s) times out and the
-        # broker marks the response partial (§3.3.3 step 7).
-        timeout_ms = query.options.get("timeoutMs")
-        if (timeout_ms is not None
-                and self.faults.extra_latency_s * 1000.0 > timeout_ms):
-            return ServerResult(
-                server=self.instance_id,
-                error=f"timed out after {timeout_ms}ms",
-            )
+        return run_with_faults(
+            self.faults, self.instance_id, query,
+            lambda deadline: self._execute_segments(query, table,
+                                                    segment_names, deadline),
+        )
+
+    def _execute_segments(self, query: Query, table: str,
+                          segment_names: list[str],
+                          deadline: float | None) -> ServerResult:
         results: list[SegmentResult] = []
         try:
             for name in segment_names:
+                if (deadline is not None
+                        and time.perf_counter() > deadline):
+                    break  # run_with_faults turns this into a timeout
                 segment = self._resolve_for_query(table, name)
                 if segment is None:
                     continue  # empty consuming segment: nothing yet

@@ -71,8 +71,16 @@ def _trim_selection(query: Query, selection: SelectionPartial | None) -> None:
 
 
 def reduce_server_results(query: Query, server_results: list[ServerResult],
-                          time_used_ms: float = 0.0) -> BrokerResponse:
-    """Broker-side reduce: merge per-server results into the response."""
+                          time_used_ms: float = 0.0,
+                          recovered_exceptions: list[str] | None = None,
+                          ) -> BrokerResponse:
+    """Broker-side reduce: merge per-server results into the response.
+
+    ``recovered_exceptions`` are errors the broker already repaired by
+    retrying on another replica; they are surfaced for observability but
+    do not mark the response partial — only errors in
+    ``server_results`` (segments no replica could serve) do.
+    """
     stats = ExecutionStats()
     exceptions: list[str] = []
     aggregation: AggregationPartial | None = None
@@ -112,6 +120,7 @@ def reduce_server_results(query: Query, server_results: list[ServerResult],
         is_partial=bool(exceptions),
         exceptions=exceptions,
         time_used_ms=time_used_ms,
+        recovered_exceptions=list(recovered_exceptions or ()),
     )
 
 

@@ -38,7 +38,6 @@ from repro.pql.ast_nodes import (
     And,
     Between,
     Comparison,
-    In,
     Not,
     Or,
     Predicate,

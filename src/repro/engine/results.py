@@ -117,6 +117,9 @@ class ServerResult:
     selection: SelectionPartial | None = None
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     error: str | None = None
+    #: Measured execution time plus any injected simulated latency;
+    #: what the broker's deadline accounting charges this sub-request.
+    elapsed_ms: float = 0.0
 
 
 @dataclass
@@ -156,6 +159,21 @@ class BrokerResponse:
     #: Segments the broker pruned by time-range metadata before
     #: scattering (they never reached a server).
     num_segments_pruned_by_broker: int = 0
+    #: Sub-request retries the broker issued on other replicas.
+    num_retries: int = 0
+    #: Segments the broker moved to a different replica after their
+    #: first-choice server failed.
+    num_segments_failed_over: int = 0
+    #: Errors that occurred but were recovered by replica failover —
+    #: they do not mark the response partial.
+    recovered_exceptions: list[str] = field(default_factory=list)
+    #: This query's broker stage timings (route/scatter/gather/merge).
+    stage_times_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def partial(self) -> bool:
+        """Alias for :attr:`is_partial` (graceful-degradation flag)."""
+        return self.is_partial
 
     @property
     def rows(self) -> list[tuple]:

@@ -53,6 +53,11 @@ class NotLeaderError(ClusterError):
     """A controller-only operation was invoked on a non-leader controller."""
 
 
+class ServerUnreachableError(ClusterError):
+    """A server could not be reached at all (crashed process, dropped
+    connection) — distinct from a server that responded with an error."""
+
+
 class RoutingError(PinotError):
     """A routing table could not be built or no route exists for a query."""
 

@@ -1,0 +1,17 @@
+"""Fault injection for resilience testing (crash / error / slow / flaky)."""
+
+from repro.faults.injector import (
+    FaultDecision,
+    FaultInjector,
+    FaultStats,
+    FaultyServer,
+    run_with_faults,
+)
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyServer",
+    "run_with_faults",
+]

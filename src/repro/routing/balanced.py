@@ -30,7 +30,7 @@ class BalancedRouting(RoutingStrategy):
         self._num_tables = num_tables
         self._tables: list[RoutingTable] = []
 
-    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+    def _rebuild(self, snapshot: TableRoutingSnapshot) -> None:
         self._tables = [
             self._build_one(snapshot) for _ in range(self._num_tables)
         ]

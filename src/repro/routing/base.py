@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.errors import RoutingError
 from repro.pql.ast_nodes import Query
 
 #: server -> segments to process there.
@@ -49,13 +50,57 @@ class RoutingStrategy:
 
     def __init__(self, rng: random.Random | None = None):
         self._rng = rng or random.Random(0)
+        self._snapshot: TableRoutingSnapshot | None = None
+
+    @property
+    def snapshot(self) -> TableRoutingSnapshot | None:
+        """The snapshot the current routing tables were built from."""
+        return self._snapshot
 
     def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+        """Retain the snapshot and rebuild the strategy's tables."""
+        self._snapshot = snapshot
+        self._rebuild(snapshot)
+
+    def _rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+        """Strategy-specific table construction (override point)."""
         raise NotImplementedError
 
     def route(self, query: Query) -> RoutingTable:
         """Pick a routing table for one query."""
         raise NotImplementedError
+
+    def reselect(self, segments: list[str],
+                 exclude: set[str]) -> tuple[RoutingTable, list[str]]:
+        """Re-pick replicas for ``segments``, avoiding ``exclude``.
+
+        This is the broker's failover primitive: when a sub-request
+        fails, the failed server's segments are re-assigned to other
+        replicas from the same snapshot. Returns the replacement
+        routing table plus the segments with no remaining replica
+        (which can only be answered partially).
+        """
+        if self._snapshot is None:
+            raise RoutingError("routing tables not built yet")
+        table: RoutingTable = {}
+        load: dict[str, int] = {}
+        unroutable: list[str] = []
+        for segment in segments:
+            replicas = [
+                replica
+                for replica in self._snapshot.segment_to_instances.get(
+                    segment, ())
+                if replica not in exclude
+            ]
+            if not replicas:
+                unroutable.append(segment)
+                continue
+            min_load = min(load.get(r, 0) for r in replicas)
+            candidates = [r for r in replicas if load.get(r, 0) == min_load]
+            chosen = self._rng.choice(candidates)
+            table.setdefault(chosen, []).append(segment)
+            load[chosen] = load.get(chosen, 0) + 1
+        return table, unroutable
 
     @property
     def name(self) -> str:

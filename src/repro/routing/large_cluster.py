@@ -141,7 +141,7 @@ class LargeClusterRouting(RoutingStrategy):
         self.generate_tables = generate_tables
         self._tables: list[RoutingTable] = []
 
-    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+    def _rebuild(self, snapshot: TableRoutingSnapshot) -> None:
         self._tables = filter_routing_tables(
             snapshot, self.target_servers, self.keep_tables,
             self.generate_tables, self._rng,

@@ -67,15 +67,13 @@ class PartitionAwareRouting(RoutingStrategy):
 
     def __init__(self, rng: random.Random | None = None):
         super().__init__(rng)
-        self._snapshot: TableRoutingSnapshot | None = None
         self._fallback = BalancedRouting(rng=self._rng)
 
-    def rebuild(self, snapshot: TableRoutingSnapshot) -> None:
+    def _rebuild(self, snapshot: TableRoutingSnapshot) -> None:
         if snapshot.partition_column is None or not snapshot.num_partitions:
             raise RoutingError(
                 "PartitionAwareRouting requires a partitioned table"
             )
-        self._snapshot = snapshot
         self._fallback.rebuild(snapshot)
 
     def route(self, query: Query) -> RoutingTable:

@@ -41,7 +41,7 @@ from repro.pql.ast_nodes import (
     Predicate,
     Query,
 )
-from repro.startree.node import STAR_ID, StarTree, StarTreeNode
+from repro.startree.node import StarTree, StarTreeNode
 
 _SUPPORTED_FUNCS = frozenset({AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN,
                               AggFunc.MAX, AggFunc.AVG})

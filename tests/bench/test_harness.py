@@ -11,7 +11,7 @@ from repro.bench.harness import (
 )
 from repro.common.schema import Schema
 from repro.common.types import DataType, dimension, metric
-from repro.segment.builder import SegmentBuilder, SegmentConfig
+from repro.segment.builder import SegmentBuilder
 
 
 @pytest.fixture(scope="module")

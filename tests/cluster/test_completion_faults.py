@@ -1,0 +1,144 @@
+"""Segment-completion protocol under injected server failure (§3.3.6).
+
+The happy path is covered by test_completion.py; these tests exercise
+the failure paths that the fault layer makes reachable: a committer
+that dies mid-commit, and replica deaths during offset collection.
+"""
+
+import pytest
+
+from repro.cluster.completion import (
+    Instruction,
+    SegmentCompletionManager,
+)
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def make_realtime_cluster(schema, num_servers=3, replication=2):
+    cluster = PinotCluster(num_servers=num_servers)
+    cluster.create_kafka_topic("events-topic", 1)
+    cluster.create_table(TableConfig.realtime(
+        "events", schema,
+        StreamConfig("events-topic", flush_threshold_rows=10),
+        replication=replication,
+    ))
+    return cluster
+
+
+def ingest_rows(cluster, n):
+    cluster.ingest("events-topic",
+                   [{"country": "us", "views": 1, "day": 17000}
+                    for __ in range(n)])
+
+
+class TestCommitterDeathMidCommit:
+    def test_surviving_replica_commits_after_death(self, schema):
+        cluster = make_realtime_cluster(schema)
+        ingest_rows(cluster, 10)
+        # Replicas are assigned least-loaded: server-0 and server-1
+        # consume; with equal offsets the deterministic committer pick
+        # is the lexicographically first replica, server-0.
+        committer = cluster.server("server-0")
+        committer.faults.fail_commit_next = 1
+        cluster.drain_realtime()
+        # The committer died mid-commit; nothing is committed yet.
+        assert committer.faults.crashed
+        assert cluster.helix.get_property(
+            "realtime/events_REALTIME/events_REALTIME__0__0"
+        )["status"] == "IN_PROGRESS"
+
+        # Queries keep working through replica failover meanwhile.
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.partial
+        assert response.rows[0][0] == 10
+
+        # The death is observed; a surviving replica is elected
+        # committer and the protocol completes.
+        cluster.kill_server("server-0")
+        cluster.drain_realtime()
+        meta = cluster.helix.get_property(
+            "realtime/events_REALTIME/events_REALTIME__0__0"
+        )
+        assert meta["status"] == "DONE"
+        assert meta["end_offset"] == 10
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.partial
+        assert response.rows[0][0] == 10
+
+    def test_commit_fault_only_fires_once(self, schema):
+        cluster = make_realtime_cluster(schema)
+        server = cluster.server("server-0")
+        server.faults.fail_commit_next = 1
+        ingest_rows(cluster, 10)
+        cluster.drain_realtime()
+        cluster.kill_server("server-0")
+        cluster.drain_realtime()
+        # A later segment on the survivors commits normally.
+        ingest_rows(cluster, 10)
+        cluster.drain_realtime()
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.rows[0][0] == 20
+
+
+class TestCompletionManagerFailover:
+    def test_committer_death_reelects_among_survivors(self):
+        manager = SegmentCompletionManager(expected_replicas=2)
+        assert manager.segment_consumed("seg", "s0", 100).instruction \
+            is Instruction.HOLD
+        response = manager.segment_consumed("seg", "s1", 100)
+        # s0 (lexicographically first at the target offset) is the
+        # committer, so s1 holds.
+        assert response.instruction is Instruction.HOLD
+        manager.fail_server("s0")
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.COMMIT
+        assert manager.segment_commit("seg", "s1", 100)
+        assert manager.is_committed("seg")
+
+    def test_collector_death_stops_waiting_for_it(self):
+        manager = SegmentCompletionManager(expected_replicas=3,
+                                           max_hold_polls=100)
+        assert manager.segment_consumed("seg", "s0", 50).instruction \
+            is Instruction.HOLD
+        assert manager.segment_consumed("seg", "s1", 60).instruction \
+            is Instruction.HOLD
+        # s1 dies before s2 ever reports; without death handling the
+        # survivors would be held for the whole poll budget.
+        manager.fail_server("s1")
+        response = manager.segment_consumed("seg", "s2", 60)
+        assert response.instruction in (Instruction.COMMIT,
+                                        Instruction.CATCHUP,
+                                        Instruction.HOLD)
+        # The target no longer includes the dead replica's offset
+        # requirement: two live replicas suffice to finish.
+        response = manager.segment_consumed("seg", "s0", 60)
+        final = manager.segment_consumed("seg", "s2", 60)
+        assert Instruction.COMMIT in (response.instruction,
+                                      final.instruction)
+
+    def test_fail_server_ignores_committed_segments(self):
+        manager = SegmentCompletionManager(expected_replicas=1)
+        assert manager.segment_consumed("seg", "s0", 10).instruction \
+            is Instruction.COMMIT
+        assert manager.segment_commit("seg", "s0", 10)
+        manager.fail_server("s0")
+        assert manager.is_committed("seg")
+        assert manager.committed_offset("seg") == 10
+
+    def test_fail_server_unknown_server_is_a_noop(self):
+        manager = SegmentCompletionManager(expected_replicas=2)
+        manager.segment_consumed("seg", "s0", 10)
+        manager.fail_server("never-seen")
+        assert manager.segment_consumed("seg", "s1", 10).instruction \
+            is Instruction.HOLD  # still collecting normally

@@ -2,16 +2,12 @@
 
 import pytest
 
-from repro.cluster.controller import Controller
-from repro.cluster.objectstore import MemoryObjectStore
 from repro.cluster.pinot import PinotCluster
 from repro.cluster.table import TableConfig
 from repro.common.schema import Schema
 from repro.common.types import DataType, dimension, metric, time_column
 from repro.errors import ClusterError, NotLeaderError, QuotaExceededError
-from repro.helix.manager import HelixManager
 from repro.segment.builder import SegmentBuilder
-from repro.zk.store import ZkStore
 
 
 @pytest.fixture

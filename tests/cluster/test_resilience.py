@@ -1,0 +1,210 @@
+"""Resilient scatter/gather: replica failover, graceful degradation,
+and broker metrics under injected faults (§3.3.3 step 7; §4.4)."""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.routing.base import TableRoutingSnapshot
+from repro.routing.balanced import BalancedRouting
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def records(days, per_day=10):
+    return [{"country": "us", "views": 1, "day": day}
+            for day in days for __ in range(per_day)]
+
+
+def make_cluster(schema, replication, num_servers=3):
+    cluster = PinotCluster(num_servers=num_servers)
+    cluster.create_table(TableConfig.offline("events", schema,
+                                             replication=replication))
+    cluster.upload_records("events", records([17000, 17001, 17002]),
+                           rows_per_segment=10)
+    return cluster
+
+
+class TestReplicaFailover:
+    def test_crash_and_straggler_recovered_non_partial(self, schema):
+        """The acceptance scenario: a 3-replica table with one server
+        crash-injected and one slow-injected still returns a complete,
+        correct, non-partial result via replica failover."""
+        cluster = make_cluster(schema, replication=3)
+        cluster.crash_server("server-0")
+        cluster.server("server-1").faults.extra_latency_s = 5.0
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (timeoutMs = 2000)"
+        )
+        assert not response.partial
+        assert response.exceptions == []
+        assert response.rows[0][0] == 30
+        # The failures happened and were repaired, and the broker
+        # recorded the repair.
+        assert response.num_retries > 0
+        assert response.num_segments_failed_over > 0
+        assert response.recovered_exceptions
+        metrics = cluster.brokers[0].metrics
+        assert metrics.count("retries") > 0
+        assert metrics.count("failovers") > 0
+        assert metrics.count("servers_unreachable") > 0
+
+    def test_single_crash_recovered_without_timeout_option(self, schema):
+        cluster = make_cluster(schema, replication=2)
+        cluster.crash_server("server-2")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.partial
+        assert response.rows[0][0] == 30
+
+    def test_flaky_server_recovered(self, schema):
+        cluster = make_cluster(schema, replication=2)
+        cluster.server("server-0").faults.fail_next = 5
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.partial
+        assert response.rows[0][0] == 30
+
+    def test_group_by_correct_after_failover(self, schema):
+        """Failover must not double-count: each failed sub-request's
+        segments are re-executed exactly once elsewhere."""
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=3))
+        rows = [{"country": country, "views": 1, "day": 17000}
+                for country in ("us", "de") for __ in range(10)]
+        cluster.upload_records("events", rows, rows_per_segment=5)
+        cluster.crash_server("server-0")
+        response = cluster.execute(
+            "SELECT sum(views) FROM events GROUP BY country TOP 5"
+        )
+        assert not response.partial
+        assert sorted(response.rows) == [("de", 10.0), ("us", 10.0)]
+
+
+class TestGracefulDegradation:
+    def test_all_replicas_down_returns_partial_with_detail(self, schema):
+        """When no replica can serve some segments the query degrades:
+        partial=True, per-server error detail, surviving data intact."""
+        cluster = make_cluster(schema, replication=1)
+        cluster.crash_server("server-0")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.partial
+        assert any("server-0" in e and "unreachable" in e
+                   for e in response.exceptions)
+        # Each remaining server holds one 10-row segment.
+        assert response.rows[0][0] == 20
+        metrics = cluster.brokers[0].metrics
+        assert metrics.count("segments_unroutable") > 0
+        assert metrics.count("partial_responses") >= 1
+
+    def test_every_server_down_still_returns_a_response(self, schema):
+        cluster = make_cluster(schema, replication=2)
+        for instance in ("server-0", "server-1", "server-2"):
+            cluster.crash_server(instance)
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.partial
+        assert response.rows[0][0] == 0
+        assert response.exceptions
+
+    def test_retry_attempts_are_bounded(self, schema):
+        cluster = make_cluster(schema, replication=3)
+        for instance in ("server-0", "server-1", "server-2"):
+            cluster.crash_server(instance)
+        cluster.execute("SELECT count(*) FROM events")
+        broker = cluster.brokers[0]
+        # Each primary sub-request may retry at most
+        # MAX_SUBREQUEST_ATTEMPTS - 1 times.
+        assert broker.metrics.count("scatter_requests") <= (
+            3 * broker.MAX_SUBREQUEST_ATTEMPTS
+        )
+
+
+class TestDeadlines:
+    def test_timeout_fires_on_real_elapsed_work(self, schema):
+        """OPTION(timeoutMs=...) is honored against measured execution
+        time, not only against injected latency."""
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        cluster.server("server-0").faults.busy_work_s = 0.05
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (timeoutMs = 10)"
+        )
+        assert response.partial
+        assert any("timed out" in e for e in response.exceptions)
+
+    def test_no_timeout_waits_for_slow_work(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        cluster.server("server-0").faults.busy_work_s = 0.02
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.partial
+        assert response.rows[0][0] == 10
+
+
+class TestBrokerMetrics:
+    def test_stage_timings_recorded(self, schema):
+        cluster = make_cluster(schema, replication=1)
+        response = cluster.execute("SELECT count(*) FROM events")
+        metrics = cluster.brokers[0].metrics
+        for stage in ("route", "scatter", "gather", "merge"):
+            assert stage in metrics.stages
+            assert metrics.stages[stage].count >= 1
+            assert stage in response.stage_times_ms
+        assert metrics.count("queries") == 1
+        assert metrics.count("scatter_requests") >= 1
+
+    def test_snapshot_shape(self, schema):
+        cluster = make_cluster(schema, replication=1)
+        cluster.execute("SELECT count(*) FROM events")
+        snapshot = cluster.brokers[0].metrics.snapshot()
+        assert snapshot["counters"]["queries"] == 1
+        assert snapshot["stages"]["merge"]["count"] == 1
+        assert snapshot["stages"]["route"]["total_ms"] >= 0.0
+
+    def test_healthy_queries_record_no_retries(self, schema):
+        cluster = make_cluster(schema, replication=2)
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.num_retries == 0
+        assert response.recovered_exceptions == []
+        assert cluster.brokers[0].metrics.count("retries") == 0
+
+
+class TestReselect:
+    def snapshot(self):
+        return TableRoutingSnapshot(segment_to_instances={
+            "seg-0": ["s0", "s1"],
+            "seg-1": ["s0", "s2"],
+            "seg-2": ["s0"],
+        })
+
+    def test_reselect_avoids_excluded_instances(self):
+        strategy = BalancedRouting()
+        strategy.rebuild(self.snapshot())
+        table, unroutable = strategy.reselect(["seg-0", "seg-1"], {"s0"})
+        assert unroutable == []
+        assigned = {segment: instance
+                    for instance, segments in table.items()
+                    for segment in segments}
+        assert assigned == {"seg-0": "s1", "seg-1": "s2"}
+
+    def test_reselect_reports_unroutable_segments(self):
+        strategy = BalancedRouting()
+        strategy.rebuild(self.snapshot())
+        table, unroutable = strategy.reselect(["seg-2"], {"s0"})
+        assert table == {}
+        assert unroutable == ["seg-2"]
+
+    def test_snapshot_retained_by_all_strategies(self):
+        strategy = BalancedRouting()
+        snapshot = self.snapshot()
+        strategy.rebuild(snapshot)
+        assert strategy.snapshot is snapshot

@@ -1,7 +1,5 @@
 """Tests for partial-result combining and broker-side reduction."""
 
-import pytest
-
 from repro.engine.merge import combine_segment_results, reduce_server_results
 from repro.engine.results import (
     AggregationPartial,

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.common.schema import Schema
 from repro.common.types import DataType, dimension, metric
-from repro.engine.operators import DocSelection, FilterStats
+from repro.engine.operators import DocSelection
 from repro.engine.planner import plan_segment
 from repro.pql.parser import parse
 from repro.pql.rewriter import optimize

@@ -1,0 +1,127 @@
+"""Tests for the fault-injection subsystem (src/repro/faults/)."""
+
+import pytest
+
+from repro.engine.results import ServerResult
+from repro.errors import ServerUnreachableError
+from repro.faults import FaultInjector, FaultyServer, run_with_faults
+from repro.pql.parser import parse
+
+
+def decide(injector, n):
+    return [injector.before_query() for __ in range(n)]
+
+
+class TestFaultInjector:
+    def test_healthy_by_default(self):
+        decision = FaultInjector().before_query()
+        assert not decision.crash
+        assert decision.error is None
+        assert decision.latency_s == 0.0
+
+    def test_crash_and_recover(self):
+        injector = FaultInjector()
+        injector.crash()
+        assert injector.before_query().crash
+        assert injector.stats.crashes == 1
+        injector.recover()
+        assert not injector.before_query().crash
+
+    def test_fail_next_counts_down(self):
+        injector = FaultInjector(fail_next=2)
+        errors = [d.error for d in decide(injector, 3)]
+        assert errors == ["injected failure", "injected failure", None]
+        assert injector.stats.errors == 2
+
+    def test_error_rate_is_deterministic_for_a_seed(self):
+        a = [d.error is not None
+             for d in decide(FaultInjector(seed=42, error_rate=0.5), 50)]
+        b = [d.error is not None
+             for d in decide(FaultInjector(seed=42, error_rate=0.5), 50)]
+        assert a == b
+        assert any(a) and not all(a)  # flaky, not dead or healthy
+
+    def test_latency_jitter_is_deterministic_for_a_seed(self):
+        a = [d.latency_s
+             for d in decide(FaultInjector(seed=7, jitter_latency_s=1.0), 20)]
+        b = [d.latency_s
+             for d in decide(FaultInjector(seed=7, jitter_latency_s=1.0), 20)]
+        assert a == b
+        assert all(0.0 <= latency <= 1.0 for latency in a)
+        assert len(set(a)) > 1
+
+    def test_commit_fault_crashes_the_server(self):
+        injector = FaultInjector(fail_commit_next=1)
+        assert injector.before_commit()
+        assert injector.crashed  # died mid-commit
+        assert injector.stats.commit_failures == 1
+        injector.recover()
+        assert not injector.before_commit()
+
+
+class _DummyServer:
+    instance_id = "dummy-0"
+
+    def execute(self, query, table, segment_names):
+        return ServerResult(server=self.instance_id)
+
+    def hosted_segments(self, table):
+        return ["seg-0"]
+
+
+class TestRunWithFaults:
+    def query(self, pql="SELECT count(*) FROM t"):
+        return parse(pql)
+
+    def test_crash_raises_unreachable(self):
+        injector = FaultInjector()
+        injector.crash()
+        with pytest.raises(ServerUnreachableError):
+            run_with_faults(injector, "s0", self.query(), lambda d: None)
+
+    def test_injected_latency_beyond_timeout_times_out(self):
+        injector = FaultInjector(extra_latency_s=5.0)
+        query = self.query("SELECT count(*) FROM t OPTION (timeoutMs = 100)")
+        result = run_with_faults(injector, "s0", query,
+                                 lambda d: ServerResult(server="s0"))
+        assert result.error is not None and "timed out" in result.error
+
+    def test_real_elapsed_work_beyond_timeout_times_out(self):
+        """The timeout fires on *measured* execution time, not only on
+        injected latency (the old QueryFaults-era bug)."""
+        injector = FaultInjector(busy_work_s=0.05)
+        query = self.query("SELECT count(*) FROM t OPTION (timeoutMs = 10)")
+        result = run_with_faults(injector, "s0", query,
+                                 lambda d: ServerResult(server="s0"))
+        assert result.error is not None and "timed out" in result.error
+        assert result.elapsed_ms >= 50.0 * 0.9
+
+    def test_deadline_is_passed_to_the_runner(self):
+        injector = FaultInjector()
+        query = self.query("SELECT count(*) FROM t OPTION (timeoutMs = 500)")
+        seen = []
+        run_with_faults(injector, "s0", query,
+                        lambda d: (seen.append(d),
+                                   ServerResult(server="s0"))[1])
+        assert seen[0] is not None  # an absolute perf_counter deadline
+
+    def test_elapsed_includes_injected_latency(self):
+        injector = FaultInjector(extra_latency_s=0.2)
+        result = run_with_faults(injector, "s0", self.query(),
+                                 lambda d: ServerResult(server="s0"))
+        assert result.error is None
+        assert result.elapsed_ms >= 200.0
+
+
+class TestFaultyServer:
+    def test_wraps_any_server_like_object(self):
+        wrapped = FaultyServer(_DummyServer())
+        query = parse("SELECT count(*) FROM t")
+        assert wrapped.execute(query, "t", ["seg-0"]).error is None
+        wrapped.faults.fail_next = 1
+        assert wrapped.execute(query, "t", ["seg-0"]).error is not None
+
+    def test_delegates_unknown_attributes(self):
+        wrapped = FaultyServer(_DummyServer())
+        assert wrapped.instance_id == "dummy-0"
+        assert wrapped.hosted_segments("t") == ["seg-0"]

@@ -1,6 +1,5 @@
 """Tests for the segment builder and the ImmutableSegment API."""
 
-import numpy as np
 import pytest
 
 from repro.common.schema import Schema
