@@ -1,0 +1,79 @@
+"""The cache-invalidation bus and per-table segment epochs.
+
+Anything that changes what data a table serves publishes an
+:class:`InvalidationEvent` here: the controller on realtime segment
+completion and on minion-driven segment replacement (purge,
+merge_rollup, add_inverted_index), and the Helix manager whenever a
+replica executes a data-affecting state transition. Subscribers react
+synchronously; the main subscriber is :class:`TableEpochs`, which bumps
+a monotonically increasing per-table *segment epoch* that brokers embed
+in result-cache keys — an epoch bump changes every key for the table,
+so stale entries can never be hit again (they age out by LRU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class InvalidationEvent:
+    """One table-data change notification."""
+
+    #: Physical table name (e.g. ``wvmp_OFFLINE``).
+    table: str
+    #: What happened: ``segment_completed``, ``segment_replaced``,
+    #: ``segment_uploaded``, ``segment_deleted``, ``state_transition``,
+    #: ``instance_death``.
+    reason: str
+    segment: str | None = None
+
+
+@dataclass
+class InvalidationBus:
+    """A tiny synchronous pub/sub channel for invalidation events."""
+
+    _subscribers: list[Callable[[InvalidationEvent], None]] = field(
+        default_factory=list
+    )
+    events_published: int = 0
+
+    def subscribe(self,
+                  callback: Callable[[InvalidationEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def publish(self, table: str, reason: str,
+                segment: str | None = None) -> InvalidationEvent:
+        event = InvalidationEvent(table, reason, segment)
+        self.events_published += 1
+        for callback in list(self._subscribers):
+            callback(event)
+        return event
+
+
+class TableEpochs:
+    """Per-table segment epochs, bumped by every invalidation event.
+
+    Each broker owns one, subscribed to the cluster's bus; keys built
+    from :meth:`epoch` are automatically distinct before and after any
+    data change, which is the whole invalidation story — no entry
+    scanning, no TTLs.
+    """
+
+    def __init__(self, bus: InvalidationBus | None = None):
+        self._epochs: dict[str, int] = {}
+        self.events_seen = 0
+        if bus is not None:
+            bus.subscribe(self.on_event)
+
+    def epoch(self, table: str) -> int:
+        return self._epochs.get(table, 0)
+
+    def bump(self, table: str) -> int:
+        self._epochs[table] = self._epochs.get(table, 0) + 1
+        return self._epochs[table]
+
+    def on_event(self, event: InvalidationEvent) -> None:
+        self.events_seen += 1
+        self.bump(event.table)

@@ -1,0 +1,78 @@
+"""The server hot-structure cache (layer 3 of the cache subsystem).
+
+Production servers keep deserialized per-column structures — decoded
+dictionaries, unpacked forward values, inverted bitmaps — for the
+hottest columns so repeated scans avoid re-decode; cold columns are
+dropped to bound memory. In this reproduction the expensive decode is
+:meth:`repro.segment.segment.Column.values` (dictionary lookup over the
+bit-packed forward index), so the cache is an LRU over those decoded
+arrays, keyed ``(table, segment, column)`` with a byte budget equal to
+the arrays' real ``nbytes``.
+
+Eviction releases the column's decoded array
+(:meth:`Column.release_values`), so the budget bounds actual resident
+memory, not just bookkeeping. Segment unload/replacement invalidates
+all of the segment's entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.lru import CacheStats, LruCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.segment.segment import Column, ImmutableSegment
+
+
+class HotStructureCache:
+    """Per-server LRU over decoded column structures."""
+
+    DEFAULT_MAX_BYTES = 128 * 1024 * 1024
+
+    def __init__(self, max_bytes: int | None = None,
+                 max_entries: int | None = None):
+        self._lru = LruCache(
+            max_entries=max_entries,
+            max_bytes=(max_bytes if max_bytes is not None
+                       else self.DEFAULT_MAX_BYTES),
+            on_evict=self._release,
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def values(self, table: str, segment: "ImmutableSegment",
+               column: "Column") -> tuple["np.ndarray", bool]:
+        """The column's decoded values and whether it was a cache hit.
+
+        On a miss the column is decoded (and stays decoded — the entry
+        pins the column's internal value cache until evicted).
+        """
+        key = (table, segment.name, column.name)
+        cached = self._lru.get(key)
+        if cached is not None:
+            return cached[1], True
+        array = column.values()
+        self._lru.put(key, (column, array), int(array.nbytes))
+        return array, False
+
+    def invalidate_segment(self, table: str, segment_name: str) -> int:
+        """Drop every structure of one segment (unload/replace)."""
+        return self._lru.invalidate_where(
+            lambda key: key[0] == table and key[1] == segment_name
+        )
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    @staticmethod
+    def _release(key, entry) -> None:
+        column, __ = entry
+        column.release_values()

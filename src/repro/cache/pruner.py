@@ -1,0 +1,181 @@
+"""Server-side segment pruning from metadata (zone maps, blooms,
+partitions).
+
+A pre-execution stage: before building any filter plan, a server checks
+each routed segment's metadata against the query's top-level AND
+constraints and skips segments that provably contribute nothing:
+
+* **zone maps** — every column's min/max (kept in
+  :class:`~repro.segment.metadata.ColumnMetadata`) against range and
+  equality constraints;
+* **bloom filters** — distinct-value blooms against EQ/IN values
+  (false positives possible, false negatives never, so pruning is
+  always safe);
+* **partition metadata** — for partitioned tables, the murmur2
+  partition of EQ/IN values on the partition column against the
+  segment's ``partition_id``.
+
+Everything here is *conservative*: a leaf that cannot be reasoned about
+(OR trees, negations, LIKE, type mismatches) simply never prunes.
+Multi-value columns are safe too — metadata min/max bound every
+element, and PQL's any-element-matches semantics means a disjoint range
+proves no element can match.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pql.ast_nodes import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    In,
+    Predicate,
+    Query,
+)
+from repro.segment.metadata import SegmentMetadata
+
+
+def equality_constraints(predicate: Predicate) -> dict[str, list]:
+    """Per-column EQ/IN values from the top-level AND of a predicate
+    (the shapes bloom filters and partition metadata can prune on).
+
+    Float literals are dropped: they hash differently from the
+    ints/strings stored in dictionaries ("5.0" vs "5"), which could
+    cause *wrong* pruning; floats are left to zone maps and
+    server-side evaluation. An IN list that loses members this way is
+    dropped entirely — partial coverage cannot prove absence.
+    """
+    leaves = _top_level_leaves(predicate)
+    out: dict[str, list] = {}
+
+    def clean(values):
+        return [v for v in values if not isinstance(v, float)]
+
+    for leaf in leaves:
+        if isinstance(leaf, Comparison) and leaf.op is CompareOp.EQ:
+            values = clean([leaf.value])
+        elif isinstance(leaf, In) and not leaf.negated:
+            values = clean(leaf.values)
+            if len(values) != len(leaf.values):
+                continue
+        else:
+            continue
+        if values:
+            out.setdefault(leaf.column, []).extend(values)
+    return out
+
+
+def prune_reason(metadata: SegmentMetadata,
+                 query: Query) -> str | None:
+    """Why this segment can be skipped for ``query`` — ``"zone_map"``,
+    ``"bloom"``, ``"partition"`` — or None when it must be executed."""
+    if query.where is None:
+        return None
+    leaves = _top_level_leaves(query.where)
+
+    for leaf in leaves:
+        if _zone_map_excludes(metadata, leaf):
+            return "zone_map"
+
+    constraints = equality_constraints(query.where)
+    for column, values in constraints.items():
+        if _bloom_excludes(metadata, column, values):
+            return "bloom"
+
+    if _partition_excludes(metadata, constraints):
+        return "partition"
+    return None
+
+
+def _top_level_leaves(predicate: Predicate) -> tuple[Predicate, ...]:
+    return (predicate.children if isinstance(predicate, And)
+            else (predicate,))
+
+
+# -- zone maps ----------------------------------------------------------------
+
+
+def _zone_map_excludes(metadata: SegmentMetadata,
+                       leaf: Predicate) -> bool:
+    column = getattr(leaf, "column", None)
+    if column is None or column not in metadata.columns:
+        return False
+    meta = metadata.columns[column]
+    low, high = meta.min_value, meta.max_value
+    if low is None or high is None:
+        return False
+
+    if isinstance(leaf, Comparison):
+        value = leaf.value
+        op = leaf.op
+        if op is CompareOp.EQ:
+            return _lt(value, low) or _lt(high, value)
+        if op is CompareOp.GT:  # needs some x > value
+            return _lte(high, value)
+        if op is CompareOp.GTE:
+            return _lt(high, value)
+        if op is CompareOp.LT:  # needs some x < value
+            return _lte(value, low)
+        if op is CompareOp.LTE:
+            return _lt(value, low)
+        return False  # NEQ can never be excluded by a range
+    if isinstance(leaf, Between):
+        return _lt(high, leaf.low) or _lt(leaf.high, low)
+    if isinstance(leaf, In) and not leaf.negated:
+        checks = [_lt(v, low) or _lt(high, v) for v in leaf.values]
+        return bool(checks) and all(checks)
+    return False
+
+
+def _lt(a: Any, b: Any) -> bool:
+    """``a < b`` that treats incomparable types as "cannot prove"."""
+    try:
+        return bool(a < b)
+    except TypeError:
+        return False
+
+
+def _lte(a: Any, b: Any) -> bool:
+    try:
+        return bool(a <= b)
+    except TypeError:
+        return False
+
+
+# -- bloom filters ------------------------------------------------------------
+
+
+def _bloom_excludes(metadata: SegmentMetadata, column: str,
+                    values: list) -> bool:
+    meta = metadata.columns.get(column)
+    if meta is None or meta.bloom is None:
+        return False
+    from repro.segment.bloom import BloomFilter
+
+    bloom = BloomFilter.from_payload(meta.bloom)
+    return not any(bloom.might_contain(v) for v in values)
+
+
+# -- partition metadata -------------------------------------------------------
+
+
+def _partition_excludes(metadata: SegmentMetadata,
+                        constraints: dict[str, list]) -> bool:
+    if (
+        metadata.partition_column is None
+        or metadata.partition_id is None
+        or not metadata.num_partitions
+    ):
+        return False
+    values = constraints.get(metadata.partition_column)
+    if not values:
+        return False
+    from repro.kafka.partitioner import kafka_partition
+
+    wanted = {
+        kafka_partition(value, metadata.num_partitions) for value in values
+    }
+    return metadata.partition_id not in wanted

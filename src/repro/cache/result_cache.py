@@ -1,0 +1,93 @@
+"""The broker result cache (layer 1 of the cache subsystem).
+
+Caches whole :class:`~repro.engine.results.BrokerResponse` objects
+under keys the broker builds from the normalized physical plan, the
+routing-table version, the table's segment epoch, and (for realtime
+tables) the consuming-segment offsets — see
+``BrokerInstance._cache_key``. Because every ingredient of the key
+changes when the underlying data or routing changes, entries never need
+scanning: stale keys simply stop being looked up and age out by LRU.
+
+The broker never stores partial responses or responses whose scatter
+exhausted the query deadline; a cached entry is always a complete,
+healthy answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.cache.lru import CacheStats, LruCache
+from repro.engine.results import BrokerResponse
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached broker response plus its query-log footprint.
+
+    The log entries are replayed on every hit so the controller's
+    auto-index mining (§5.2) still observes the workload's true query
+    frequencies — a cache must speed queries up, not hide them.
+    """
+
+    response: BrokerResponse
+    log_entries: tuple[Any, ...]
+    nbytes: int
+
+
+class BrokerResultCache:
+    """LRU + byte-budget cache of complete broker responses."""
+
+    DEFAULT_MAX_ENTRIES = 1024
+    DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+    def __init__(self, max_entries: int | None = None,
+                 max_bytes: int | None = None):
+        self._lru = LruCache(
+            max_entries=(max_entries if max_entries is not None
+                         else self.DEFAULT_MAX_ENTRIES),
+            max_bytes=(max_bytes if max_bytes is not None
+                       else self.DEFAULT_MAX_BYTES),
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: Hashable) -> CachedResult | None:
+        return self._lru.get(key)
+
+    def put(self, key: Hashable, response: BrokerResponse,
+            log_entries: Sequence[Any] = ()) -> CachedResult:
+        entry = CachedResult(response, tuple(log_entries),
+                             estimate_response_bytes(response))
+        self._lru.put(key, entry, entry.nbytes)
+        return entry
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+def estimate_response_bytes(response: BrokerResponse) -> int:
+    """A rough, deterministic byte estimate for budget accounting.
+
+    Row counts are bounded by LIMIT so this walks real cells; strings
+    dominate real response sizes, so they are counted by length.
+    """
+    total = 256  # fixed response envelope
+    table = response.table
+    total += 16 * len(table.columns)
+    for row in table.rows:
+        total += 24  # tuple overhead
+        for cell in row:
+            if isinstance(cell, str):
+                total += 48 + len(cell)
+            else:
+                total += 16
+    for exc in (*response.exceptions, *response.recovered_exceptions):
+        total += len(exc)
+    return total

@@ -13,8 +13,11 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.cache.bus import TableEpochs
+from repro.cache.pruner import equality_constraints as _equality_constraints
+from repro.cache.result_cache import BrokerResultCache, CachedResult
 from repro.cluster.metrics import BrokerMetrics
 from repro.cluster.table import TableConfig, TableType
 from repro.cluster.tenant import TenantQuotaManager
@@ -35,34 +38,6 @@ from repro.routing.partition_aware import PartitionAwareRouting
 _QUERYABLE_STATES = frozenset(
     {SegmentState.ONLINE.value, SegmentState.CONSUMING.value}
 )
-
-
-def _equality_constraints(predicate) -> dict[str, list]:
-    """Per-column EQ/IN values from the top-level AND of a predicate
-    (the shapes bloom filters can prune on)."""
-    from repro.pql.ast_nodes import And, CompareOp, Comparison, In
-
-    leaves = (predicate.children if isinstance(predicate, And)
-              else (predicate,))
-    out: dict[str, list] = {}
-    def clean(values):
-        # Floats hash differently from the ints/strings stored in the
-        # dictionary ("5.0" vs "5"), which could cause *wrong* pruning;
-        # leave float literals to server-side evaluation.
-        return [v for v in values if not isinstance(v, float)]
-
-    for leaf in leaves:
-        if isinstance(leaf, Comparison) and leaf.op is CompareOp.EQ:
-            values = clean([leaf.value])
-        elif isinstance(leaf, In) and not leaf.negated:
-            values = clean(leaf.values)
-            if len(values) != len(leaf.values):
-                continue  # partial coverage cannot prove absence
-        else:
-            continue
-        if values:
-            out.setdefault(leaf.column, []).extend(values)
-    return out
 
 
 def _make_strategy(config: TableConfig,
@@ -109,6 +84,9 @@ class _ScatterOutcome:
     responded: set[str] = field(default_factory=set)
     retries: int = 0
     segments_failed_over: int = 0
+    #: True when any sub-request ran out of deadline budget; such a
+    #: response must never be cached even if it merged cleanly.
+    deadline_exhausted: bool = False
 
 
 class BrokerInstance:
@@ -135,6 +113,11 @@ class BrokerInstance:
         self.queries_served = 0
         self.query_log: list[QueryLogEntry] = []
         self.metrics = BrokerMetrics()
+        #: Result cache + the per-table epochs its keys embed; epochs
+        #: bump on every invalidation-bus event for the table.
+        self.result_cache = BrokerResultCache()
+        self._epochs = TableEpochs(bus=helix.invalidation_bus)
+        self._routing_versions: dict[str, int] = {}
         helix.watch_external_view(self._on_view_change)
 
     # -- routing-table maintenance (§3.3.2) -----------------------------------
@@ -154,6 +137,9 @@ class BrokerInstance:
         return self._strategies[table]
 
     def _rebuild(self, table: str) -> None:
+        self._routing_versions[table] = (
+            self._routing_versions.get(table, 0) + 1
+        )
         config = self._table_config(table)
         view = self._helix.external_view(table)
         live = set(self._helix.live_instances())
@@ -229,13 +215,36 @@ class BrokerInstance:
                     if timeout_ms is not None else None)
         stage_times: dict[str, float] = {}
 
+        cache_key = None
+        if query.options.get("skipCache"):
+            self.metrics.incr("cache_bypass")
+        else:
+            cache_started = time.perf_counter()
+            cache_key = self._cache_key(physical)
+            cached = (self.result_cache.get(cache_key)
+                      if cache_key is not None else None)
+            self._record_stage(
+                "cache", (time.perf_counter() - cache_started) * 1e3,
+                stage_times)
+            if cache_key is None:
+                # Consuming offsets unknown (e.g. a replica died
+                # mid-query): bypass rather than risk a stale hit.
+                self.metrics.incr("cache_bypass")
+            elif cached is not None:
+                return self._serve_from_cache(cached, tenant, now,
+                                              started, stage_times)
+            else:
+                self.metrics.incr("cache_misses")
+
         server_results: list[ServerResult] = []
         recovered: list[str] = []
+        log_entries: list[QueryLogEntry] = []
         contacted: set[str] = set()
         responded: set[str] = set()
         pruned_total = 0
         retries = 0
         failed_over = 0
+        deadline_exhausted = False
         for physical_query in physical:
             outcome = self._scatter_gather(physical_query, deadline,
                                            stage_times)
@@ -246,7 +255,10 @@ class BrokerInstance:
             responded |= outcome.responded
             retries += outcome.retries
             failed_over += outcome.segments_failed_over
-            self._record_query_log(physical_query, outcome.results)
+            deadline_exhausted |= outcome.deadline_exhausted
+            entry = self._record_query_log(physical_query, outcome.results)
+            if entry is not None:
+                log_entries.append(entry)
 
         elapsed_ms = (time.perf_counter() - started) * 1e3
         if self._quotas is not None:
@@ -266,8 +278,85 @@ class BrokerInstance:
         response.num_segments_failed_over = failed_over
         response.stage_times_ms = stage_times
         if response.is_partial:
+            # Partial answers must never be cached: a retry after the
+            # failure heals would keep returning the degraded result.
             self.metrics.incr("partial_responses")
+        elif cache_key is not None and not deadline_exhausted:
+            self.result_cache.put(cache_key, response, log_entries)
         return response
+
+    # -- result cache (repro.cache) -----------------------------------------
+
+    def _cache_key(self, physical: list[Query]) -> tuple | None:
+        """The result-cache key for one logical query's physical plan.
+
+        Per physical query: normalized plan text, the table's segment
+        epoch, the routing-table version, and the consuming-segment
+        offsets. Returns None (bypass caching) when any consuming
+        replica's offset cannot be determined — a key that cannot prove
+        freshness must not be cached under.
+        """
+        parts = []
+        for physical_query in physical:
+            table = physical_query.table
+            self._strategy_for(table)  # refresh routing if dirty
+            fingerprint = self._consuming_fingerprint(table)
+            if fingerprint is None:
+                return None
+            parts.append((
+                table,
+                str(physical_query),
+                bool(physical_query.options.get("skipPrune")),
+                self._epochs.epoch(table),
+                self._routing_versions.get(table, 0),
+                fingerprint,
+            ))
+        return tuple(parts)
+
+    def _consuming_fingerprint(self, table: str) -> tuple | None:
+        """The (segment, instance, offset) triples of every CONSUMING
+        replica — offline tables return (). Embedding live offsets in
+        the key gives realtime/hybrid caching zero staleness by
+        construction: any newly consumed event changes the key."""
+        view = self._helix.external_view(table)
+        entries = []
+        for segment, replica_states in view.items():
+            for instance, state in replica_states.items():
+                if state != SegmentState.CONSUMING.value:
+                    continue
+                participant = self._helix.participant(instance)
+                offset = (
+                    participant.consuming_offset(table, segment)
+                    if participant is not None
+                    and hasattr(participant, "consuming_offset")
+                    else None
+                )
+                if offset is None:
+                    return None
+                entries.append((segment, instance, offset))
+        return tuple(sorted(entries))
+
+    def _serve_from_cache(self, cached: CachedResult, tenant: str | None,
+                          now: float | None, started: float,
+                          stage_times: dict[str, float]) -> BrokerResponse:
+        """Answer from the result cache, keeping every side effect a
+        real execution would have had: quota charging, the query log
+        (auto-index mining, §5.2), and query counters."""
+        self.metrics.incr("cache_hits")
+        self.query_log.extend(cached.log_entries)
+        if len(self.query_log) > self.QUERY_LOG_LIMIT:
+            del self.query_log[:len(self.query_log) // 2]
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if self._quotas is not None:
+            clock = now if now is not None else time.monotonic()
+            self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
+        self.queries_served += 1
+        return replace(
+            cached.response,
+            cache_hit=True,
+            time_used_ms=elapsed_ms,
+            stage_times_ms=dict(stage_times),
+        )
 
     def _record_stage(self, stage: str, elapsed_ms: float,
                       stage_times: dict[str, float]) -> None:
@@ -384,6 +473,7 @@ class BrokerInstance:
             if attempt >= self.MAX_SUBREQUEST_ATTEMPTS or not within_deadline:
                 if not within_deadline:
                     self.metrics.incr("deadline_exhausted")
+                    outcome.deadline_exhausted = True
                 outcome.results.append(failed.result)
                 continue
             reroute, unroutable = strategy.reselect(failed.segments,
@@ -431,6 +521,7 @@ class BrokerInstance:
         self.metrics.incr("scatter_requests")
         if deadline is not None and time.perf_counter() > deadline:
             self.metrics.incr("deadline_exhausted")
+            outcome.deadline_exhausted = True
             return ServerResult(server=instance,
                                 error="broker deadline exceeded")
         server = self._helix.participant(instance)
@@ -536,25 +627,29 @@ class BrokerInstance:
         return out, pruned
 
     def _record_query_log(self, query: Query,
-                          results: list[ServerResult]) -> None:
+                          results: list[ServerResult]
+                          ) -> QueryLogEntry | None:
         """Record the query's filter footprint; the controller's
-        auto-index analysis mines this log (§5.2)."""
+        auto-index analysis mines this log (§5.2). Returns the entry so
+        the result cache can replay it on hits."""
         from repro.pql.ast_nodes import predicate_columns
 
         if query.where is None:
-            return
+            return None
         entries = sum(r.stats.num_entries_scanned_in_filter
                       for r in results if r.error is None)
         docs = sum(r.stats.num_docs_scanned
                    for r in results if r.error is None)
-        self.query_log.append(QueryLogEntry(
+        entry = QueryLogEntry(
             table=query.table,
             filter_columns=frozenset(predicate_columns(query.where)),
             entries_scanned_in_filter=entries,
             docs_scanned=docs,
-        ))
+        )
+        self.query_log.append(entry)
         if len(self.query_log) > self.QUERY_LOG_LIMIT:
             del self.query_log[:len(self.query_log) // 2]
+        return entry
 
     def explain(self, pql: str | Query) -> dict[str, dict[str, str]]:
         """Per-server, per-segment physical plan descriptions for a

@@ -189,6 +189,9 @@ class Controller:
             server: SegmentState.ONLINE.value for server in replicas
         }
         self._helix.set_ideal_state(table, mapping)
+        self._helix.invalidation_bus.publish(
+            table, "segment_uploaded", segment=segment.name
+        )
 
     def _verify_segment(self, config: TableConfig,
                         segment: ImmutableSegment) -> None:
@@ -252,6 +255,9 @@ class Controller:
             server: SegmentState.ONLINE.value for server in replicas
         }
         self._helix.set_ideal_state(table, mapping)
+        self._helix.invalidation_bus.publish(
+            table, "segment_replaced", segment=segment.name
+        )
 
     def delete_segment(self, table: str, segment_name: str) -> None:
         self._require_leader()
@@ -260,6 +266,9 @@ class Controller:
         self._helix.set_ideal_state(table, mapping)
         self._store.delete(table, segment_name)
         self._helix.delete_property(f"segments/{table}/{segment_name}")
+        self._helix.invalidation_bus.publish(
+            table, "segment_deleted", segment=segment_name
+        )
 
     def rebalance_table(self, table: str) -> dict[str, list[str]]:
         """Recompute a balanced segment assignment over the currently
@@ -430,6 +439,9 @@ class Controller:
         partition = meta["partition"]
         self._create_consuming_segment(config, partition,
                                        meta["sequence"] + 1, offset)
+        self._helix.invalidation_bus.publish(
+            table, "segment_completed", segment=segment
+        )
         return True
 
     # -- minion task scheduling (§3.2) ------------------------------------------------

@@ -40,7 +40,8 @@ class BrokerMetrics:
     #: Counter name -> accumulated value. Well-known names:
     #: queries, scatter_requests, server_errors, servers_unreachable,
     #: retries, failovers, segments_failed_over, segments_unroutable,
-    #: partial_responses, deadline_exhausted, retry_backoff_ms.
+    #: partial_responses, deadline_exhausted, retry_backoff_ms,
+    #: cache_hits, cache_misses, cache_bypass.
     counters: dict[str, float] = field(default_factory=dict)
     stages: dict[str, StageTiming] = field(default_factory=dict)
 
@@ -78,3 +79,14 @@ class BrokerMetrics:
                 for name, timing in self.stages.items()
             },
         }
+
+
+@dataclass
+class ServerMetrics(BrokerMetrics):
+    """Counter registry for one server instance.
+
+    Same registry shape as :class:`BrokerMetrics` (counters + stage
+    timings) so tooling can scrape either uniformly. Well-known server
+    counter names: segments_pruned, segments_scanned, hot_hits,
+    hot_misses.
+    """

@@ -16,10 +16,13 @@ import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.cache.hot import HotStructureCache
+from repro.cache.pruner import prune_reason
 from repro.cluster.completion import Instruction
+from repro.cluster.metrics import ServerMetrics
 from repro.cluster.objectstore import ObjectStore
 from repro.cluster.table import TableConfig
-from repro.engine.executor import execute_segment
+from repro.engine.executor import execute_segment, prune_result
 from repro.engine.merge import combine_segment_results
 from repro.engine.results import SegmentResult, ServerResult
 from repro.errors import ClusterError, PinotError
@@ -74,6 +77,12 @@ class ServerInstance:
         #: per-instance so fault schedules are deterministic.
         self.faults = FaultInjector(seed=zlib.crc32(instance_id.encode()))
         self.queries_executed = 0
+        #: Per-server counters (segments_pruned, segments_scanned,
+        #: hot_hits, hot_misses).
+        self.metrics = ServerMetrics()
+        #: LRU of decoded column structures for the hottest columns
+        #: (layer 3 of the cache subsystem, repro.cache).
+        self.hot_cache = HotStructureCache()
 
     # -- introspection ------------------------------------------------------
 
@@ -102,6 +111,16 @@ class ServerInstance:
                 f"{table}/{name}"
             ) from None
 
+    def consuming_offset(self, table: str, segment: str) -> int | None:
+        """The stream offset this replica has consumed up to, or None
+        when unknown (not consuming here, or the server is down).
+        Brokers fingerprint these offsets into result-cache keys; an
+        unknown offset makes the broker bypass caching entirely."""
+        if self.faults.crashed:
+            return None
+        consuming = self._consuming.get((table, segment))
+        return consuming.offset if consuming is not None else None
+
     # -- Helix participant interface ----------------------------------------
 
     def process_transition(self, resource: str, segment: str,
@@ -118,9 +137,11 @@ class ServerInstance:
         elif to_state is SegmentState.OFFLINE:
             self._segments.pop(key, None)
             self._consuming.pop(key, None)
+            self.hot_cache.invalidate_segment(resource, segment)
         elif to_state is SegmentState.DROPPED:
             self._segments.pop(key, None)
             self._consuming.pop(key, None)
+            self.hot_cache.invalidate_segment(resource, segment)
         else:
             raise ClusterError(f"unsupported target state {to_state}")
 
@@ -325,6 +346,8 @@ class ServerInstance:
     def _execute_segments(self, query: Query, table: str,
                           segment_names: list[str],
                           deadline: float | None) -> ServerResult:
+        skip_cache = bool(query.options.get("skipCache"))
+        skip_prune = skip_cache or bool(query.options.get("skipPrune"))
         results: list[SegmentResult] = []
         try:
             for name in segment_names:
@@ -334,10 +357,40 @@ class ServerInstance:
                 segment = self._resolve_for_query(table, name)
                 if segment is None:
                     continue  # empty consuming segment: nothing yet
+                # Pre-execution pruning applies only to immutable
+                # segments: consuming snapshots lack settled metadata.
+                immutable = (table, name) in self._segments
+                if not skip_prune and immutable and prune_reason(
+                    segment.metadata, query
+                ) is not None:
+                    self.metrics.incr("segments_pruned")
+                    results.append(prune_result(segment, query))
+                    continue
+                self.metrics.incr("segments_scanned")
+                if not skip_cache and immutable:
+                    self._warm_hot_columns(table, segment, query)
                 results.append(execute_segment(segment, query))
         except PinotError as exc:
             return ServerResult(server=self.instance_id, error=str(exc))
         return combine_segment_results(query, results, self.instance_id)
+
+    def _warm_hot_columns(self, table: str, segment: ImmutableSegment,
+                          query: Query) -> None:
+        """Pull the query's columns through the hot-structure cache so
+        their decoded arrays stay resident across queries (and cold
+        columns get evicted to honor the byte budget)."""
+        if query.select_star:
+            names = segment.schema.column_names
+        else:
+            names = tuple(sorted(query.referenced_columns()))
+        for name in names:
+            if not segment.has_column(name):
+                continue
+            column = segment.column(name)
+            if column.is_multi_value:
+                continue  # decoded arrays exist for single-value only
+            __, hit = self.hot_cache.values(table, segment, column)
+            self.metrics.incr("hot_hits" if hit else "hot_misses")
 
     def explain(self, query: Query, table: str,
                 segment_names: list[str]) -> dict[str, str]:

@@ -102,6 +102,16 @@ def execute_plan(plan: SegmentPlan) -> SegmentResult:
     return result
 
 
+def prune_result(segment: ImmutableSegment, query: Query) -> SegmentResult:
+    """The result for a segment skipped by the server-side pruner:
+    counted as queried (its docs appear in total_docs) but never
+    processed — the same accounting as an EMPTY time-pruned plan."""
+    stats = ExecutionStats(num_segments_queried=1,
+                           total_docs=segment.num_docs,
+                           num_segments_pruned_by_server=1)
+    return _empty_result(query, stats)
+
+
 def _empty_result(query: Query, stats: ExecutionStats) -> SegmentResult:
     result = SegmentResult(stats=stats)
     if query.group_by:

@@ -23,6 +23,10 @@ class ExecutionStats:
     num_segments_queried: int = 0
     num_segments_processed: int = 0
     num_segments_matched: int = 0
+    #: Segments a server skipped pre-execution via zone maps, bloom
+    #: filters or partition metadata (they count as queried, not
+    #: processed).
+    num_segments_pruned_by_server: int = 0
     num_docs_scanned: int = 0
     num_entries_scanned_in_filter: int = 0
     num_entries_scanned_post_filter: int = 0
@@ -36,6 +40,9 @@ class ExecutionStats:
         self.num_segments_queried += other.num_segments_queried
         self.num_segments_processed += other.num_segments_processed
         self.num_segments_matched += other.num_segments_matched
+        self.num_segments_pruned_by_server += (
+            other.num_segments_pruned_by_server
+        )
         self.num_docs_scanned += other.num_docs_scanned
         self.num_entries_scanned_in_filter += (
             other.num_entries_scanned_in_filter
@@ -167,8 +174,11 @@ class BrokerResponse:
     #: Errors that occurred but were recovered by replica failover —
     #: they do not mark the response partial.
     recovered_exceptions: list[str] = field(default_factory=list)
-    #: This query's broker stage timings (route/scatter/gather/merge).
+    #: This query's broker stage timings (route/scatter/gather/merge,
+    #: plus "cache" when the result cache was consulted).
     stage_times_ms: dict[str, float] = field(default_factory=dict)
+    #: True when this response was served from the broker result cache.
+    cache_hit: bool = False
 
     @property
     def partial(self) -> bool:

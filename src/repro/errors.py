@@ -33,6 +33,11 @@ class PQLSyntaxError(PinotError):
         self.position = position
 
 
+class QueryError(PinotError):
+    """A query is syntactically valid but semantically rejected (e.g.
+    an unknown OPTION name or an OPTION value of the wrong type)."""
+
+
 class PlanningError(PinotError):
     """A parsed query could not be planned against a table or segment."""
 

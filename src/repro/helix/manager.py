@@ -19,8 +19,13 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.cache.bus import InvalidationBus
 from repro.errors import ClusterError
-from repro.helix.statemachine import SegmentState, transition_path
+from repro.helix.statemachine import (
+    SegmentState,
+    affects_query_results,
+    transition_path,
+)
 from repro.zk.store import ZkSession, ZkStore
 
 
@@ -44,6 +49,10 @@ class HelixManager:
         self._participants: dict[str, Participant] = {}
         self._sessions: dict[str, ZkSession] = {}
         self._view_callbacks: list = []
+        #: Cluster-wide cache-invalidation fan-out: controllers and the
+        #: manager itself publish data-changing events here; brokers
+        #: subscribe per-table epoch counters (repro.cache).
+        self.invalidation_bus = InvalidationBus()
         root = self._path("")
         if not zk.exists(root):
             zk.create(root, make_parents=True)
@@ -206,6 +215,10 @@ class HelixManager:
                 participant.process_transition(resource, segment,
                                                from_state, to_state)
                 view.setdefault(segment, {})[instance] = to_state.value
+                if affects_query_results(from_state, to_state):
+                    self.invalidation_bus.publish(
+                        resource, "state_transition", segment=segment
+                    )
         except ClusterError:
             # A failed transition leaves the replica in ERROR; Helix
             # reports it in the external view so brokers avoid it.
@@ -224,6 +237,7 @@ class HelixManager:
                     del view[segment]
             if changed:
                 self.zk.upsert(self._path(f"externalview/{resource}"), view)
+                self.invalidation_bus.publish(resource, "instance_death")
                 self._notify_view(resource)
 
     def _notify_view(self, resource: str) -> None:

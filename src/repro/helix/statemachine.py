@@ -36,6 +36,19 @@ def is_valid_transition(source: SegmentState, target: SegmentState) -> bool:
     return (source, target) in _TRANSITIONS
 
 
+def affects_query_results(source: SegmentState, target: SegmentState) -> bool:
+    """Whether a transition hop can change what a query would return.
+
+    Any hop entering or leaving a queryable state (ONLINE or CONSUMING)
+    changes the set of documents a replica serves; OFFLINE -> DROPPED is
+    pure cleanup of a replica that already stopped serving. Brokers use
+    this to decide which Helix transitions must invalidate cached
+    results.
+    """
+    queryable = (SegmentState.ONLINE, SegmentState.CONSUMING)
+    return source in queryable or target in queryable
+
+
 def transition_path(source: SegmentState,
                     target: SegmentState) -> list[tuple[SegmentState, SegmentState]]:
     """The hop sequence from ``source`` to ``target``.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import PQLSyntaxError
+from repro.errors import PQLSyntaxError, QueryError
 from repro.pql.ast_nodes import (
     AggFunc,
     Aggregation,
@@ -43,6 +43,15 @@ from repro.pql.lexer import Token, TokenType, tokenize
 
 _AGG_NAMES = {f.value: f for f in AggFunc}
 _DEFAULT_LIMIT = 10
+
+#: Recognized OPTION(...) keys and the literal types each accepts.
+#: Unknown options are rejected loudly — a typo like skipCahce silently
+#: ignored would run the query with the wrong semantics.
+_KNOWN_OPTIONS: dict[str, tuple[type, ...]] = {
+    "timeoutMs": (int, float),
+    "skipCache": (bool,),
+    "skipPrune": (bool,),
+}
 
 
 def parse(text: str) -> Query:
@@ -223,17 +232,38 @@ class _Parser:
         self._expect(TokenType.LPAREN)
         options: dict[str, Any] = {}
         while True:
-            key = self._expect(TokenType.IDENTIFIER).value
+            key_token = self._expect(TokenType.IDENTIFIER)
+            key = key_token.value
             op = self._expect(TokenType.OPERATOR)
             if op.value != "=":
                 raise PQLSyntaxError("expected '=' in OPTION", op.position)
-            options[key] = self._parse_literal()
+            options[key] = self._validate_option(key, self._parse_literal())
             if self._current.type is TokenType.COMMA:
                 self._advance()
                 continue
             break
         self._expect(TokenType.RPAREN)
         return options
+
+    @staticmethod
+    def _validate_option(key: str, value: Any) -> Any:
+        try:
+            accepted = _KNOWN_OPTIONS[key]
+        except KeyError:
+            known = ", ".join(sorted(_KNOWN_OPTIONS))
+            raise QueryError(
+                f"unknown query option {key!r}; known options: {known}"
+            ) from None
+        # bool is a subclass of int, so an explicit check keeps
+        # OPTION(timeoutMs=true) from sneaking through as a number.
+        if isinstance(value, bool) is not (accepted == (bool,)) or \
+                not isinstance(value, accepted):
+            expected = "boolean" if accepted == (bool,) else "number"
+            raise QueryError(
+                f"query option {key!r} expects a {expected} value, "
+                f"got {value!r}"
+            )
+        return value
 
     # -- predicates ------------------------------------------------------------
 

@@ -78,6 +78,11 @@ class Column:
             self._decoded = self.dictionary.values_of(self.dict_ids())
         return self._decoded
 
+    def release_values(self) -> None:
+        """Drop the decoded-value cache (hot-structure cache eviction);
+        the next :meth:`values` call re-decodes."""
+        self._decoded = None
+
     def value_of_doc(self, doc_id: int) -> Any:
         if self.is_multi_value:
             ids = self.forward.dict_ids_of(doc_id)

@@ -1,0 +1,47 @@
+"""Unit tests for the invalidation bus and per-table epochs."""
+
+from repro.cache.bus import InvalidationBus, InvalidationEvent, TableEpochs
+
+
+class TestBus:
+    def test_publish_reaches_all_subscribers(self):
+        bus = InvalidationBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.subscribe(seen.append)
+        event = bus.publish("t_OFFLINE", "segment_uploaded", segment="s1")
+        assert seen == [event, event]
+        assert event == InvalidationEvent("t_OFFLINE", "segment_uploaded",
+                                          "s1")
+        assert bus.events_published == 1
+
+    def test_publish_without_subscribers_is_fine(self):
+        bus = InvalidationBus()
+        bus.publish("t", "segment_deleted")
+        assert bus.events_published == 1
+
+
+class TestEpochs:
+    def test_epoch_starts_at_zero_and_bumps(self):
+        epochs = TableEpochs()
+        assert epochs.epoch("t") == 0
+        assert epochs.bump("t") == 1
+        assert epochs.epoch("t") == 1
+        assert epochs.epoch("other") == 0
+
+    def test_subscribed_epochs_bump_per_event(self):
+        bus = InvalidationBus()
+        epochs = TableEpochs(bus=bus)
+        bus.publish("a", "segment_completed")
+        bus.publish("a", "state_transition")
+        bus.publish("b", "instance_death")
+        assert epochs.epoch("a") == 2
+        assert epochs.epoch("b") == 1
+        assert epochs.events_seen == 3
+
+    def test_independent_subscribers(self):
+        """Each broker has its own epochs; all see the same stream."""
+        bus = InvalidationBus()
+        first, second = TableEpochs(bus=bus), TableEpochs(bus=bus)
+        bus.publish("t", "segment_replaced")
+        assert first.epoch("t") == second.epoch("t") == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PQLSyntaxError
+from repro.errors import PQLSyntaxError, QueryError
 from repro.pql.ast_nodes import (
     AggFunc,
     Aggregation,
@@ -159,6 +159,28 @@ class TestClauses:
     def test_option_clause(self):
         query = parse("SELECT a FROM t OPTION (timeoutMs = 100)")
         assert query.options == {"timeoutMs": 100}
+
+    def test_boolean_options(self):
+        query = parse(
+            "SELECT a FROM t OPTION (skipCache = true, skipPrune = FALSE)"
+        )
+        assert query.options == {"skipCache": True, "skipPrune": False}
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(QueryError, match="skipCahce"):
+            parse("SELECT a FROM t OPTION (skipCahce = true)")
+
+    def test_unknown_option_error_lists_known_names(self):
+        with pytest.raises(QueryError, match="skipCache"):
+            parse("SELECT a FROM t OPTION (bogus = 1)")
+
+    def test_option_value_type_checked(self):
+        with pytest.raises(QueryError, match="boolean"):
+            parse("SELECT a FROM t OPTION (skipCache = 1)")
+        with pytest.raises(QueryError, match="number"):
+            parse("SELECT a FROM t OPTION (timeoutMs = true)")
+        with pytest.raises(QueryError, match="number"):
+            parse("SELECT a FROM t OPTION (timeoutMs = 'fast')")
 
     def test_trailing_garbage_rejected(self):
         with pytest.raises(PQLSyntaxError, match="trailing"):
