@@ -82,13 +82,20 @@ def make_druid_executor(segments: Sequence[ImmutableSegment]) -> ExecuteFn:
 
 def measure(name: str, execute: ExecuteFn, queries: Sequence[Query],
             repeats: int = 1, keep_responses: bool = False,
-            warmup: int = 2) -> MeasuredWorkload:
+            warmup: int = 2, clock=None) -> MeasuredWorkload:
     """Time every query ``repeats`` times; returns the measured workload.
 
     A short warmup absorbs one-time costs (forward-index unpack caches,
     on-demand inverted index builds) that a long-running server would
     have already paid.
+
+    Pass a ``repro.net`` SimClock as ``clock`` to measure on the
+    cluster's virtual timeline instead of the wall clock — simulated
+    link latency, queueing, and hedging then show up in the measured
+    distribution (and with a manual clock the timings are exactly
+    reproducible).
     """
+    read_time = clock.now if clock is not None else time.perf_counter
     for query in queries[:warmup]:
         execute(query)
     times = np.empty(len(queries) * repeats)
@@ -96,9 +103,9 @@ def measure(name: str, execute: ExecuteFn, queries: Sequence[Query],
     index = 0
     for __ in range(repeats):
         for query in queries:
-            started = time.perf_counter()
+            started = read_time()
             response = execute(query)
-            times[index] = time.perf_counter() - started
+            times[index] = read_time() - started
             index += 1
             measured.stats.append(response.stats)
             if keep_responses:

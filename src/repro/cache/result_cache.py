@@ -34,6 +34,10 @@ class CachedResult:
     response: BrokerResponse
     log_entries: tuple[Any, ...]
     nbytes: int
+    #: Virtual timestamp (``repro.net`` SimClock) when the entry was
+    #: stored — an age an operator can read off, on the same timeline
+    #: every other latency in the system is measured on.
+    created_at: float = 0.0
 
 
 class BrokerResultCache:
@@ -43,13 +47,15 @@ class BrokerResultCache:
     DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
     def __init__(self, max_entries: int | None = None,
-                 max_bytes: int | None = None):
+                 max_bytes: int | None = None, clock=None):
         self._lru = LruCache(
             max_entries=(max_entries if max_entries is not None
                          else self.DEFAULT_MAX_ENTRIES),
             max_bytes=(max_bytes if max_bytes is not None
                        else self.DEFAULT_MAX_BYTES),
         )
+        #: Optional SimClock; entries get created_at=0.0 without one.
+        self.clock = clock
 
     @property
     def stats(self) -> CacheStats:
@@ -63,8 +69,11 @@ class BrokerResultCache:
 
     def put(self, key: Hashable, response: BrokerResponse,
             log_entries: Sequence[Any] = ()) -> CachedResult:
-        entry = CachedResult(response, tuple(log_entries),
-                             estimate_response_bytes(response))
+        entry = CachedResult(
+            response, tuple(log_entries),
+            estimate_response_bytes(response),
+            created_at=self.clock.now() if self.clock is not None else 0.0,
+        )
         self._lru.put(key, entry, entry.nbytes)
         return entry
 

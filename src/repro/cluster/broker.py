@@ -11,7 +11,6 @@ realtime query split at the time boundary (Fig 6).
 from __future__ import annotations
 
 import random
-import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 
@@ -24,9 +23,10 @@ from repro.cluster.tenant import TenantQuotaManager
 from repro.common.timeutils import TimeGranularity, time_boundary
 from repro.engine.merge import reduce_server_results
 from repro.engine.results import BrokerResponse, ServerResult
-from repro.errors import ClusterError, RoutingError, ServerUnreachableError
+from repro.errors import ClusterError, RoutingError, ServerBusyError
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
+from repro.net import CallResult, HedgePolicy, LatencyTracker, SimClock
 from repro.pql.ast_nodes import Query
 from repro.pql.parser import parse
 from repro.pql.rewriter import optimize, split_hybrid
@@ -87,6 +87,15 @@ class _ScatterOutcome:
     #: True when any sub-request ran out of deadline budget; such a
     #: response must never be cached even if it merged cleanly.
     deadline_exhausted: bool = False
+    #: Virtual instant the broker finished waiting on sub-requests (the
+    #: gather barrier) — the query's own wall, independent of whatever
+    #: the shared clock has reached serving other traffic.
+    finished_at: float = 0.0
+    #: Hedged duplicates issued for this physical query.
+    hedges: int = 0
+    #: Accumulated link + queue time across all sub-requests (the
+    #: per-query "network" stage).
+    network_ms: float = 0.0
 
 
 class BrokerInstance:
@@ -103,9 +112,20 @@ class BrokerInstance:
 
     def __init__(self, instance_id: str, helix: HelixManager,
                  quotas: TenantQuotaManager | None = None,
-                 seed: int = 0):
+                 seed: int = 0, clock: SimClock | None = None,
+                 hedging: HedgePolicy | None = None):
         self.instance_id = instance_id
         self._helix = helix
+        #: All sub-requests travel over the cluster transport; deadline
+        #: math, backoff accounting, and quota refill read its clock.
+        self._transport = helix.transport
+        self._clock = clock if clock is not None else helix.transport.clock
+        #: Hedged sub-requests (off unless a policy is supplied): track
+        #: per-table sub-request latencies and re-issue stragglers.
+        self._hedging = hedging if hedging is not None and hedging.enabled \
+            else None
+        self._latency = (LatencyTracker(self._hedging)
+                         if self._hedging is not None else None)
         self._quotas = quotas
         self._rng = random.Random(seed)
         self._strategies: dict[str, RoutingStrategy] = {}
@@ -115,7 +135,7 @@ class BrokerInstance:
         self.metrics = BrokerMetrics()
         #: Result cache + the per-table epochs its keys embed; epochs
         #: bump on every invalidation-bus event for the table.
-        self.result_cache = BrokerResultCache()
+        self.result_cache = BrokerResultCache(clock=self._clock)
         self._epochs = TableEpochs(bus=helix.invalidation_bus)
         self._routing_versions: dict[str, int] = {}
         helix.watch_external_view(self._on_view_change)
@@ -188,7 +208,8 @@ class BrokerInstance:
     # -- query execution (§3.3.3) ------------------------------------------------
 
     def execute(self, pql: str | Query, tenant: str | None = None,
-                now: float | None = None) -> BrokerResponse:
+                now: float | None = None,
+                at: float | None = None) -> BrokerResponse:
         """Run one query end to end and return the broker response.
 
         The scatter/gather is failure-hardened (§3.3.3 step 7 and the
@@ -197,8 +218,13 @@ class BrokerInstance:
         deadline, and when no replica can serve some segments the
         merged response is returned with ``partial=True`` and per-server
         error detail instead of failing the whole query.
+
+        ``at`` pins the query's virtual start (and scatter departure)
+        time, letting callers model concurrent load: several queries
+        issued ``at`` the same instant contend for the same server
+        queues even though this process runs them sequentially.
         """
-        started = time.perf_counter()
+        started = at if at is not None else self._clock.now()
         query = parse(pql) if isinstance(pql, str) else pql
         query = optimize(query)
 
@@ -206,7 +232,7 @@ class BrokerInstance:
         first_config = self._table_config(physical[0].table)
         tenant = tenant or first_config.tenant
         if self._quotas is not None:
-            clock = now if now is not None else time.monotonic()
+            clock = now if now is not None else self._clock.now()
             self._quotas.admit(tenant, clock)
 
         self.metrics.incr("queries")
@@ -219,12 +245,12 @@ class BrokerInstance:
         if query.options.get("skipCache"):
             self.metrics.incr("cache_bypass")
         else:
-            cache_started = time.perf_counter()
+            cache_started = self._clock.now()
             cache_key = self._cache_key(physical)
             cached = (self.result_cache.get(cache_key)
                       if cache_key is not None else None)
             self._record_stage(
-                "cache", (time.perf_counter() - cache_started) * 1e3,
+                "cache", (self._clock.now() - cache_started) * 1e3,
                 stage_times)
             if cache_key is None:
                 # Consuming offsets unknown (e.g. a replica died
@@ -245,9 +271,12 @@ class BrokerInstance:
         retries = 0
         failed_over = 0
         deadline_exhausted = False
+        finished = started
         for physical_query in physical:
             outcome = self._scatter_gather(physical_query, deadline,
-                                           stage_times)
+                                           stage_times, depart_at=at)
+            at = None  # only the first physical query departs at `at`
+            finished = max(finished, outcome.finished_at)
             server_results.extend(outcome.results)
             recovered.extend(outcome.recovered_errors)
             pruned_total += outcome.pruned
@@ -260,16 +289,16 @@ class BrokerInstance:
             if entry is not None:
                 log_entries.append(entry)
 
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+        elapsed_ms = (max(started, finished) - started) * 1e3
         if self._quotas is not None:
-            clock = now if now is not None else time.monotonic()
+            clock = now if now is not None else self._clock.now()
             self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
         self.queries_served += 1
-        merge_started = time.perf_counter()
+        merge_started = self._clock.now()
         response = reduce_server_results(query, server_results, elapsed_ms,
                                          recovered_exceptions=recovered)
         self._record_stage("merge",
-                           (time.perf_counter() - merge_started) * 1e3,
+                           (self._clock.now() - merge_started) * 1e3,
                            stage_times)
         response.num_servers_queried = len(contacted)
         response.num_servers_responded = len(responded)
@@ -325,12 +354,16 @@ class BrokerInstance:
                 if state != SegmentState.CONSUMING.value:
                     continue
                 participant = self._helix.participant(instance)
-                offset = (
-                    participant.consuming_offset(table, segment)
-                    if participant is not None
-                    and hasattr(participant, "consuming_offset")
-                    else None
-                )
+                if participant is None or not hasattr(
+                        participant, "consuming_offset"):
+                    return None
+                try:
+                    offset = self._transport.call(
+                        self.instance_id, instance,
+                        "consuming_offset", table, segment,
+                    )
+                except ClusterError:
+                    offset = None
                 if offset is None:
                     return None
                 entries.append((segment, instance, offset))
@@ -346,9 +379,9 @@ class BrokerInstance:
         self.query_log.extend(cached.log_entries)
         if len(self.query_log) > self.QUERY_LOG_LIMIT:
             del self.query_log[:len(self.query_log) // 2]
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+        elapsed_ms = max(0.0, self._clock.now() - started) * 1e3
         if self._quotas is not None:
-            clock = now if now is not None else time.monotonic()
+            clock = now if now is not None else self._clock.now()
             self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
         self.queries_served += 1
         return replace(
@@ -417,58 +450,91 @@ class BrokerInstance:
         return time_boundary(max_time, granularity)
 
     def _scatter_gather(self, query: Query, deadline: float | None,
-                        stage_times: dict[str, float]) -> _ScatterOutcome:
+                        stage_times: dict[str, float],
+                        depart_at: float | None = None) -> _ScatterOutcome:
         """Route, scatter, and gather one physical query with replica
-        failover and graceful degradation."""
+        failover, hedging, and graceful degradation."""
         outcome = _ScatterOutcome()
 
-        route_started = time.perf_counter()
+        route_started = self._clock.now()
         strategy = self._strategy_for(query.table)
         try:
             routing_table = strategy.route(query)
         except RoutingError as exc:
             self._record_stage(
-                "route", (time.perf_counter() - route_started) * 1e3,
+                "route", (self._clock.now() - route_started) * 1e3,
                 stage_times)
             outcome.results.append(
                 ServerResult(server=self.instance_id, error=str(exc))
             )
+            outcome.finished_at = self._clock.now()
             return outcome
         routing_table, pruned = self._prune_by_time(query, routing_table)
         routing_table, bloom_pruned = self._prune_by_bloom(query,
                                                            routing_table)
         outcome.pruned = pruned + bloom_pruned
         self._record_stage(
-            "route", (time.perf_counter() - route_started) * 1e3,
+            "route", (self._clock.now() - route_started) * 1e3,
             stage_times)
 
         # Scatter: the primary fan-out over the chosen routing table.
-        scatter_started = time.perf_counter()
+        # Every sub-request departs at the same virtual instant — the
+        # broker sends them concurrently, even though this process
+        # executes the handlers one after another.
+        scatter_started = self._clock.now()
+        t0 = depart_at if depart_at is not None else scatter_started
         failures: deque[_FailedSubRequest] = deque()
+        in_flight: list[tuple[str, list[str], ServerResult,
+                              CallResult | None]] = []
         for instance, segments in routing_table.items():
-            result = self._dispatch(instance, query, segments, deadline,
-                                    outcome)
+            result, call = self._dispatch(instance, query, segments,
+                                          deadline, outcome, depart_at=t0)
+            in_flight.append((instance, segments, result, call))
+
+        barrier = t0
+        for instance, segments, result, call in in_flight:
+            winner_call = call
+            if result.error is None and call is not None:
+                result, winner_call = self._maybe_hedge(
+                    strategy, query, instance, segments, result, call,
+                    t0, deadline, outcome,
+                )
+            if winner_call is not None:
+                barrier = max(barrier, winner_call.completed)
+                if self._latency is not None and result.error is None:
+                    # Only the winner's own flight time (departure to
+                    # completion) feeds the percentile window. Counting
+                    # from t0 would fold the budget wait into every
+                    # hedged sample, compounding the budget by the
+                    # multiplier each query until hedging disabled
+                    # itself; counting stragglers would do the same.
+                    self._latency.observe(query.table,
+                                          winner_call.duration_s)
             if result.error is None:
                 outcome.results.append(result)
-                outcome.responded.add(instance)
+                outcome.responded.add(result.server)
             else:
                 failures.append(_FailedSubRequest(
                     instance, segments, result, tried={instance}
                 ))
+        # The broker's gather barrier: it has now waited for every
+        # primary (and winning hedge) response on the virtual timeline.
+        self._clock.advance_to(barrier)
+        finished = barrier
         self._record_stage(
-            "scatter", (time.perf_counter() - scatter_started) * 1e3,
+            "scatter", (self._clock.now() - scatter_started) * 1e3,
             stage_times)
 
         # Gather: fail sub-requests over to other replicas, bounded by
         # MAX_SUBREQUEST_ATTEMPTS and the remaining deadline budget.
-        gather_started = time.perf_counter()
+        gather_started = self._clock.now()
         while failures:
             failed = failures.popleft()
             attempt = len(failed.tried)
             backoff_ms = self.RETRY_BACKOFF_BASE_MS * (2 ** (attempt - 1))
             within_deadline = (
                 deadline is None
-                or time.perf_counter() + backoff_ms / 1e3 < deadline
+                or self._clock.now() + backoff_ms / 1e3 < deadline
             )
             if attempt >= self.MAX_SUBREQUEST_ATTEMPTS or not within_deadline:
                 if not within_deadline:
@@ -489,8 +555,11 @@ class BrokerInstance:
                 self.metrics.incr("retries")
                 self.metrics.incr("retry_backoff_ms", backoff_ms)
                 outcome.retries += 1
-                result = self._dispatch(instance, query, segments,
-                                        deadline, outcome)
+                result, call = self._dispatch(instance, query, segments,
+                                              deadline, outcome)
+                if call is not None:
+                    self._clock.advance_to(call.completed)
+                    finished = max(finished, call.completed)
                 if result.error is None:
                     outcome.results.append(result)
                     outcome.responded.add(instance)
@@ -508,35 +577,88 @@ class BrokerInstance:
                         tried=failed.tried | {instance},
                     ))
         self._record_stage(
-            "gather", (time.perf_counter() - gather_started) * 1e3,
+            "gather", (self._clock.now() - gather_started) * 1e3,
             stage_times)
+        self._record_stage("network", outcome.network_ms, stage_times)
+        outcome.finished_at = finished
         return outcome
 
+    def _maybe_hedge(self, strategy: RoutingStrategy, query: Query,
+                     instance: str, segments: list[str],
+                     result: ServerResult, call: CallResult, t0: float,
+                     deadline: float | None, outcome: _ScatterOutcome,
+                     ) -> tuple[ServerResult, CallResult]:
+        """Re-issue a straggling sub-request to another replica once its
+        latency exceeds the percentile budget; first response wins.
+
+        Returns the winning (result, call) pair. The loser is cancelled:
+        its response is discarded and it never reaches the merge.
+        """
+        if self._latency is None:
+            return result, call
+        assert self._hedging is not None
+        budget = self._latency.budget_s(query.table)
+        if call.completed - t0 <= budget:
+            return result, call
+        if outcome.hedges >= self._hedging.max_hedges_per_query:
+            return result, call
+        reroute, unroutable = strategy.reselect(segments, {instance})
+        if unroutable or len(reroute) != 1:
+            # No single alternate replica hosts the whole segment set;
+            # hedging a split would multiply fan-out, so don't.
+            return result, call
+        (alternate, alt_segments), = reroute.items()
+        outcome.hedges += 1
+        self.metrics.incr("hedges")
+        hedge_result, hedge_call = self._dispatch(
+            alternate, query, alt_segments, deadline, outcome,
+            depart_at=t0 + budget, hedge=True,
+        )
+        if (hedge_call is not None and hedge_result.error is None
+                and hedge_call.completed < call.completed):
+            # The hedge beat the straggler: first response wins, the
+            # original sub-request is cancelled unread.
+            self.metrics.incr("hedge_wins")
+            self.metrics.incr("hedges_cancelled")
+            return hedge_result, hedge_call
+        self.metrics.incr("hedges_cancelled")
+        return result, call
+
     def _dispatch(self, instance: str, query: Query, segments: list[str],
-                  deadline: float | None,
-                  outcome: _ScatterOutcome) -> ServerResult:
-        """Send one sub-request to one server, mapping unreachability
-        and an exhausted deadline onto error results."""
+                  deadline: float | None, outcome: _ScatterOutcome,
+                  depart_at: float | None = None, hedge: bool = False,
+                  ) -> tuple[ServerResult, CallResult | None]:
+        """Send one sub-request over the transport, mapping transport
+        failures (unreachable, overloaded) and an exhausted deadline
+        onto error results the merge can degrade around."""
         outcome.contacted.add(instance)
-        self.metrics.incr("scatter_requests")
-        if deadline is not None and time.perf_counter() > deadline:
+        self.metrics.incr("hedge_requests" if hedge else "scatter_requests")
+        depart = depart_at if depart_at is not None else self._clock.now()
+        if deadline is not None and depart > deadline:
             self.metrics.incr("deadline_exhausted")
             outcome.deadline_exhausted = True
             return ServerResult(server=instance,
-                                error="broker deadline exceeded")
-        server = self._helix.participant(instance)
-        if server is None:
-            self.metrics.incr("servers_unreachable")
+                                error="broker deadline exceeded"), None
+        call = self._transport.request(
+            self.instance_id, instance, "execute",
+            query, query.table, segments, depart_at=depart,
+        )
+        self.metrics.incr("network_link_ms", call.link_s * 1e3)
+        self.metrics.incr("queue_wait_ms", call.queue_s * 1e3)
+        if call.queue_depth > self.metrics.count("max_queue_depth"):
+            self.metrics.counters["max_queue_depth"] = call.queue_depth
+        outcome.network_ms += (call.link_s + call.queue_s) * 1e3
+        if call.error is not None:
+            if isinstance(call.error, ServerBusyError):
+                self.metrics.incr("server_busy_rejections")
+            else:
+                self.metrics.incr("servers_unreachable")
             return ServerResult(server=instance,
-                                error="server unreachable")
-        try:
-            result = server.execute(query, query.table, segments)
-        except ServerUnreachableError as exc:
-            self.metrics.incr("servers_unreachable")
-            return ServerResult(server=instance, error=str(exc))
+                                error=str(call.error)), call
+        result = call.value
         if result.error is not None:
             self.metrics.incr("server_errors")
-        return result
+        return result, call
 
     def _prune_by_time(self, query: Query, routing_table):
         """Drop segments whose time range cannot match the query before
@@ -666,8 +788,13 @@ class BrokerInstance:
                 server = self._helix.participant(instance)
                 if server is None or not hasattr(server, "explain"):
                     continue
-                plans = server.explain(physical_query,
-                                       physical_query.table, segments)
+                try:
+                    plans = self._transport.call(
+                        self.instance_id, instance, "explain",
+                        physical_query, physical_query.table, segments,
+                    )
+                except ClusterError:
+                    continue
                 out.setdefault(instance, {}).update(plans)
         return out
 

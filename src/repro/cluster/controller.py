@@ -54,6 +54,10 @@ class Controller:
         """Join the controller pool and try to acquire leadership."""
         if self._session is None:
             self._session = self._helix.zk.connect()
+        if self._helix.transport.endpoint(self.instance_id) is None:
+            # Make this controller addressable so servers can poll the
+            # completion protocol and upload commits over the transport.
+            self._helix.transport.register(self.instance_id, self)
         self.try_acquire_leadership()
 
     def stop(self) -> None:
@@ -61,6 +65,7 @@ class Controller:
         if self._session is not None:
             self._session.close()
             self._session = None
+        self._helix.transport.deregister(self.instance_id)
         self._completion.clear()  # a new leader starts blank FSMs
 
     def try_acquire_leadership(self) -> bool:
@@ -150,7 +155,8 @@ class Controller:
             participant = self._helix.participant(instance)
             if participant is not None and hasattr(participant,
                                                    "apply_new_column"):
-                participant.apply_new_column(table, spec)
+                self._helix.transport.call(self.instance_id, instance,
+                                           "apply_new_column", table, spec)
 
     # -- offline segment upload (§3.3.5, Fig 8) -----------------------------------
 

@@ -3,7 +3,9 @@
 Wires together the full system of §3.2 — Zookeeper, the object store,
 Kafka, three controllers (one leader), N servers, brokers, and minions —
 as plain Python objects communicating through the simulated Zookeeper
-and direct method calls standing in for HTTP/Netty RPC.
+and the ``repro.net`` transport standing in for HTTP/Netty RPC (every
+query sub-request, completion poll, and Helix transition is a serialized
+message over modelled links on a shared virtual clock).
 
 This is the main public entry point::
 
@@ -28,6 +30,7 @@ from repro.engine.results import BrokerResponse
 from repro.errors import ClusterError
 from repro.helix.manager import HelixManager
 from repro.kafka.broker import SimKafka
+from repro.net import HedgePolicy, SimClock, Transport
 from repro.kafka.partitioner import kafka_partition
 from repro.segment.builder import SegmentBuilder
 from repro.segment.segment import ImmutableSegment
@@ -41,13 +44,26 @@ class PinotCluster:
                  num_controllers: int = 3, num_minions: int = 1,
                  object_store: ObjectStore | None = None,
                  cluster_name: str = "pinot", seed: int = 0,
-                 quotas: TenantQuotaManager | None = None):
+                 quotas: TenantQuotaManager | None = None,
+                 clock: SimClock | None = None,
+                 transport: Transport | None = None,
+                 hedging: HedgePolicy | None = None):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
         self.zk = ZkStore()
         self.kafka = SimKafka()
         self.object_store = object_store or MemoryObjectStore()
-        self.helix = HelixManager(self.zk, cluster_name)
+        #: The shared virtual clock and message fabric. Pass a manual
+        #: ``SimClock(auto_advance=False)`` for fully deterministic
+        #: timing, or a pre-configured :class:`Transport` to model link
+        #: latencies and bounded server queues.
+        self.clock = clock if clock is not None else (
+            transport.clock if transport is not None else SimClock()
+        )
+        self.net = transport if transport is not None else Transport(
+            self.clock, seed=seed
+        )
+        self.helix = HelixManager(self.zk, cluster_name, transport=self.net)
         self.quotas = quotas if quotas is not None else TenantQuotaManager(
             default_capacity=1e12, default_refill_rate=1e12
         )
@@ -70,7 +86,8 @@ class PinotCluster:
 
         self.brokers = [
             BrokerInstance(f"broker-{i}", self.helix, self.quotas,
-                           seed=seed + i)
+                           seed=seed + i, clock=self.clock,
+                           hedging=hedging)
             for i in range(num_brokers)
         ]
         self.minions = [
@@ -203,9 +220,12 @@ class PinotCluster:
     # -- queries -----------------------------------------------------------------------
 
     def execute(self, pql: str, tenant: str | None = None,
-                now: float | None = None) -> BrokerResponse:
-        """Run one PQL query through a broker (round-robin)."""
-        return self._next_broker().execute(pql, tenant, now)
+                now: float | None = None,
+                at: float | None = None) -> BrokerResponse:
+        """Run one PQL query through a broker (round-robin). ``at`` pins
+        the virtual departure time (burst modelling — see
+        :meth:`BrokerInstance.execute`)."""
+        return self._next_broker().execute(pql, tenant, now, at=at)
 
     def explain(self, pql: str) -> dict[str, dict[str, str]]:
         """Per-server, per-segment physical plans for a query."""

@@ -226,10 +226,14 @@ class ServerInstance:
         if self._controller_resolver is None:
             return
         controller = self._controller_resolver()
-        response = controller.segment_consumed(
-            consuming.table, consuming.name, self.instance_id,
-            consuming.offset,
-        )
+        try:
+            response = self._helix.transport.call(
+                self.instance_id, controller.instance_id,
+                "segment_consumed", consuming.table, consuming.name,
+                self.instance_id, consuming.offset,
+            )
+        except ClusterError:
+            return  # controller unreachable: poll again next tick
         if response.instruction is Instruction.HOLD:
             return
         if response.instruction is Instruction.NOTLEADER:
@@ -270,10 +274,17 @@ class ServerInstance:
                 return
             self._seal(consuming)
             assert consuming.sealed is not None
-            controller.commit_segment(
-                consuming.table, consuming.name, self.instance_id,
-                consuming.offset, consuming.sealed,
-            )
+            try:
+                # The sealed segment rides the transport's blob side
+                # channel — the simulated form of the committer's
+                # segment upload (§3.3.6, Fig 8).
+                self._helix.transport.call(
+                    self.instance_id, controller.instance_id,
+                    "commit_segment", consuming.table, consuming.name,
+                    self.instance_id, consuming.offset, consuming.sealed,
+                )
+            except ClusterError:
+                return  # commit lost in transit: re-poll next tick
             return
         raise ClusterError(f"unknown instruction {response.instruction}")
 

@@ -63,6 +63,11 @@ class ServerUnreachableError(ClusterError):
     connection) — distinct from a server that responded with an error."""
 
 
+class ServerBusyError(ClusterError):
+    """A server's bounded inbound request queue was full and the request
+    was rejected without being executed (429-style overload shedding)."""
+
+
 class RoutingError(PinotError):
     """A routing table could not be built or no route exists for a query."""
 

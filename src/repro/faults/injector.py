@@ -127,6 +127,28 @@ class FaultInjector:
             return True
         return False
 
+    # -- transport bridge ---------------------------------------------------
+
+    def as_link_model(self):
+        """This injector's slow/flaky faults expressed as a network-link
+        model (``repro.net``): injected latency/jitter become link
+        latency/jitter and the error rate becomes packet loss. Lets a
+        scenario pin the *link* to a server instead of the server
+        itself — same schedule, observed as transport behaviour."""
+        from repro.net import LinkModel
+
+        return LinkModel(
+            latency_s=self.extra_latency_s,
+            jitter_s=self.jitter_latency_s,
+            drop_rate=self.error_rate,
+        )
+
+    def attach_to_link(self, transport, dst: str,
+                       src: str | None = None) -> None:
+        """Install :meth:`as_link_model` on ``transport``'s link(s) into
+        ``dst`` (from ``src``, or from any caller when None)."""
+        transport.set_link(src, dst, self.as_link_model())
+
 
 def run_with_faults(injector: FaultInjector, server_id: str, query,
                     run) -> ServerResult:

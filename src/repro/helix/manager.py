@@ -26,7 +26,11 @@ from repro.helix.statemachine import (
     affects_query_results,
     transition_path,
 )
+from repro.net import SimClock, Transport
 from repro.zk.store import ZkSession, ZkStore
+
+#: Source address used for controller-originated transition RPCs.
+CONTROLLER_ADDRESS = "helix-controller"
 
 
 class Participant(Protocol):
@@ -43,9 +47,15 @@ class Participant(Protocol):
 class HelixManager:
     """Shared access point to the cluster's Helix state in Zookeeper."""
 
-    def __init__(self, zk: ZkStore, cluster_name: str):
+    def __init__(self, zk: ZkStore, cluster_name: str,
+                 transport: Transport | None = None):
         self.zk = zk
         self.cluster = cluster_name
+        #: The cluster's message fabric: every controller->participant
+        #: transition and (via the broker/server wiring) every query
+        #: sub-request travels over this transport's virtual timeline.
+        self.transport = transport if transport is not None \
+            else Transport(SimClock())
         self._participants: dict[str, Participant] = {}
         self._sessions: dict[str, ZkSession] = {}
         self._view_callbacks: list = []
@@ -83,6 +93,8 @@ class HelixManager:
                        session=session, ephemeral=True)
         self._participants[instance_id] = participant
         self._sessions[instance_id] = session
+        if self.transport.endpoint(instance_id) is None:
+            self.transport.register(instance_id, participant)
 
     def deregister_participant(self, instance_id: str) -> None:
         """Leave the cluster (simulates instance death: the ephemeral
@@ -91,6 +103,7 @@ class HelixManager:
         if session is not None:
             session.close()
         self._participants.pop(instance_id, None)
+        self.transport.deregister(instance_id)
 
     def live_instances(self) -> list[str]:
         return self.zk.children(self._path("live"))
@@ -207,13 +220,16 @@ class HelixManager:
                              instance: str, current: SegmentState,
                              desired: SegmentState,
                              view: dict[str, dict[str, str]]) -> None:
-        participant = self._participants.get(instance)
-        if participant is None:
+        if self._participants.get(instance) is None:
             return
         try:
             for from_state, to_state in transition_path(current, desired):
-                participant.process_transition(resource, segment,
-                                               from_state, to_state)
+                # State transitions are RPCs: the controller messages the
+                # participant over the transport, so slow/lossy links and
+                # server-side queueing shape convergence latency too.
+                self.transport.call(CONTROLLER_ADDRESS, instance,
+                                    "process_transition", resource, segment,
+                                    from_state, to_state)
                 view.setdefault(segment, {})[instance] = to_state.value
                 if affects_query_results(from_state, to_state):
                     self.invalidation_bus.publish(

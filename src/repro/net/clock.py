@@ -1,0 +1,67 @@
+"""The simulation's one source of time.
+
+Every component that needs a timestamp — broker deadline math, retry
+backoff, token-bucket refill, cache entry timestamps, link latency
+accounting — reads the same :class:`SimClock`. This is the only module
+in ``repro`` allowed to touch the wall clock (CI greps for violations),
+which is what makes a 5-second straggler testable in microseconds: the
+straggler *advances the clock* instead of sleeping.
+
+Two modes:
+
+* ``auto_advance=True`` (the default for live clusters): ``now()`` is
+  virtual time *plus* real elapsed time since construction, so real
+  work — query execution, merges — moves the clock exactly as it did
+  before this subsystem existed, and simulated latencies (slow links,
+  queueing) stack on top via :meth:`advance`.
+* ``auto_advance=False`` (deterministic tests and benchmarks): time
+  moves **only** through :meth:`advance` / :meth:`advance_to`, so a
+  fault schedule plus a query sequence always produces byte-identical
+  timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SimClock:
+    """Virtual clock, in seconds, shared by a whole simulated cluster."""
+
+    def __init__(self, origin: float = 0.0, auto_advance: bool = True):
+        self._virtual = origin
+        self._auto = auto_advance
+        self._epoch = time.perf_counter() if auto_advance else 0.0
+
+    @property
+    def auto_advance(self) -> bool:
+        return self._auto
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        if self._auto:
+            return self._virtual + (time.perf_counter() - self._epoch)
+        return self._virtual
+
+    def advance(self, seconds: float) -> float:
+        """Move virtual time forward by ``seconds`` (clamped at 0)."""
+        if seconds > 0.0:
+            self._virtual += seconds
+        return self.now()
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move virtual time forward to ``timestamp`` (never backward:
+        a completion that already passed costs nothing extra)."""
+        delta = timestamp - self.now()
+        if delta > 0.0:
+            self._virtual += delta
+        return self.now()
+
+    def sleep(self, seconds: float) -> None:
+        """What ``time.sleep`` becomes in the simulation: advance the
+        virtual clock without blocking the process."""
+        self.advance(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "auto" if self._auto else "manual"
+        return f"SimClock(now={self.now():.6f}, {mode})"

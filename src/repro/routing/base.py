@@ -76,7 +76,10 @@ class RoutingStrategy:
 
         This is the broker's failover primitive: when a sub-request
         fails, the failed server's segments are re-assigned to other
-        replicas from the same snapshot. Returns the replacement
+        replicas from the same snapshot. It is also the hedging
+        primitive (``repro.net``): a straggling sub-request past its
+        latency-percentile budget is re-issued to the replica this
+        method picks, first response wins. Returns the replacement
         routing table plus the segments with no remaining replica
         (which can only be answered partially).
         """

@@ -1,0 +1,62 @@
+"""SimClock: the simulation's one source of time."""
+
+import time
+
+import pytest
+
+from repro.net import SimClock
+
+pytestmark = pytest.mark.net
+
+
+class TestManualClock:
+    def test_starts_at_origin_and_only_moves_on_advance(self):
+        clock = SimClock(auto_advance=False)
+        assert clock.now() == 0.0
+        time.sleep(0.01)  # real time must not leak in
+        assert clock.now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimClock(auto_advance=False)
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_ignores_negative(self):
+        clock = SimClock(auto_advance=False)
+        clock.advance(3.0)
+        clock.advance(-2.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_never_goes_backward(self):
+        clock = SimClock(auto_advance=False)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+        # A completion instant that already passed costs nothing extra.
+        clock.advance_to(2.0)
+        assert clock.now() == 5.0
+
+    def test_sleep_advances_without_blocking(self):
+        clock = SimClock(auto_advance=False)
+        started = time.perf_counter()
+        clock.sleep(30.0)
+        assert time.perf_counter() - started < 1.0
+        assert clock.now() == 30.0
+
+    def test_origin(self):
+        clock = SimClock(origin=100.0, auto_advance=False)
+        assert clock.now() == 100.0
+
+
+class TestAutoClock:
+    def test_tracks_real_elapsed_time(self):
+        clock = SimClock()
+        assert clock.auto_advance
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() >= first + 0.01
+
+    def test_virtual_advance_stacks_on_real_time(self):
+        clock = SimClock()
+        before = clock.now()
+        clock.advance(10.0)
+        assert clock.now() >= before + 10.0

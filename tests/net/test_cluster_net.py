@@ -1,0 +1,197 @@
+"""The cluster over the transport: serialization boundary, overload
+rejection, direct-call parity, and the clock-discipline rule."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.cluster.tenant import TenantQuotaManager
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.net import ServiceModel, SimClock, Transport
+from repro.workloads import impressions, wvmp
+
+pytestmark = pytest.mark.net
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [dimension("c"), metric("v", DataType.LONG)])
+
+
+class _RetainingServer:
+    """Wraps a server, keeping a reference to every result it returns —
+    the 'server reuses its buffers' scenario the codec must isolate."""
+
+    def __init__(self, server):
+        self._server = server
+        self.returned = []
+
+    def __getattr__(self, name):
+        return getattr(self._server, name)
+
+    def execute(self, *args, **kwargs):
+        result = self._server.execute(*args, **kwargs)
+        self.returned.append(result)
+        return result
+
+
+class TestSerializationBoundary:
+    def test_server_mutation_cannot_corrupt_broker_results(self, schema):
+        """Regression: before the transport, broker and server shared
+        object references; a server mutating a result it had already
+        returned would silently corrupt the broker's merged (and
+        cached) response."""
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records(
+            "events", [{"c": f"c{i % 4}", "v": i} for i in range(40)]
+        )
+        wrapper = _RetainingServer(cluster.server("server-0"))
+        cluster.net.deregister("server-0")
+        cluster.net.register("server-0", wrapper)
+
+        pql = "SELECT c, sum(v) FROM events GROUP BY c"
+        first = cluster.execute(pql)
+        baseline = json.dumps(first.rows, default=str)
+        assert wrapper.returned
+
+        # The server trashes every result object it ever returned.
+        for result in wrapper.returned:
+            if result.group_by is not None:
+                for states in result.group_by.groups.values():
+                    states[:] = [10 ** 9 for _ in states]
+                result.group_by.groups[("poison",)] = [10 ** 9]
+            result.server = "poisoned"
+
+        # Neither the already-returned response nor a cache hit nor a
+        # fresh scatter sees the mutation.
+        assert json.dumps(first.rows, default=str) == baseline
+        cached = cluster.execute(pql)
+        assert json.dumps(cached.rows, default=str) == baseline
+        fresh = cluster.execute(pql + " OPTION(skipCache=true)")
+        assert json.dumps(fresh.rows, default=str) == baseline
+
+    def test_broker_mutation_cannot_corrupt_server_state(self, schema):
+        """The boundary cuts both ways: the query object a server
+        receives is a fresh copy, so whatever the server does to it
+        cannot leak back into broker state."""
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", [{"c": "x", "v": 1}] * 10)
+        first = cluster.execute("SELECT count(*) FROM events")
+        assert first.rows[0][0] == 10
+        again = cluster.execute("SELECT count(*) FROM events")
+        assert again.rows == first.rows
+
+
+class TestOverloadRejection:
+    def _burst_cluster(self, schema, queue_capacity=1):
+        quotas = TenantQuotaManager(default_capacity=100.0,
+                                    default_refill_rate=0.001)
+        cluster = PinotCluster(num_servers=1, quotas=quotas,
+                               clock=SimClock(auto_advance=False))
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 tenant="burst"))
+        cluster.upload_records(
+            "events", [{"c": "x", "v": i} for i in range(50)]
+        )
+        server = cluster.server("server-0")
+        cluster.net.deregister("server-0")
+        cluster.net.register("server-0", server,
+                             queue_capacity=queue_capacity,
+                             service=ServiceModel(base_s=0.2))
+        return cluster
+
+    def test_burst_overflow_becomes_partial_with_detail(self, schema):
+        cluster = self._burst_cluster(schema, queue_capacity=1)
+        t0 = cluster.clock.now()
+        responses = [
+            cluster.execute("SELECT count(*) FROM events"
+                            " OPTION(skipCache=true)", at=t0, now=t0)
+            for _ in range(4)
+        ]
+        complete = [r for r in responses if not r.partial]
+        rejected = [r for r in responses if r.partial]
+        # capacity=1: exactly one query fit the inbound queue.
+        assert len(complete) == 1
+        assert len(rejected) == 3
+        assert complete[0].rows[0][0] == 50
+        for response in rejected:
+            detail = " ".join(response.exceptions)
+            assert "server-0" in detail or "'server-0'" in detail
+            assert "inbound queue full" in detail
+        metrics = cluster.brokers[0].metrics
+        assert metrics.count("server_busy_rejections") >= 3
+        # One server, so there was no replica to fail over to.
+        assert metrics.count("segments_unroutable") > 0
+
+    def test_rejected_queries_charge_admission_only(self, schema):
+        """§4.5 + backpressure: a query the server refused did no work,
+        so the tenant pays the admission token and nothing else; the
+        executed query is also charged for its 0.2s of service time."""
+        cluster = self._burst_cluster(schema, queue_capacity=1)
+        t0 = cluster.clock.now()
+        for _ in range(4):
+            cluster.execute("SELECT count(*) FROM events"
+                            " OPTION(skipCache=true)", at=t0, now=t0)
+        bucket = cluster.quotas.bucket("burst")
+        spent = 100.0 - bucket.tokens
+        # 4 admission tokens + ~2 tokens (0.2s x 10/s) for the one
+        # executed query. Were rejected queries charged for the
+        # winner's virtual time too, this would be ~12.
+        assert 5.5 <= spent <= 8.0
+
+
+class TestDirectCallParity:
+    def _run(self, workload, table, transport=None, queries=25):
+        cluster = PinotCluster(num_servers=2, seed=11,
+                               clock=None if transport else
+                               SimClock(auto_advance=False),
+                               transport=transport)
+        cluster.create_table(TableConfig.offline(
+            table, workload.schema(), replication=2))
+        cluster.upload_records(table,
+                               workload.generate_records(4000, seed=2),
+                               rows_per_segment=500)
+        out = []
+        for pql in workload.generate_queries(queries, seed=9):
+            response = cluster.execute(pql + " OPTION(skipCache=true)")
+            assert not response.partial
+            out.append(json.dumps(response.rows, default=str))
+        return out
+
+    @pytest.mark.parametrize("workload,table", [
+        (wvmp, "wvmp"), (impressions, "impressions"),
+    ])
+    def test_codec_transport_matches_direct_calls(self, workload, table):
+        """The acceptance bar: the full serialization boundary changes
+        no query result, byte for byte."""
+        direct = Transport(SimClock(auto_advance=False), seed=11,
+                           codec=False)
+        assert (self._run(workload, table) ==
+                self._run(workload, table, transport=direct))
+
+
+class TestClockDiscipline:
+    FORBIDDEN = re.compile(r"\btime\.(monotonic|time)\(")
+
+    def test_only_the_sim_clock_touches_wall_time(self):
+        """The CI grep, enforced from inside the suite too: nothing in
+        src/repro reads wall-clock time except repro/net/clock.py.
+        (time.perf_counter for *measuring* real work is allowed.)"""
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert root.is_dir()
+        offenders = []
+        for path in sorted(root.rglob("*.py")):
+            if path.relative_to(root).as_posix() == "net/clock.py":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if self.FORBIDDEN.search(line):
+                    offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

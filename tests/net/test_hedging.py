@@ -1,0 +1,55 @@
+"""Hedge budget math: the percentile tracker behind speculative retry."""
+
+import pytest
+
+from repro.net import HedgePolicy, LatencyTracker
+
+pytestmark = pytest.mark.net
+
+
+class TestLatencyTracker:
+    def test_initial_budget_before_min_samples(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=4,
+                                             initial_budget_ms=25.0))
+        assert tracker.percentile("t") is None
+        assert tracker.budget_s("t") == pytest.approx(0.025)
+        for _ in range(3):
+            tracker.observe("t", 0.010)
+        assert tracker.percentile("t") is None  # still warming up
+
+    def test_nearest_rank_percentile(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=4,
+                                             percentile=95.0))
+        for sample in [0.01, 0.01, 0.02, 0.02, 0.5]:
+            tracker.observe("t", sample)
+        # ceil(0.95 * 5) = 5 -> the 5th ordered sample.
+        assert tracker.percentile("t") == pytest.approx(0.5)
+
+    def test_budget_is_percentile_times_multiplier(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=4,
+                                             multiplier=1.5))
+        for sample in [0.01, 0.01, 0.02, 0.02, 0.5]:
+            tracker.observe("t", sample)
+        assert tracker.budget_s("t") == pytest.approx(0.75)
+
+    def test_budget_floor(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=2, floor_ms=1.0))
+        for _ in range(4):
+            tracker.observe("t", 0.0001)
+        assert tracker.budget_s("t") == pytest.approx(0.001)
+
+    def test_windows_are_per_table(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=2))
+        for _ in range(4):
+            tracker.observe("fast", 0.001)
+            tracker.observe("slow", 1.0)
+        assert tracker.budget_s("fast") < 0.01
+        assert tracker.budget_s("slow") >= 1.0
+
+    def test_sliding_window_forgets_old_samples(self):
+        tracker = LatencyTracker(HedgePolicy(min_samples=2), window=8)
+        for _ in range(8):
+            tracker.observe("t", 1.0)
+        for _ in range(8):  # a full window of fast samples evicts them
+            tracker.observe("t", 0.01)
+        assert tracker.percentile("t") == pytest.approx(0.01)
