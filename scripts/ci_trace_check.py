@@ -1,0 +1,90 @@
+"""CI gate: run a traced hybrid query and validate the exported trace.
+
+Builds a small hybrid cluster, executes one query with
+``OPTION(trace=true)``, asserts the response carries a single span tree
+covering the full broker -> transport -> server -> engine waterfall,
+exports it as Chrome Trace Event Format JSON, and validates the export
+schema by round-tripping it through ``json.loads``. The validated trace
+and the unified metrics export are written to ``trace-artifacts/`` for
+the CI artifact upload.
+
+Usage: PYTHONPATH=src python scripts/ci_trace_check.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.obs.export import to_chrome_json, validate_chrome_trace
+
+REQUIRED_SPANS = ("query", "cache", "route", "scatter", "rpc", "network",
+                  "queue", "execute", "segment", "merge")
+
+
+def span_names(tree: dict) -> set[str]:
+    names = {tree["name"]}
+    for child in tree["children"]:
+        names |= span_names(child)
+    return names
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "trace-artifacts")
+
+    schema = Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+    cluster = PinotCluster(num_servers=2)
+    cluster.create_kafka_topic("events-topic", 2)
+    cluster.create_table(TableConfig.offline("events", schema))
+    cluster.create_table(TableConfig.realtime(
+        "events", schema,
+        StreamConfig("events-topic", flush_threshold_rows=10_000),
+    ))
+    cluster.upload_records("events", [
+        {"country": "us", "views": 1, "day": day}
+        for day in (17000, 17001, 17002) for __ in range(10)
+    ])
+    cluster.ingest("events-topic", [
+        {"country": "de", "views": 2, "day": day}
+        for day in (17002, 17003, 17004) for __ in range(10)
+    ])
+    cluster.drain_realtime()
+
+    response = cluster.execute(
+        "SELECT count(*) FROM events OPTION(trace=true)")
+    assert not response.is_partial, response.exceptions
+    assert response.rows[0][0] == 50, response.rows
+    tree = response.trace
+    assert tree is not None, "traced query returned no trace"
+    missing = set(REQUIRED_SPANS) - span_names(tree)
+    assert not missing, f"span tree missing {sorted(missing)}"
+
+    trace = cluster.brokers[0].tracer.finished[-1]
+    exported = to_chrome_json(trace)
+    payload = validate_chrome_trace(exported)  # raises on bad schema
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "hybrid_query.chrome.json").write_text(exported + "\n")
+    (out_dir / "hybrid_query.tree.json").write_text(
+        json.dumps(tree, indent=2) + "\n")
+    (out_dir / "metrics.txt").write_text(
+        cluster.metrics_registry.export_text())
+    (out_dir / "slow_queries.json").write_text(
+        json.dumps(cluster.slow_queries(10), indent=2) + "\n")
+
+    events = sum(1 for e in payload["traceEvents"] if e["ph"] == "X")
+    print(f"trace ok: {events} events, {len(trace.spans)} spans, "
+          f"artifacts in {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

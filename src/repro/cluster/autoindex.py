@@ -17,6 +17,8 @@ from typing import Iterable
 
 from repro.cluster.broker import BrokerInstance
 from repro.cluster.controller import Controller
+from repro.errors import ClusterError
+from repro.obs.metrics import runtime_metrics
 
 
 @dataclass
@@ -75,7 +77,11 @@ class AutoIndexAnalyzer:
     def _is_candidate(self, rec: IndexRecommendation) -> bool:
         try:
             config = self._controller.table_config(rec.table)
-        except Exception:
+        except ClusterError:
+            # The table was dropped between the query log and this
+            # analysis pass — expected during retention; anything else
+            # (a genuine bug in config decoding) must propagate.
+            runtime_metrics.incr("autoindex_missing_table")
             return False
         if rec.column not in config.schema:
             return False

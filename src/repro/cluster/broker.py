@@ -20,13 +20,22 @@ from repro.cache.result_cache import BrokerResultCache, CachedResult
 from repro.cluster.metrics import BrokerMetrics
 from repro.cluster.table import TableConfig, TableType
 from repro.cluster.tenant import TenantQuotaManager
-from repro.common.timeutils import TimeGranularity, time_boundary
+from repro.common.timeutils import time_boundary
 from repro.engine.merge import reduce_server_results
 from repro.engine.results import BrokerResponse, ServerResult
 from repro.errors import ClusterError, RoutingError, ServerBusyError
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.net import CallResult, HedgePolicy, LatencyTracker, SimClock
+from repro.obs.trace import (
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    SpanContext,
+    Trace,
+    Tracer,
+)
 from repro.pql.ast_nodes import Query
 from repro.pql.parser import parse
 from repro.pql.rewriter import optimize, split_hybrid
@@ -113,7 +122,8 @@ class BrokerInstance:
     def __init__(self, instance_id: str, helix: HelixManager,
                  quotas: TenantQuotaManager | None = None,
                  seed: int = 0, clock: SimClock | None = None,
-                 hedging: HedgePolicy | None = None):
+                 hedging: HedgePolicy | None = None,
+                 tracer: Tracer | None = None):
         self.instance_id = instance_id
         self._helix = helix
         #: All sub-requests travel over the cluster transport; deadline
@@ -133,6 +143,11 @@ class BrokerInstance:
         self.queries_served = 0
         self.query_log: list[QueryLogEntry] = []
         self.metrics = BrokerMetrics()
+        #: Distributed tracing (repro.obs): sampling off by default,
+        #: per-query opt-in via ``OPTION(trace=true)``.
+        self.tracer = tracer if tracer is not None else Tracer(
+            clock=self._clock, component=instance_id, seed=seed,
+        )
         #: Result cache + the per-table epochs its keys embed; epochs
         #: bump on every invalidation-bus event for the table.
         self.result_cache = BrokerResultCache(clock=self._clock)
@@ -241,6 +256,16 @@ class BrokerInstance:
                     if timeout_ms is not None else None)
         stage_times: dict[str, float] = {}
 
+        #: Per-query trace (repro.obs): None unless sampled in or
+        #: forced with OPTION(trace=true) — the untraced path pays only
+        #: this call and a few None checks.
+        trace = self.tracer.start_trace(
+            "query", at=started, force=bool(query.options.get("trace")),
+            table=query.table, pql=str(query),
+        )
+        if trace is not None:
+            self.metrics.incr("traces")
+
         cache_key = None
         if query.options.get("skipCache"):
             self.metrics.incr("cache_bypass")
@@ -252,13 +277,21 @@ class BrokerInstance:
             self._record_stage(
                 "cache", (self._clock.now() - cache_started) * 1e3,
                 stage_times)
+            if trace is not None:
+                outcome_label = ("bypass" if cache_key is None
+                                 else "hit" if cached is not None
+                                 else "miss")
+                trace.add_span(
+                    "cache", trace.root, cache_started, self._clock.now(),
+                    component=self.instance_id, outcome=outcome_label,
+                )
             if cache_key is None:
                 # Consuming offsets unknown (e.g. a replica died
                 # mid-query): bypass rather than risk a stale hit.
                 self.metrics.incr("cache_bypass")
             elif cached is not None:
                 return self._serve_from_cache(cached, tenant, now,
-                                              started, stage_times)
+                                              started, stage_times, trace)
             else:
                 self.metrics.incr("cache_misses")
 
@@ -274,7 +307,8 @@ class BrokerInstance:
         finished = started
         for physical_query in physical:
             outcome = self._scatter_gather(physical_query, deadline,
-                                           stage_times, depart_at=at)
+                                           stage_times, depart_at=at,
+                                           trace=trace)
             at = None  # only the first physical query departs at `at`
             finished = max(finished, outcome.finished_at)
             server_results.extend(outcome.results)
@@ -297,9 +331,13 @@ class BrokerInstance:
         merge_started = self._clock.now()
         response = reduce_server_results(query, server_results, elapsed_ms,
                                          recovered_exceptions=recovered)
-        self._record_stage("merge",
-                           (self._clock.now() - merge_started) * 1e3,
+        merge_ended = self._clock.now()
+        self._record_stage("merge", (merge_ended - merge_started) * 1e3,
                            stage_times)
+        if trace is not None:
+            trace.add_span("merge", trace.root, merge_started, merge_ended,
+                           component=self.instance_id,
+                           rows=len(response.table))
         response.num_servers_queried = len(contacted)
         response.num_servers_responded = len(responded)
         response.num_segments_pruned_by_broker = pruned_total
@@ -312,6 +350,22 @@ class BrokerInstance:
             self.metrics.incr("partial_responses")
         elif cache_key is not None and not deadline_exhausted:
             self.result_cache.put(cache_key, response, log_entries)
+        if trace is not None:
+            # Attach via replace() AFTER the cache put: the cache stores
+            # the response by reference, and cached entries must stay
+            # trace-free (a later hit is its own, much shorter, trace).
+            trace.root.attributes.update(
+                partial=response.is_partial,
+                servers_queried=len(contacted),
+                servers_responded=len(responded),
+                retries=retries,
+                rows=len(response.table),
+            )
+            self.tracer.finish_trace(
+                trace,
+                status=STATUS_ERROR if response.is_partial else STATUS_OK,
+            )
+            response = replace(response, trace=trace.to_dict())
         return response
 
     # -- result cache (repro.cache) -----------------------------------------
@@ -371,7 +425,8 @@ class BrokerInstance:
 
     def _serve_from_cache(self, cached: CachedResult, tenant: str | None,
                           now: float | None, started: float,
-                          stage_times: dict[str, float]) -> BrokerResponse:
+                          stage_times: dict[str, float],
+                          trace: Trace | None = None) -> BrokerResponse:
         """Answer from the result cache, keeping every side effect a
         real execution would have had: quota charging, the query log
         (auto-index mining, §5.2), and query counters."""
@@ -384,11 +439,19 @@ class BrokerInstance:
             clock = now if now is not None else self._clock.now()
             self._quotas.charge(tenant, elapsed_ms / 1e3, clock)
         self.queries_served += 1
+        trace_dict = None
+        if trace is not None:
+            # A cache hit's trace is just root + the cache span: no
+            # route/scatter/rpc spans because no server was contacted.
+            trace.root.attributes["cache_hit"] = True
+            self.tracer.finish_trace(trace)
+            trace_dict = trace.to_dict()
         return replace(
             cached.response,
             cache_hit=True,
             time_used_ms=elapsed_ms,
             stage_times_ms=dict(stage_times),
+            trace=trace_dict,
         )
 
     def _record_stage(self, stage: str, elapsed_ms: float,
@@ -446,12 +509,19 @@ class BrokerInstance:
                             else max(max_time, segment_max))
         if max_time is None:
             return None
-        granularity = TimeGranularity(config.retention_granularity.unit, 1)
-        return time_boundary(max_time, granularity)
+        # Use the table's configured granularity *including its size*:
+        # with e.g. (DAYS, 7) buckets, a boundary of max_time - 1 would
+        # let the offline side serve a partially-pushed trailing bucket
+        # and drop the realtime rows that complete it. max - size is
+        # always <= the last fully-covered bucket's end, so offline
+        # (time <= boundary) and realtime (time > boundary) partition
+        # the axis with no gap and no overlap.
+        return time_boundary(max_time, config.retention_granularity)
 
     def _scatter_gather(self, query: Query, deadline: float | None,
                         stage_times: dict[str, float],
-                        depart_at: float | None = None) -> _ScatterOutcome:
+                        depart_at: float | None = None,
+                        trace: Trace | None = None) -> _ScatterOutcome:
         """Route, scatter, and gather one physical query with replica
         failover, hedging, and graceful degradation."""
         outcome = _ScatterOutcome()
@@ -461,9 +531,15 @@ class BrokerInstance:
         try:
             routing_table = strategy.route(query)
         except RoutingError as exc:
+            route_ended = self._clock.now()
             self._record_stage(
-                "route", (self._clock.now() - route_started) * 1e3,
-                stage_times)
+                "route", (route_ended - route_started) * 1e3, stage_times)
+            if trace is not None:
+                span = trace.add_span(
+                    "route", trace.root, route_started, route_ended,
+                    component=self.instance_id, table=query.table,
+                )
+                span.set_error(str(exc), error_type="RoutingError")
             outcome.results.append(
                 ServerResult(server=self.instance_id, error=str(exc))
             )
@@ -473,9 +549,16 @@ class BrokerInstance:
         routing_table, bloom_pruned = self._prune_by_bloom(query,
                                                            routing_table)
         outcome.pruned = pruned + bloom_pruned
+        route_ended = self._clock.now()
         self._record_stage(
-            "route", (self._clock.now() - route_started) * 1e3,
-            stage_times)
+            "route", (route_ended - route_started) * 1e3, stage_times)
+        if trace is not None:
+            trace.add_span(
+                "route", trace.root, route_started, route_ended,
+                component=self.instance_id, table=query.table,
+                servers=len(routing_table),
+                segments_pruned=outcome.pruned,
+            )
 
         # Scatter: the primary fan-out over the chosen routing table.
         # Every sub-request departs at the same virtual instant — the
@@ -483,21 +566,31 @@ class BrokerInstance:
         # executes the handlers one after another.
         scatter_started = self._clock.now()
         t0 = depart_at if depart_at is not None else scatter_started
+        scatter_span = None
+        if trace is not None:
+            scatter_span = trace.add_span(
+                "scatter", trace.root, t0, None,
+                component=self.instance_id, table=query.table,
+                fanout=len(routing_table),
+            )
         failures: deque[_FailedSubRequest] = deque()
         in_flight: list[tuple[str, list[str], ServerResult,
-                              CallResult | None]] = []
+                              CallResult | None, Span | None]] = []
         for instance, segments in routing_table.items():
-            result, call = self._dispatch(instance, query, segments,
-                                          deadline, outcome, depart_at=t0)
-            in_flight.append((instance, segments, result, call))
+            result, call, span = self._dispatch(
+                instance, query, segments, deadline, outcome,
+                depart_at=t0, trace=trace, parent=scatter_span,
+            )
+            in_flight.append((instance, segments, result, call, span))
 
         barrier = t0
-        for instance, segments, result, call in in_flight:
+        for instance, segments, result, call, span in in_flight:
             winner_call = call
             if result.error is None and call is not None:
                 result, winner_call = self._maybe_hedge(
                     strategy, query, instance, segments, result, call,
-                    t0, deadline, outcome,
+                    t0, deadline, outcome, trace=trace,
+                    parent=scatter_span, primary_span=span,
                 )
             if winner_call is not None:
                 barrier = max(barrier, winner_call.completed)
@@ -521,6 +614,8 @@ class BrokerInstance:
         # primary (and winning hedge) response on the virtual timeline.
         self._clock.advance_to(barrier)
         finished = barrier
+        if scatter_span is not None:
+            scatter_span.end_s = self._clock.now()
         self._record_stage(
             "scatter", (self._clock.now() - scatter_started) * 1e3,
             stage_times)
@@ -528,6 +623,13 @@ class BrokerInstance:
         # Gather: fail sub-requests over to other replicas, bounded by
         # MAX_SUBREQUEST_ATTEMPTS and the remaining deadline budget.
         gather_started = self._clock.now()
+        gather_span = None
+        if trace is not None and failures:
+            gather_span = trace.add_span(
+                "gather", trace.root, gather_started, None,
+                component=self.instance_id, table=query.table,
+                failed_subrequests=len(failures),
+            )
         while failures:
             failed = failures.popleft()
             attempt = len(failed.tried)
@@ -555,8 +657,12 @@ class BrokerInstance:
                 self.metrics.incr("retries")
                 self.metrics.incr("retry_backoff_ms", backoff_ms)
                 outcome.retries += 1
-                result, call = self._dispatch(instance, query, segments,
-                                              deadline, outcome)
+                result, call, retry_span = self._dispatch(
+                    instance, query, segments, deadline, outcome,
+                    trace=trace, parent=gather_span,
+                )
+                if retry_span is not None:
+                    retry_span.attributes["retry_attempt"] = attempt
                 if call is not None:
                     self._clock.advance_to(call.completed)
                     finished = max(finished, call.completed)
@@ -576,6 +682,8 @@ class BrokerInstance:
                         instance, segments, result,
                         tried=failed.tried | {instance},
                     ))
+        if gather_span is not None:
+            gather_span.end_s = self._clock.now()
         self._record_stage(
             "gather", (self._clock.now() - gather_started) * 1e3,
             stage_times)
@@ -587,12 +695,17 @@ class BrokerInstance:
                      instance: str, segments: list[str],
                      result: ServerResult, call: CallResult, t0: float,
                      deadline: float | None, outcome: _ScatterOutcome,
+                     trace: Trace | None = None,
+                     parent: Span | None = None,
+                     primary_span: Span | None = None,
                      ) -> tuple[ServerResult, CallResult]:
         """Re-issue a straggling sub-request to another replica once its
         latency exceeds the percentile budget; first response wins.
 
         Returns the winning (result, call) pair. The loser is cancelled:
-        its response is discarded and it never reaches the merge.
+        its response is discarded and it never reaches the merge. In a
+        trace, the hedge appears as a sibling rpc span of the primary,
+        and the loser's span is marked ``cancelled``.
         """
         if self._latency is None:
             return result, call
@@ -610,9 +723,9 @@ class BrokerInstance:
         (alternate, alt_segments), = reroute.items()
         outcome.hedges += 1
         self.metrics.incr("hedges")
-        hedge_result, hedge_call = self._dispatch(
+        hedge_result, hedge_call, hedge_span = self._dispatch(
             alternate, query, alt_segments, deadline, outcome,
-            depart_at=t0 + budget, hedge=True,
+            depart_at=t0 + budget, hedge=True, trace=trace, parent=parent,
         )
         if (hedge_call is not None and hedge_result.error is None
                 and hedge_call.completed < call.completed):
@@ -620,45 +733,117 @@ class BrokerInstance:
             # original sub-request is cancelled unread.
             self.metrics.incr("hedge_wins")
             self.metrics.incr("hedges_cancelled")
+            if primary_span is not None:
+                primary_span.status = STATUS_CANCELLED
+                primary_span.attributes["hedge_loser"] = True
+            if hedge_span is not None:
+                hedge_span.attributes["hedge_winner"] = True
             return hedge_result, hedge_call
         self.metrics.incr("hedges_cancelled")
+        if hedge_span is not None:
+            hedge_span.status = STATUS_CANCELLED
+            hedge_span.attributes["hedge_loser"] = True
         return result, call
 
     def _dispatch(self, instance: str, query: Query, segments: list[str],
                   deadline: float | None, outcome: _ScatterOutcome,
                   depart_at: float | None = None, hedge: bool = False,
-                  ) -> tuple[ServerResult, CallResult | None]:
+                  trace: Trace | None = None, parent: Span | None = None,
+                  ) -> tuple[ServerResult, CallResult | None, Span | None]:
         """Send one sub-request over the transport, mapping transport
         failures (unreachable, overloaded) and an exhausted deadline
-        onto error results the merge can degrade around."""
+        onto error results the merge can degrade around.
+
+        When the query is traced, the sub-request's span context crosses
+        the codec boundary with the call (like an HTTP trace header) and
+        the server's spans come back attached to the response; this
+        method grafts them under an ``rpc`` span with ``network`` /
+        ``queue`` / ``execute`` children.
+        """
         outcome.contacted.add(instance)
         self.metrics.incr("hedge_requests" if hedge else "scatter_requests")
         depart = depart_at if depart_at is not None else self._clock.now()
         if deadline is not None and depart > deadline:
             self.metrics.incr("deadline_exhausted")
             outcome.deadline_exhausted = True
+            if trace is not None:
+                span = trace.add_span(
+                    "rpc", parent or trace.root, depart, depart,
+                    component=self.instance_id, server=instance,
+                    hedge=hedge,
+                )
+                span.set_error("broker deadline exceeded",
+                               error_type="DeadlineExceeded")
             return ServerResult(server=instance,
-                                error="broker deadline exceeded"), None
+                                error="broker deadline exceeded"), None, None
+        ctx = None
+        execute_span_id = None
+        if trace is not None:
+            # Reserve the server-side execute span's id up front so the
+            # server parents its own spans under it while the broker is
+            # still waiting for the response.
+            execute_span_id = trace.allocate_id()
+            ctx = SpanContext(trace_id=trace.trace_id,
+                              span_id=execute_span_id, sampled=True)
         call = self._transport.request(
             self.instance_id, instance, "execute",
             query, query.table, segments, depart_at=depart,
+            trace_ctx=ctx,
         )
         self.metrics.incr("network_link_ms", call.link_s * 1e3)
         self.metrics.incr("queue_wait_ms", call.queue_s * 1e3)
         if call.queue_depth > self.metrics.count("max_queue_depth"):
             self.metrics.counters["max_queue_depth"] = call.queue_depth
         outcome.network_ms += (call.link_s + call.queue_s) * 1e3
+        span = None
+        if trace is not None:
+            span = trace.add_span(
+                "rpc", parent or trace.root, call.departed, call.completed,
+                component=self.instance_id, server=instance,
+                segments=len(segments), hedge=hedge,
+            )
+            trace.add_span(
+                "network", span, call.departed, call.arrived,
+                component=self.instance_id, server=instance,
+                link_ms=call.link_s * 1e3,
+                request_bytes=call.request_bytes,
+                response_bytes=call.response_bytes,
+            )
+            if call.handled:
+                trace.add_span(
+                    "queue", span, call.arrived, call.started,
+                    component=instance, queue_depth=call.queue_depth,
+                )
+                trace.add_span(
+                    "execute", span, call.started,
+                    call.started + call.service_s,
+                    span_id=execute_span_id, component=instance,
+                )
+                trace.extend(call.remote_spans)
+            elif call.rejected:
+                rejection = trace.add_span(
+                    "queue", span, call.arrived, call.arrived,
+                    component=instance, queue_depth=call.queue_depth,
+                    rejected=True,
+                )
+                rejection.status = STATUS_ERROR
         if call.error is not None:
             if isinstance(call.error, ServerBusyError):
                 self.metrics.incr("server_busy_rejections")
             else:
                 self.metrics.incr("servers_unreachable")
+            if span is not None:
+                span.set_error(str(call.error),
+                               error_type=type(call.error).__name__,
+                               rejected=call.rejected)
             return ServerResult(server=instance,
-                                error=str(call.error)), call
+                                error=str(call.error)), call, span
         result = call.value
         if result.error is not None:
             self.metrics.incr("server_errors")
-        return result, call
+            if span is not None:
+                span.set_error(result.error, error_type="ServerError")
+        return result, call, span
 
     def _prune_by_time(self, query: Query, routing_table):
         """Drop segments whose time range cannot match the query before
@@ -797,6 +982,12 @@ class BrokerInstance:
                     continue
                 out.setdefault(instance, {}).update(plans)
         return out
+
+    def slow_queries(self, k: int | None = None) -> list[dict]:
+        """Top-K traced queries by duration (the broker's slow-query
+        log), newest window first. Only traced queries appear: turn up
+        the tracer's sample rate or use ``OPTION(trace=true)``."""
+        return self.tracer.slow_log.summaries(k)
 
     def fanout_for(self, pql: str | Query) -> int:
         """Number of servers one execution of this query would contact

@@ -26,7 +26,7 @@ from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.kafka.broker import SimKafka
 from repro.segment.segment import ImmutableSegment
-from repro.zk.store import ZkSession
+from repro.zk.store import ZkError, ZkSession
 
 SERVER_TAG = "server"
 
@@ -78,7 +78,7 @@ class Controller:
             zk.create(self._leader_path, self.instance_id,
                       session=self._session, ephemeral=True)
             return True
-        except Exception:  # lost the race
+        except ZkError:  # lost the race: another controller created it
             return False
 
     @property

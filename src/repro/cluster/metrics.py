@@ -1,92 +1,17 @@
-"""Broker-side metrics: counters and query-stage timings.
+"""Broker/server metrics — now backed by the unified ``repro.obs``
+metrics layer.
 
-Production Pinot brokers export per-stage latencies and fan-out /
-failure counters; the resilience work (retries, failovers, partial
-responses) is only operable when those are observable. This is a
-lightweight in-process registry with the same shape: monotonically
-increasing counters plus per-stage timing accumulators for the four
-broker stages — route, scatter, gather, merge.
+This module remains the historical import location;
+:class:`~repro.obs.metrics.MetricsRegistry` is the aggregation surface
+(labeled text/JSON export across every component of a cluster).
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-
-
-@dataclass
-class StageTiming:
-    """Accumulated timings for one broker stage."""
-
-    count: int = 0
-    total_ms: float = 0.0
-    max_ms: float = 0.0
-
-    def record(self, elapsed_ms: float) -> None:
-        self.count += 1
-        self.total_ms += elapsed_ms
-        self.max_ms = max(self.max_ms, elapsed_ms)
-
-    @property
-    def mean_ms(self) -> float:
-        return self.total_ms / self.count if self.count else 0.0
-
-
-@dataclass
-class BrokerMetrics:
-    """Counter + stage-timing registry for one broker instance."""
-
-    #: Counter name -> accumulated value. Well-known names:
-    #: queries, scatter_requests, server_errors, servers_unreachable,
-    #: retries, failovers, segments_failed_over, segments_unroutable,
-    #: partial_responses, deadline_exhausted, retry_backoff_ms,
-    #: cache_hits, cache_misses, cache_bypass.
-    counters: dict[str, float] = field(default_factory=dict)
-    stages: dict[str, StageTiming] = field(default_factory=dict)
-
-    def incr(self, name: str, amount: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def count(self, name: str) -> float:
-        return self.counters.get(name, 0)
-
-    def record_stage(self, stage: str, elapsed_ms: float) -> None:
-        if stage not in self.stages:
-            self.stages[stage] = StageTiming()
-        self.stages[stage].record(elapsed_ms)
-
-    @contextmanager
-    def stage(self, name: str):
-        """Time a ``with``-block as one occurrence of a stage."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record_stage(name, (time.perf_counter() - started) * 1e3)
-
-    def snapshot(self) -> dict:
-        """A plain-dict view (what an HTTP /metrics endpoint would serve)."""
-        return {
-            "counters": dict(self.counters),
-            "stages": {
-                name: {
-                    "count": timing.count,
-                    "total_ms": timing.total_ms,
-                    "mean_ms": timing.mean_ms,
-                    "max_ms": timing.max_ms,
-                }
-                for name, timing in self.stages.items()
-            },
-        }
-
-
-@dataclass
-class ServerMetrics(BrokerMetrics):
-    """Counter registry for one server instance.
-
-    Same registry shape as :class:`BrokerMetrics` (counters + stage
-    timings) so tooling can scrape either uniformly. Well-known server
-    counter names: segments_pruned, segments_scanned, hot_hits,
-    hot_misses.
-    """
+from repro.obs.metrics import (  # noqa: F401
+    BrokerMetrics,
+    Metrics,
+    MetricsRegistry,
+    ServerMetrics,
+    StageTiming,
+)

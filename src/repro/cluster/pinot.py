@@ -31,6 +31,8 @@ from repro.errors import ClusterError
 from repro.helix.manager import HelixManager
 from repro.kafka.broker import SimKafka
 from repro.net import HedgePolicy, SimClock, Transport
+from repro.obs.metrics import MetricsRegistry, runtime_metrics
+from repro.obs.trace import Tracer
 from repro.kafka.partitioner import kafka_partition
 from repro.segment.builder import SegmentBuilder
 from repro.segment.segment import ImmutableSegment
@@ -47,7 +49,8 @@ class PinotCluster:
                  quotas: TenantQuotaManager | None = None,
                  clock: SimClock | None = None,
                  transport: Transport | None = None,
-                 hedging: HedgePolicy | None = None):
+                 hedging: HedgePolicy | None = None,
+                 trace_sample_rate: float = 0.0):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
         self.zk = ZkStore()
@@ -87,7 +90,11 @@ class PinotCluster:
         self.brokers = [
             BrokerInstance(f"broker-{i}", self.helix, self.quotas,
                            seed=seed + i, clock=self.clock,
-                           hedging=hedging)
+                           hedging=hedging,
+                           tracer=Tracer(clock=self.clock,
+                                         sample_rate=trace_sample_rate,
+                                         seed=seed + i,
+                                         component=f"broker-{i}"))
             for i in range(num_brokers)
         ]
         self.minions = [
@@ -95,6 +102,18 @@ class PinotCluster:
                            self.object_store)
             for i in range(num_minions)
         ]
+        #: One labeled registry over every component's counters (plus
+        #: the process-wide runtime sink for codec/config fallbacks);
+        #: export with ``metrics_registry.export_text()/export_json()``.
+        self.metrics_registry = MetricsRegistry()
+        for broker in self.brokers:
+            self.metrics_registry.register("broker", broker.instance_id,
+                                           broker.metrics)
+        for server in self.servers:
+            self.metrics_registry.register("server", server.instance_id,
+                                           server.metrics)
+        self.metrics_registry.register("runtime", "process",
+                                       runtime_metrics)
         self._broker_cursor = 0
         self._segment_sequence: dict[str, int] = {}
 
@@ -231,6 +250,14 @@ class PinotCluster:
         """Per-server, per-segment physical plans for a query."""
         return self.brokers[0].explain(pql)
 
+    def slow_queries(self, k: int | None = None) -> list[dict]:
+        """Top-K traced queries by duration across every broker's
+        slow-query log."""
+        entries = [entry for broker in self.brokers
+                   for entry in broker.slow_queries()]
+        entries.sort(key=lambda e: -e["duration_ms"])
+        return entries[:k] if k is not None else entries
+
     # -- maintenance ---------------------------------------------------------------------
 
     def run_retention(self, now: int) -> list[str]:
@@ -279,4 +306,6 @@ class PinotCluster:
                                 self.kafka, self.leader_controller)
         self.helix.register_participant(server, tags=[SERVER_TAG])
         self.servers.append(server)
+        self.metrics_registry.register("server", instance_id,
+                                       server.metrics)
         return server

@@ -30,6 +30,8 @@ from repro.faults import FaultInjector, run_with_faults
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.kafka.broker import KafkaConsumer, SimKafka
+from repro.obs import propagation
+from repro.obs.trace import STATUS_ERROR
 from repro.pql.ast_nodes import Query
 from repro.segment.mutable import MutableSegment
 from repro.segment.segment import ImmutableSegment
@@ -359,41 +361,78 @@ class ServerInstance:
                           deadline: float | None) -> ServerResult:
         skip_cache = bool(query.options.get("skipCache"))
         skip_prune = skip_cache or bool(query.options.get("skipPrune"))
+        #: Ambient span recorder, present when the broker propagated a
+        #: sampled trace context with this sub-request (repro.obs).
+        recorder = propagation.current()
         results: list[SegmentResult] = []
+        span = None
         try:
             for name in segment_names:
                 if (deadline is not None
                         and time.perf_counter() > deadline):
                     break  # run_with_faults turns this into a timeout
                 segment = self._resolve_for_query(table, name)
+                if recorder is not None:
+                    span = recorder.start("segment", segment=name)
                 if segment is None:
-                    continue  # empty consuming segment: nothing yet
+                    # Empty consuming segment: nothing consumed yet.
+                    if span is not None:
+                        span.attributes["empty"] = True
+                        recorder.end(span)
+                        span = None
+                    continue
                 # Pre-execution pruning applies only to immutable
                 # segments: consuming snapshots lack settled metadata.
                 immutable = (table, name) in self._segments
-                if not skip_prune and immutable and prune_reason(
-                    segment.metadata, query
-                ) is not None:
+                reason = (
+                    prune_reason(segment.metadata, query)
+                    if not skip_prune and immutable else None
+                )
+                if reason is not None:
                     self.metrics.incr("segments_pruned")
                     results.append(prune_result(segment, query))
+                    if span is not None:
+                        span.attributes["pruned"] = True
+                        span.attributes["prune_reason"] = reason
+                        recorder.end(span)
+                        span = None
                     continue
                 self.metrics.incr("segments_scanned")
                 if not skip_cache and immutable:
-                    self._warm_hot_columns(table, segment, query)
-                results.append(execute_segment(segment, query))
+                    hits, misses = self._warm_hot_columns(table, segment,
+                                                          query)
+                    if span is not None:
+                        span.attributes["hot_hits"] = hits
+                        span.attributes["hot_misses"] = misses
+                segment_result = execute_segment(segment, query)
+                results.append(segment_result)
+                if span is not None:
+                    span.attributes["docs_scanned"] = (
+                        segment_result.stats.num_docs_scanned
+                    )
+                    span.attributes["total_docs"] = (
+                        segment_result.stats.total_docs
+                    )
+                    recorder.end(span)
+                    span = None
         except PinotError as exc:
+            if recorder is not None and span is not None:
+                span.attributes["error"] = str(exc)
+                recorder.end(span, STATUS_ERROR)
             return ServerResult(server=self.instance_id, error=str(exc))
         return combine_segment_results(query, results, self.instance_id)
 
     def _warm_hot_columns(self, table: str, segment: ImmutableSegment,
-                          query: Query) -> None:
+                          query: Query) -> tuple[int, int]:
         """Pull the query's columns through the hot-structure cache so
         their decoded arrays stay resident across queries (and cold
-        columns get evicted to honor the byte budget)."""
+        columns get evicted to honor the byte budget). Returns the
+        (hits, misses) of this warm-up's probes."""
         if query.select_star:
             names = segment.schema.column_names
         else:
             names = tuple(sorted(query.referenced_columns()))
+        hits = misses = 0
         for name in names:
             if not segment.has_column(name):
                 continue
@@ -401,7 +440,12 @@ class ServerInstance:
             if column.is_multi_value:
                 continue  # decoded arrays exist for single-value only
             __, hit = self.hot_cache.values(table, segment, column)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
             self.metrics.incr("hot_hits" if hit else "hot_misses")
+        return hits, misses
 
     def explain(self, query: Query, table: str,
                 segment_names: list[str]) -> dict[str, str]:

@@ -124,6 +124,10 @@ class TableConfig:
             "schema": self.schema.to_dict(),
             "replication": self.replication,
             "retention": self.retention,
+            "retention_granularity": {
+                "unit": self.retention_granularity.unit.name,
+                "size": self.retention_granularity.size,
+            },
             "quota_bytes": self.quota_bytes,
             "routing_strategy": self.routing_strategy,
             "tenant": self.tenant,
@@ -152,12 +156,21 @@ class TableConfig:
         stream = None
         if payload.get("stream"):
             stream = StreamConfig(**payload["stream"])
+        # Older persisted configs predate the granularity field; they
+        # were all written with the (DAYS, 1) default.
+        granularity = payload.get("retention_granularity")
+        retention_granularity = (
+            TimeGranularity(TimeUnit[granularity["unit"]],
+                            granularity["size"])
+            if granularity else TimeGranularity(TimeUnit.DAYS)
+        )
         return cls(
             logical_name=payload["logical_name"],
             table_type=TableType(payload["table_type"]),
             schema=Schema.from_dict(payload["schema"]),
             replication=payload.get("replication", 1),
             retention=payload.get("retention"),
+            retention_granularity=retention_granularity,
             quota_bytes=payload.get("quota_bytes"),
             routing_strategy=payload.get("routing_strategy", "balanced"),
             tenant=payload.get("tenant", "DefaultTenant"),

@@ -179,6 +179,9 @@ class BrokerResponse:
     stage_times_ms: dict[str, float] = field(default_factory=dict)
     #: True when this response was served from the broker result cache.
     cache_hit: bool = False
+    #: The query's span tree (``repro.obs``), present when the query
+    #: was traced (sampled, or forced via ``OPTION(trace=true)``).
+    trace: dict | None = None
 
     @property
     def partial(self) -> bool:

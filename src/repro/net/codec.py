@@ -32,6 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import PinotError
+from repro.obs.metrics import runtime_metrics
 
 #: Classes transferred by sized reference instead of by value.
 _BLOB_TYPES: tuple[type, ...] = ()
@@ -183,15 +184,22 @@ def encode_error(exc: BaseException) -> dict:
 
 def decode_error(tree: dict) -> BaseException:
     """Rebuild a transferred exception, degrading to PinotError when
-    the original class cannot be reconstructed from its args."""
+    the original class cannot be reconstructed from its args.
+
+    Only the *expected* reconstruction failures degrade: a class path
+    outside ``repro`` (:class:`PinotError` from ``_resolve_class``), a
+    class that no longer exists (ImportError/AttributeError), or a
+    constructor whose signature changed (TypeError). Anything else is a
+    genuine bug and propagates.
+    """
     args = [decode(a) for a in tree["v"]]
     try:
         cls = _resolve_class(tree["c"])
         exc = cls(*args)
         if isinstance(exc, BaseException):
             return exc
-    except Exception:
-        pass
+    except (PinotError, ImportError, AttributeError, TypeError):
+        runtime_metrics.incr("codec_decode_error_fallbacks")
     return PinotError(*args)
 
 

@@ -32,6 +32,8 @@ from repro.errors import ClusterError, PinotError, ServerBusyError, \
     ServerUnreachableError
 from repro.net.clock import SimClock
 from repro.net.codec import decode, encode, json_roundtrip, payload_bytes
+from repro.obs import propagation
+from repro.obs.trace import SpanContext
 
 
 @dataclass
@@ -157,6 +159,13 @@ class CallResult:
     #: True when the destination endpoint rejected the request because
     #: its bounded inbound queue was full (ServerBusyError).
     rejected: bool = False
+    #: True when the endpoint handler actually ran (false for
+    #: unreachable/dropped/rejected requests).
+    handled: bool = False
+    #: Server-side spans collected while handling this call (present
+    #: only when a sampled trace context was propagated and the
+    #: response made it back).
+    remote_spans: list = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
@@ -226,7 +235,9 @@ class Transport:
     # -- calls --------------------------------------------------------------
 
     def request(self, src: str, dst: str, method: str, *args,
-                depart_at: float | None = None, **kwargs) -> CallResult:
+                depart_at: float | None = None,
+                trace_ctx: SpanContext | None = None,
+                **kwargs) -> CallResult:
         """Issue one call without advancing the shared clock.
 
         Never raises for modelled failures: transport-level errors
@@ -234,6 +245,12 @@ class Transport:
         handler-raised :class:`PinotError` subclasses land in
         ``CallResult.error``. The caller decides when virtual time
         advances (see :meth:`call` for the simple synchronous case).
+
+        ``trace_ctx`` propagates a query trace across the serialization
+        boundary: the context rides the request payload (the simulated
+        form of a ``traceparent`` header), a span recorder is active
+        while the handler runs, and the server-side spans ride the
+        response payload back into ``CallResult.remote_spans``.
         """
         depart = depart_at if depart_at is not None else self.clock.now()
         result = CallResult(src=src, dst=dst, method=method, departed=depart)
@@ -245,9 +262,13 @@ class Transport:
 
         link = self.link_between(src, dst)
         request_wire = self._pack((args, kwargs))
+        ctx_wire = (self._pack(trace_ctx)
+                    if trace_ctx is not None else None)
         if link.needs_sizes:
             result.request_bytes = payload_bytes(request_wire.tree,
                                                  request_wire.blobs)
+            if ctx_wire is not None:
+                result.request_bytes += payload_bytes(ctx_wire.tree)
         out_latency = link.sample_latency(self._rng, result.request_bytes)
         result.link_s += out_latency
         result.arrived = depart + out_latency
@@ -272,6 +293,15 @@ class Transport:
         result.queue_s = start - result.arrived
 
         call_args, call_kwargs = self._unpack(request_wire)
+        decoded_ctx = (self._unpack(ctx_wire)
+                       if ctx_wire is not None else None)
+        recorder_active = (decoded_ctx is not None
+                           and getattr(decoded_ctx, "sampled", False))
+        if recorder_active:
+            # Server-side spans attach to the propagated context the
+            # way an RPC server parents spans under the inbound
+            # traceparent header; anchored at the virtual service start.
+            propagation.activate(decoded_ctx, start, component=dst)
         measured_start = time.perf_counter()
         value: object = None
         error: BaseException | None = None
@@ -280,6 +310,10 @@ class Transport:
                                                       **call_kwargs)
         except PinotError as exc:
             error = exc
+        finally:
+            remote_spans = (propagation.deactivate()
+                            if recorder_active else [])
+        result.handled = True
         measured = time.perf_counter() - measured_start
         service = measured + endpoint.service.sample(self._rng)
         result.service_s = service
@@ -287,9 +321,12 @@ class Transport:
         endpoint.finish(done)
 
         response_wire = self._pack(error if error is not None else value)
+        spans_wire = (self._pack(remote_spans) if remote_spans else None)
         if link.needs_sizes:
             result.response_bytes = payload_bytes(response_wire.tree,
                                                   response_wire.blobs)
+            if spans_wire is not None:
+                result.response_bytes += payload_bytes(spans_wire.tree)
         back_latency = link.sample_latency(self._rng, result.response_bytes)
         result.link_s += back_latency
         result.completed = done + back_latency
@@ -304,6 +341,10 @@ class Transport:
             result.error = payload
         else:
             result.value = payload
+        if spans_wire is not None:
+            # Spans arrive only with a delivered response — a dropped
+            # response loses them, exactly like lost telemetry.
+            result.remote_spans = self._unpack(spans_wire)
         return result
 
     def call(self, src: str, dst: str, method: str, *args,

@@ -1,0 +1,107 @@
+"""Chrome ``chrome://tracing`` / Perfetto exporter for query traces.
+
+Emits the Trace Event Format's JSON object form: a ``traceEvents``
+array of complete (``"ph": "X"``) events with microsecond timestamps,
+one *thread* per component (broker, each server), plus ``"M"`` metadata
+events naming the threads. Load the output in ``chrome://tracing`` or
+https://ui.perfetto.dev to see a query's route/scatter/network/queue/
+execute/merge waterfall exactly as the virtual timeline ran it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.trace import Trace
+
+#: Fields every exported event carries (validated by tests and CI).
+EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_chrome_trace(trace: Trace) -> dict[str, Any]:
+    """Render one trace as a Trace Event Format object."""
+    components: list[str] = []
+    for span in trace.spans:
+        name = span.component or "unknown"
+        if name not in components:
+            components.append(name)
+    tids = {name: i + 1 for i, name in enumerate(components)}
+
+    events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name", "cat": "__metadata", "ph": "M",
+            "ts": 0, "dur": 0, "pid": 1, "tid": tid,
+            "args": {"name": component},
+        }
+        for component, tid in tids.items()
+    ]
+    for span in trace.spans:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        events.append({
+            "name": span.name,
+            "cat": span.status,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": max(0.0, end_s - span.start_s) * 1e6,
+            "pid": 1,
+            "tid": tids[span.component or "unknown"],
+            "args": _json_safe({
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "status": span.status,
+                **span.attributes,
+            }),
+        })
+    events.sort(key=lambda e: (e["ph"] != "M", e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace.trace_id,
+            "duration_ms": trace.duration_ms,
+        },
+    }
+
+
+def to_chrome_json(trace: Trace) -> str:
+    """:func:`to_chrome_trace` serialized to JSON text."""
+    return json.dumps(to_chrome_trace(trace), separators=(",", ":"))
+
+
+def validate_chrome_trace(payload: str | dict[str, Any]) -> dict[str, Any]:
+    """Round-trip a Chrome trace through JSON and check its schema.
+
+    Raises ``ValueError`` on any malformed event; returns the parsed
+    object. Used by tests and the CI trace-artifact check.
+    """
+    parsed = json.loads(payload) if isinstance(payload, str) else (
+        json.loads(json.dumps(payload))
+    )
+    if not isinstance(parsed, dict) or "traceEvents" not in parsed:
+        raise ValueError("chrome trace must be an object with traceEvents")
+    events = parsed["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    for event in events:
+        for fld in EVENT_FIELDS:
+            if fld not in event:
+                raise ValueError(f"event missing field {fld!r}: {event}")
+        if event["ph"] not in ("X", "M"):
+            raise ValueError(f"unexpected phase {event['ph']!r}")
+        if event["ph"] == "X":
+            if not isinstance(event["ts"], (int, float)):
+                raise ValueError("ts must be numeric")
+            if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                raise ValueError("dur must be a non-negative number")
+    return parsed

@@ -1,0 +1,171 @@
+"""The unified metrics layer: counters, stage timings, and a registry.
+
+PRs 1-3 grew two metric surfaces — ``BrokerMetrics`` on brokers,
+``ServerMetrics`` on servers — that tooling had to scrape separately.
+This module is the single home for both: the :class:`Metrics` base
+carries counters plus stage-timing accumulators, the broker/server
+classes specialize only their documentation, and a
+:class:`MetricsRegistry` aggregates every component's metrics under
+``(component, instance)`` labels with a JSON export and a
+Prometheus-style text export — what one ``/metrics`` endpoint for the
+whole cluster would serve.
+
+A process-wide :data:`runtime_metrics` instance collects events from
+code that has no component to hang a registry on (e.g. codec decode
+fallbacks); clusters register it alongside their components.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageTiming:
+    """Accumulated timings for one named stage."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def record(self, elapsed_ms: float) -> None:
+        self.count += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+@dataclass
+class Metrics:
+    """Counter + stage-timing registry for one component instance."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    stages: dict[str, StageTiming] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def count(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def record_stage(self, stage: str, elapsed_ms: float) -> None:
+        if stage not in self.stages:
+            self.stages[stage] = StageTiming()
+        self.stages[stage].record(elapsed_ms)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with``-block as one occurrence of a stage."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_stage(name, (time.perf_counter() - started) * 1e3)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (what an HTTP /metrics endpoint would serve)."""
+        return {
+            "counters": dict(self.counters),
+            "stages": {
+                name: {
+                    "count": timing.count,
+                    "total_ms": timing.total_ms,
+                    "mean_ms": timing.mean_ms,
+                    "max_ms": timing.max_ms,
+                }
+                for name, timing in self.stages.items()
+            },
+        }
+
+
+@dataclass
+class BrokerMetrics(Metrics):
+    """Counter + stage-timing registry for one broker instance.
+
+    Well-known counter names: queries, scatter_requests, server_errors,
+    servers_unreachable, retries, failovers, segments_failed_over,
+    segments_unroutable, partial_responses, deadline_exhausted,
+    retry_backoff_ms, cache_hits, cache_misses, cache_bypass, hedges,
+    hedge_wins, hedges_cancelled, traces, slow_queries.
+    """
+
+
+@dataclass
+class ServerMetrics(Metrics):
+    """Counter registry for one server instance.
+
+    Same registry shape as :class:`BrokerMetrics` so tooling can scrape
+    either uniformly. Well-known server counter names: segments_pruned,
+    segments_scanned, hot_hits, hot_misses.
+    """
+
+
+#: Process-wide fallback sink for components without their own registry
+#: (codec decode fallbacks, auto-index config races). Clusters register
+#: it under component="runtime".
+runtime_metrics = Metrics()
+
+
+class MetricsRegistry:
+    """Every component's metrics behind one labeled export surface."""
+
+    def __init__(self):
+        #: (component, instance) -> Metrics
+        self._sources: dict[tuple[str, str], Metrics] = {}
+
+    def register(self, component: str, instance: str,
+                 metrics: Metrics) -> Metrics:
+        self._sources[(component, instance)] = metrics
+        return metrics
+
+    def get(self, component: str, instance: str) -> Metrics | None:
+        return self._sources.get((component, instance))
+
+    def sources(self) -> list[tuple[str, str, Metrics]]:
+        return [(component, instance, metrics)
+                for (component, instance), metrics
+                in sorted(self._sources.items())]
+
+    # -- exports ------------------------------------------------------------
+
+    def export_json(self) -> dict:
+        """Nested ``{component: {instance: snapshot}}`` view."""
+        out: dict[str, dict[str, dict]] = {}
+        for component, instance, metrics in self.sources():
+            out.setdefault(component, {})[instance] = metrics.snapshot()
+        return out
+
+    def export_text(self) -> str:
+        """Prometheus-style text exposition, one line per labeled value:
+
+        ``repro_counter{component="broker",instance="broker-0",\
+name="queries"} 12``
+        """
+        lines: list[str] = []
+        for component, instance, metrics in self.sources():
+            labels = f'component="{component}",instance="{instance}"'
+            for name in sorted(metrics.counters):
+                lines.append(
+                    f'repro_counter{{{labels},name="{name}"}} '
+                    f"{metrics.counters[name]:g}"
+                )
+            for stage in sorted(metrics.stages):
+                timing = metrics.stages[stage]
+                stage_labels = f'{labels},stage="{stage}"'
+                lines.append(
+                    f"repro_stage_count{{{stage_labels}}} {timing.count}"
+                )
+                lines.append(
+                    f"repro_stage_total_ms{{{stage_labels}}} "
+                    f"{timing.total_ms:g}"
+                )
+                lines.append(
+                    f"repro_stage_max_ms{{{stage_labels}}} "
+                    f"{timing.max_ms:g}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,109 @@
+"""Server-side span recording for propagated trace contexts.
+
+The transport decodes a :class:`~repro.obs.trace.SpanContext` off the
+wire and *activates* a recorder before invoking the endpoint handler —
+the simulation's version of an RPC server opening a span from an
+incoming ``traceparent`` header. Handler code (server query execution,
+cache probes) asks for the ambient recorder via :func:`current` and
+records spans against it; the transport then *deactivates* the
+recorder and ships the collected spans back inside the response
+payload, where the broker grafts them into its trace.
+
+Span placement on the virtual timeline: the recorder is anchored at
+the request's virtual service-start instant and measures real elapsed
+time (``time.perf_counter``) from activation — consistent with the
+transport's service-time accounting, which is also measured real time
+plus modelled padding.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any
+
+from repro.obs.trace import STATUS_ERROR, STATUS_OK, Span, SpanContext
+
+#: Activation stack: nested traced calls (server -> controller while a
+#: query is in flight) each get their own recorder.
+_ACTIVE: list["SpanRecorder"] = []
+
+
+class SpanRecorder:
+    """Collects one handler invocation's spans on the virtual timeline."""
+
+    def __init__(self, context: SpanContext, anchor_s: float,
+                 component: str = ""):
+        self.context = context
+        self.component = component
+        self._anchor_s = anchor_s
+        self._started = time.perf_counter()
+        self._next_id = 0
+        #: Open-span stack for parenting nested spans.
+        self._open: list[Span] = []
+        self.spans: list[Span] = []
+
+    def _now_s(self) -> float:
+        return self._anchor_s + (time.perf_counter() - self._started)
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span parented under the innermost open span, or under
+        the propagated context when none is open."""
+        self._next_id += 1
+        parent = (self._open[-1].span_id if self._open
+                  else self.context.span_id)
+        span = Span(
+            name=name,
+            span_id=f"{self.context.span_id}.r{self._next_id}",
+            parent_id=parent, trace_id=self.context.trace_id,
+            start_s=self._now_s(), component=self.component,
+            attributes=dict(attrs),
+        )
+        self._open.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, status: str = STATUS_OK) -> None:
+        span.end_s = self._now_s()
+        if span.status == STATUS_OK:
+            span.status = status
+        if self._open and self._open[-1] is span:
+            self._open.pop()
+        elif span in self._open:  # out-of-order end: drop through it
+            self._open.remove(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        span = self.start(name, **attrs)
+        try:
+            yield span
+        except BaseException:
+            self.end(span, STATUS_ERROR)
+            raise
+        self.end(span)
+
+    def close(self) -> list[Span]:
+        """End any spans left open (handler raised mid-span) and return
+        everything recorded."""
+        while self._open:
+            self.end(self._open[-1], STATUS_ERROR)
+        return self.spans
+
+
+def activate(context: SpanContext, anchor_s: float,
+             component: str = "") -> SpanRecorder:
+    """Install a recorder for the duration of one handler invocation."""
+    recorder = SpanRecorder(context, anchor_s, component)
+    _ACTIVE.append(recorder)
+    return recorder
+
+
+def deactivate() -> list[Span]:
+    """Remove the innermost recorder and return its spans."""
+    recorder = _ACTIVE.pop()
+    return recorder.close()
+
+
+def current() -> SpanRecorder | None:
+    """The ambient recorder, or None when the caller is not traced."""
+    return _ACTIVE[-1] if _ACTIVE else None

@@ -1,0 +1,56 @@
+"""The broker's slow-query log: top-K traces by duration.
+
+A bounded ring buffer keeps the most recent finished traces;
+:meth:`SlowQueryLog.top` ranks the retained window by root-span
+duration. Operators read it the way they would read production Pinot's
+slow-query log — "what were the worst queries lately, and where did
+their time go" — except each entry carries its full span tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Trace
+
+
+class SlowQueryLog:
+    """Ring buffer of finished traces, ranked by duration on demand."""
+
+    DEFAULT_CAPACITY = 128
+    DEFAULT_TOP_K = 10
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 top_k: int = DEFAULT_TOP_K):
+        self.top_k = top_k
+        self._ring: deque[Trace] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, trace: "Trace") -> None:
+        self._ring.append(trace)
+
+    def top(self, k: int | None = None) -> list["Trace"]:
+        """The K slowest traces in the retained window, slowest first."""
+        limit = k if k is not None else self.top_k
+        ranked = sorted(self._ring, key=lambda t: -t.duration_ms)
+        return ranked[:limit]
+
+    def summaries(self, k: int | None = None) -> list[dict[str, Any]]:
+        """Compact log lines (what a text slow-query log would print)."""
+        return [
+            {
+                "trace_id": trace.trace_id,
+                "name": trace.root.name,
+                "duration_ms": trace.duration_ms,
+                "status": trace.root.status,
+                "spans": len(trace.spans),
+                **{key: value
+                   for key, value in trace.root.attributes.items()
+                   if isinstance(value, (str, int, float, bool))},
+            }
+            for trace in self.top(k)
+        ]

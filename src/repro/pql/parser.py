@@ -51,6 +51,7 @@ _KNOWN_OPTIONS: dict[str, tuple[type, ...]] = {
     "timeoutMs": (int, float),
     "skipCache": (bool,),
     "skipPrune": (bool,),
+    "trace": (bool,),
 }
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.cluster.pinot import PinotCluster
 from repro.cluster.table import StreamConfig, TableConfig
 from repro.common.schema import Schema
+from repro.common.timeutils import TimeGranularity, TimeUnit
 from repro.common.types import DataType, dimension, metric, time_column
 from repro.errors import ClusterError
 
@@ -172,6 +173,47 @@ class TestHybridTables:
         cluster.drain_realtime()
         response = cluster.execute("SELECT count(*) FROM events")
         assert response.rows[0][0] == 7
+
+    def test_hybrid_wide_granularity_no_data_loss(self, schema):
+        """Regression: the broker used to drop the configured
+        granularity *size* when computing the time boundary, backing
+        off only one time unit instead of one bucket. With weekly
+        (DAYS, 7) buckets and a partially-pushed trailing bucket, the
+        offline side then served the incomplete bucket and the rows
+        present only in realtime were silently lost."""
+        granularity = TimeGranularity(TimeUnit.DAYS, 7)
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_kafka_topic("events-topic", 2)
+        cluster.create_table(TableConfig.offline(
+            "events", schema, retention_granularity=granularity))
+        cluster.create_table(TableConfig.realtime(
+            "events", schema,
+            StreamConfig("events-topic", flush_threshold_rows=10_000),
+            retention_granularity=granularity,
+        ))
+        # Weekly buckets: [17003, 17009] complete in offline; the next
+        # bucket was pushed mid-week and incompletely — offline has only
+        # half of day 17010's rows (max_time = 17011).
+        cluster.upload_records(
+            "events",
+            offline_records(range(17003, 17010))
+            + offline_records([17010, 17011], per_day=5),
+        )
+        # Realtime retains everything from day 17005 on, including the
+        # full day 17010 that offline only partially has.
+        cluster.ingest("events-topic",
+                       offline_records(range(17005, 17014)))
+        cluster.drain_realtime()
+
+        response = cluster.execute("SELECT count(*) FROM events")
+        # Boundary = 17011 - 7 = 17004: offline serves 17003-17004
+        # (20 rows), realtime serves 17005-17013 (90 rows). The buggy
+        # boundary (17010) returned 105: offline's incomplete day 17010
+        # (5 rows) instead of realtime's complete one (10 rows).
+        assert response.rows[0][0] == 110
+        per_day = cluster.execute(
+            "SELECT count(*) FROM events WHERE day = 17010")
+        assert per_day.rows[0][0] == 10
 
     def test_fanout_instrumentation(self, schema):
         cluster = PinotCluster(num_servers=3)

@@ -1,6 +1,8 @@
 """Unit tests for time utilities."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.common.timeutils import (
     TimeGranularity,
@@ -49,3 +51,54 @@ class TestBoundaries:
 
     def test_retention_cutoff(self):
         assert retention_cutoff(now=17100, retention=30) == 17070
+
+
+class TestBoundaryPartitionProperty:
+    """The hybrid-split contract, for every granularity (§3.3.3 Fig 6).
+
+    ``split_hybrid`` rewrites a query into offline ``t <= boundary`` and
+    realtime ``t > boundary``. For that rewrite to be lossless and
+    duplicate-free the boundary must (a) partition the time axis
+    exactly, and (b) sit strictly below the bucket containing the
+    offline max — the trailing bucket may be only partially pushed, so
+    every value in it must be served by realtime.
+    """
+
+    granularities = st.builds(
+        TimeGranularity,
+        st.sampled_from(list(TimeUnit)),
+        st.integers(min_value=1, max_value=100),
+    )
+
+    @given(max_time=st.integers(min_value=0, max_value=2**40),
+           granularity=granularities,
+           offset=st.integers(min_value=-200, max_value=200))
+    def test_offline_and_realtime_predicates_partition_axis(
+            self, max_time, granularity, offset):
+        boundary = time_boundary(max_time, granularity)
+        value = max_time + offset
+        served_offline = value <= boundary
+        served_realtime = value > boundary
+        # Exactly one side serves any time value: no gap, no overlap.
+        assert served_offline != served_realtime
+
+    @given(max_time=st.integers(min_value=0, max_value=2**40),
+           granularity=granularities)
+    def test_trailing_bucket_is_left_to_realtime(self, max_time,
+                                                 granularity):
+        """No value in the (possibly incomplete) bucket that contains
+        ``max_time`` may be served from offline: the boundary must fall
+        strictly below the bucket's start."""
+        boundary = time_boundary(max_time, granularity)
+        bucket_start = granularity.truncate(max_time)
+        assert boundary < bucket_start
+
+    @given(max_time=st.integers(min_value=0, max_value=2**40),
+           granularity=granularities)
+    def test_boundary_gives_up_at_most_one_bucket(self, max_time,
+                                                  granularity):
+        """Conversely the back-off is bounded: offline still serves
+        everything below the previous bucket boundary."""
+        boundary = time_boundary(max_time, granularity)
+        bucket_start = granularity.truncate(max_time)
+        assert boundary >= bucket_start - granularity.size

@@ -14,6 +14,7 @@ from repro.engine.sketches import HyperLogLog
 from repro.errors import PinotError, SegmentError, ThrottledError
 from repro.net import decode, encode, json_roundtrip
 from repro.net.codec import decode_error, encode_error, payload_bytes
+from repro.obs.metrics import runtime_metrics
 
 pytestmark = pytest.mark.net
 
@@ -120,6 +121,35 @@ class TestErrors:
         out = decode_error(tree)
         assert type(out) is PinotError
         assert "out of query tokens" in str(out)
+
+    def test_expected_fallbacks_are_counted_not_swallowed_silently(self):
+        before = runtime_metrics.count("codec_decode_error_fallbacks")
+        for tree in (
+            {"~": "exc", "c": "os:system", "v": ["x"]},  # non-repro path
+            {"~": "exc", "c": "repro.gone:Missing", "v": []},  # no module
+            {"~": "exc",
+             "c": "repro.errors:ThrottledError", "v": ["only-one-arg"]},
+        ):
+            out = decode_error(json_roundtrip(tree))
+            assert type(out) is PinotError
+        after = runtime_metrics.count("codec_decode_error_fallbacks")
+        assert after == before + 3
+
+    def test_unexpected_constructor_failures_propagate(self, monkeypatch):
+        """Only *expected* reconstruction failures may degrade; a class
+        whose constructor raises something else is a genuine bug and
+        must surface, not be silently replaced with a PinotError."""
+        class Exploding(PinotError):
+            def __init__(self, *args):
+                raise RuntimeError("constructor bug")
+
+        monkeypatch.setattr("repro.errors.Exploding", Exploding,
+                            raising=False)
+        tree = json_roundtrip(
+            {"~": "exc", "c": "repro.errors:Exploding", "v": []}
+        )
+        with pytest.raises(RuntimeError, match="constructor bug"):
+            decode_error(tree)
 
 
 class TestBlobs:

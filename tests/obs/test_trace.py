@@ -1,0 +1,271 @@
+"""Unit tests for the repro.obs trace model, exporter, and metrics."""
+
+import json
+
+import pytest
+
+from repro.net import SimClock
+from repro.obs.export import (
+    to_chrome_json,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import Metrics, MetricsRegistry
+from repro.obs.propagation import activate, current, deactivate
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    SpanContext,
+    Trace,
+    Tracer,
+)
+
+
+class TestTrace:
+    def test_tree_nests_by_parent(self):
+        trace = Trace("t-1", "query", 0.0)
+        scatter = trace.add_span("scatter", trace.root, 0.1, 0.5)
+        trace.add_span("rpc", scatter, 0.1, 0.4)
+        trace.finish(1.0)
+        tree = trace.to_dict()
+        assert tree["name"] == "query"
+        assert [c["name"] for c in tree["children"]] == ["scatter"]
+        assert tree["children"][0]["children"][0]["name"] == "rpc"
+
+    def test_orphan_spans_attach_to_root(self):
+        trace = Trace("t-1", "query", 0.0)
+        trace.add_span("lost", "no-such-parent", 0.1, 0.2)
+        tree = trace.to_dict()
+        assert [c["name"] for c in tree["children"]] == ["lost"]
+
+    def test_allocate_id_reserves_before_timing(self):
+        trace = Trace("t-1", "query", 0.0)
+        reserved = trace.allocate_id()
+        span = trace.add_span("execute", trace.root, 0.1, 0.2,
+                              span_id=reserved)
+        assert span.span_id == reserved
+        assert trace.allocate_id() != reserved
+
+    def test_extend_grafts_remote_spans(self):
+        trace = Trace("t-1", "query", 0.0)
+        execute = trace.add_span("execute", trace.root, 0.1, 0.5)
+        remote = Span(name="segment", span_id=f"{execute.span_id}.r1",
+                      parent_id=execute.span_id, trace_id="other",
+                      start_s=0.2, end_s=0.3)
+        trace.extend([remote])
+        assert remote.trace_id == "t-1"
+        assert trace.children_of(execute) == [remote]
+
+    def test_set_error(self):
+        span = Span("rpc", "t.1", None, "t", 0.0, 0.1)
+        span.set_error("boom", error_type="ValueError")
+        assert span.status == STATUS_ERROR
+        assert span.attributes["error"] == "boom"
+        assert span.attributes["error_type"] == "ValueError"
+
+    def test_duration_of_open_span_is_zero(self):
+        span = Span("rpc", "t.1", None, "t", 5.0)
+        assert span.duration_ms == 0.0
+
+
+class TestTracer:
+    def test_sampling_off_returns_none(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.start_trace("query") is None
+        assert tracer.traces_sampled_out == 1
+
+    def test_force_overrides_sampling(self):
+        tracer = Tracer(sample_rate=0.0)
+        trace = tracer.start_trace("query", force=True)
+        assert trace is not None
+
+    def test_sample_rate_one_always_traces(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert all(tracer.start_trace("query") is not None
+                   for _ in range(10))
+
+    def test_seeded_sampling_is_reproducible(self):
+        def decisions(seed):
+            tracer = Tracer(sample_rate=0.3, seed=seed)
+            return [tracer.start_trace("q") is not None
+                    for _ in range(50)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_finish_records_to_ring_and_slow_log(self):
+        clock = SimClock(auto_advance=False)
+        tracer = Tracer(clock=clock, component="broker-0")
+        trace = tracer.start_trace("query", force=True)
+        clock.advance(0.25)
+        tracer.finish_trace(trace)
+        assert trace.root.end_s == pytest.approx(0.25)
+        assert list(tracer.finished) == [trace]
+        assert tracer.slow_log.top() == [trace]
+
+    def test_trace_ids_are_component_scoped(self):
+        tracer = Tracer(component="broker-3")
+        first = tracer.start_trace("q", force=True)
+        second = tracer.start_trace("q", force=True)
+        assert first.trace_id == "broker-3-000001"
+        assert second.trace_id == "broker-3-000002"
+
+
+class TestSlowQueryLog:
+    def _trace(self, trace_id, duration):
+        trace = Trace(trace_id, "query", 0.0)
+        trace.finish(duration)
+        return trace
+
+    def test_top_ranks_by_duration(self):
+        log = SlowQueryLog()
+        for i, duration in enumerate([0.1, 0.5, 0.2]):
+            log.record(self._trace(f"t-{i}", duration))
+        assert [t.trace_id for t in log.top(2)] == ["t-1", "t-2"]
+
+    def test_ring_evicts_oldest(self):
+        log = SlowQueryLog(capacity=2)
+        for i in range(3):
+            log.record(self._trace(f"t-{i}", 1.0))
+        assert len(log) == 2
+        assert {t.trace_id for t in log.top(10)} == {"t-1", "t-2"}
+
+    def test_summaries_keep_scalar_root_attrs(self):
+        log = SlowQueryLog()
+        trace = Trace("t-0", "query", 0.0, table="events",
+                      plan={"not": "scalar"})
+        trace.finish(0.3)
+        log.record(trace)
+        (summary,) = log.summaries()
+        assert summary["table"] == "events"
+        assert "plan" not in summary
+        assert summary["duration_ms"] == pytest.approx(300.0)
+
+
+class TestChromeExport:
+    def _trace(self):
+        trace = Trace("t-1", "query", 1.0, component="broker-0")
+        scatter = trace.add_span("scatter", trace.root, 1.1, 1.5,
+                                 component="broker-0")
+        trace.add_span("execute", scatter, 1.2, 1.4,
+                       component="server-0", docs=12)
+        trace.finish(2.0)
+        return trace
+
+    def test_round_trips_through_json(self):
+        payload = validate_chrome_trace(to_chrome_json(self._trace()))
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} == {"query", "scatter",
+                                               "execute"}
+
+    def test_timestamps_are_microseconds(self):
+        payload = to_chrome_trace(self._trace())
+        query = next(e for e in payload["traceEvents"]
+                     if e.get("name") == "query" and e["ph"] == "X")
+        assert query["ts"] == pytest.approx(1.0 * 1e6)
+        assert query["dur"] == pytest.approx(1.0 * 1e6)
+
+    def test_components_get_thread_metadata(self):
+        payload = to_chrome_trace(self._trace())
+        named = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M"}
+        assert {"broker-0", "server-0"} <= named
+
+    def test_validate_rejects_missing_fields(self):
+        payload = to_chrome_trace(self._trace())
+        del payload["traceEvents"][-1]["ts"]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(json.dumps(payload))
+
+    def test_validate_rejects_non_json(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace("{not json")
+
+
+class TestPropagation:
+    def _context(self):
+        return SpanContext(trace_id="t-1", span_id="t-1.4")
+
+    def test_spans_parent_under_context(self):
+        recorder = activate(self._context(), anchor_s=10.0,
+                            component="server-0")
+        try:
+            with recorder.span("segment", segment="s1"):
+                pass
+        finally:
+            spans = deactivate()
+        (span,) = spans
+        assert span.parent_id == "t-1.4"
+        assert span.trace_id == "t-1"
+        assert span.component == "server-0"
+        assert span.start_s >= 10.0
+        assert span.end_s >= span.start_s
+
+    def test_nested_spans_parent_under_open_span(self):
+        recorder = activate(self._context(), anchor_s=0.0)
+        try:
+            with recorder.span("outer") as outer:
+                with recorder.span("inner") as inner:
+                    pass
+        finally:
+            deactivate()
+        assert inner.parent_id == outer.span_id
+
+    def test_raise_marks_span_error_and_close_sweeps(self):
+        recorder = activate(self._context(), anchor_s=0.0)
+        leftover = recorder.start("leftover")
+        with pytest.raises(ValueError):
+            with recorder.span("failing"):
+                raise ValueError("boom")
+        spans = deactivate()
+        failing = next(s for s in spans if s.name == "failing")
+        assert failing.status == STATUS_ERROR
+        assert leftover.status == STATUS_ERROR  # closed by the sweep
+        assert leftover.end_s is not None
+
+    def test_current_is_none_outside_activation(self):
+        assert current() is None
+
+    def test_cancelled_status_survives_end(self):
+        recorder = activate(self._context(), anchor_s=0.0)
+        span = recorder.start("rpc")
+        span.status = STATUS_CANCELLED
+        recorder.end(span)
+        deactivate()
+        assert span.status == STATUS_CANCELLED
+
+
+class TestMetricsRegistry:
+    def test_export_json_nests_by_component(self):
+        registry = MetricsRegistry()
+        broker = registry.register("broker", "broker-0", Metrics())
+        broker.incr("queries", 3)
+        broker.record_stage("merge", 1.5)
+        exported = registry.export_json()
+        snapshot = exported["broker"]["broker-0"]
+        assert snapshot["counters"]["queries"] == 3
+        assert snapshot["stages"]["merge"]["count"] == 1
+
+    def test_export_text_is_labeled_lines(self):
+        registry = MetricsRegistry()
+        registry.register("server", "server-1", Metrics()).incr("scans", 2)
+        text = registry.export_text()
+        assert ('repro_counter{component="server",instance="server-1",'
+                'name="scans"} 2') in text
+
+    def test_sources_sorted_and_gettable(self):
+        registry = MetricsRegistry()
+        registry.register("server", "server-1", Metrics())
+        registry.register("broker", "broker-0", Metrics())
+        labels = [(c, i) for c, i, _ in registry.sources()]
+        assert labels == [("broker", "broker-0"), ("server", "server-1")]
+        assert registry.get("server", "server-1") is not None
+        assert registry.get("server", "nope") is None
+
+    def test_status_constants(self):
+        assert {STATUS_OK, STATUS_ERROR, STATUS_CANCELLED} == {
+            "ok", "error", "cancelled"
+        }

@@ -1,0 +1,272 @@
+"""End-to-end trace propagation, including under adversity.
+
+The trace of a healthy hybrid query must show the full broker →
+transport → server → engine waterfall; traces of unhealthy queries must
+show *why* — error spans for fault-injected sub-requests, retry spans
+under gather for failover, a cancelled sibling for a hedged straggler,
+a rejected queue span for backpressure, and a scatter-free tree for
+cache hits.
+"""
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.net import HedgePolicy, LinkModel, ServiceModel, SimClock
+from repro.obs.export import to_chrome_json, validate_chrome_trace
+from repro.obs.trace import STATUS_CANCELLED, STATUS_ERROR
+
+TRACED = " OPTION(trace=true)"
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def records(days, per_day=10):
+    return [{"country": "us", "views": 1, "day": day}
+            for day in days for __ in range(per_day)]
+
+
+def spans_named(tree, name):
+    """All nodes named ``name`` anywhere in a span tree."""
+    found = [tree] if tree["name"] == name else []
+    for child in tree["children"]:
+        found.extend(spans_named(child, name))
+    return found
+
+
+class TestHealthyTrace:
+    def test_hybrid_query_produces_one_full_span_tree(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_kafka_topic("events-topic", 2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.create_table(TableConfig.realtime(
+            "events", schema,
+            StreamConfig("events-topic", flush_threshold_rows=10_000),
+        ))
+        # Offline through day 17002; realtime overlaps at the boundary
+        # (17002) and extends beyond — the standard hybrid layout.
+        cluster.upload_records("events", records([17000, 17001, 17002]))
+        cluster.ingest("events-topic", records([17002, 17003, 17004]))
+        cluster.drain_realtime()
+
+        response = cluster.execute(
+            "SELECT count(*) FROM events" + TRACED)
+        assert response.rows[0][0] == 50
+        tree = response.trace
+        assert tree is not None and tree["name"] == "query"
+        # Both physical queries' stages hang off the one root.
+        for stage in ("cache", "route", "scatter", "merge"):
+            assert spans_named(tree, stage), f"missing {stage} span"
+        assert len(spans_named(tree, "route")) == 2  # offline + realtime
+        # Every rpc span carries the network/queue/execute legs, and the
+        # server-side execute span parents per-segment engine spans.
+        rpcs = spans_named(tree, "rpc")
+        assert rpcs
+        for rpc in rpcs:
+            children = {c["name"] for c in rpc["children"]}
+            assert {"network", "queue", "execute"} <= children
+        segments = spans_named(tree, "segment")
+        assert segments
+        assert all(s["component"].startswith("server-") for s in segments)
+        assert {s["attributes"]["segment"] for s in segments} >= {
+            "events_OFFLINE_00000"
+        }
+
+    def test_untraced_query_has_no_trace(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.trace is None
+        assert cluster.brokers[0].tracer.traces_sampled_out == 1
+
+    def test_sampled_tracing_via_cluster_rate(self, schema):
+        cluster = PinotCluster(num_servers=1, trace_sample_rate=1.0)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.trace is not None
+
+    def test_trace_exports_valid_chrome_json(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.execute("SELECT count(*) FROM events" + TRACED)
+        trace = cluster.brokers[0].tracer.finished[-1]
+        payload = validate_chrome_trace(to_chrome_json(trace))
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert {"query", "route", "scatter", "rpc", "execute",
+                "merge"} <= names
+
+
+class TestCacheHitTrace:
+    def test_hit_trace_shows_cache_span_and_no_scatter(self, schema):
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        first = cluster.execute("SELECT count(*) FROM events" + TRACED)
+        assert spans_named(first.trace, "scatter")
+
+        second = cluster.execute("SELECT count(*) FROM events" + TRACED)
+        assert second.cache_hit
+        tree = second.trace
+        (cache,) = spans_named(tree, "cache")
+        assert cache["attributes"]["outcome"] == "hit"
+        assert tree["attributes"]["cache_hit"] is True
+        assert not spans_named(tree, "scatter")
+        assert not spans_named(tree, "rpc")
+
+    def test_cached_entries_stay_trace_free(self, schema):
+        """The cache stores responses by reference; attaching the trace
+        must not leak one query's trace into later hits."""
+        cluster = PinotCluster(num_servers=1)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        cluster.execute("SELECT count(*) FROM events" + TRACED)
+        # An untraced query hitting the traced query's cache entry must
+        # not inherit its span tree.
+        hit = cluster.execute("SELECT count(*) FROM events")
+        assert hit.cache_hit
+        assert hit.trace is None
+
+
+class TestAdversity:
+    def test_fault_injection_yields_error_spans(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=1))
+        cluster.upload_records("events", records([17000, 17001]),
+                               rows_per_segment=10)
+        for server in cluster.servers:
+            server.faults.fail_next = 1
+        response = cluster.execute("SELECT count(*) FROM events" + TRACED)
+        assert response.is_partial
+        tree = response.trace
+        assert tree["status"] == STATUS_ERROR  # partial => error root
+        errors = [r for r in spans_named(tree, "rpc")
+                  if r["status"] == STATUS_ERROR]
+        assert errors
+        assert all("error" in r["attributes"] for r in errors)
+        # Per-server detail survives in the span attributes.
+        assert {r["attributes"]["server"] for r in errors} <= {
+            "server-0", "server-1"
+        }
+
+    def test_failover_retry_appears_under_gather(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.crash_server("server-0")
+        response = cluster.execute("SELECT count(*) FROM events" + TRACED)
+        assert not response.is_partial
+        assert response.rows[0][0] == 20
+        tree = response.trace
+        (gather,) = spans_named(tree, "gather")
+        retries = spans_named(gather, "rpc")
+        assert retries
+        assert all(r["attributes"]["retry_attempt"] >= 1 for r in retries)
+        assert all(r["attributes"]["server"] == "server-1"
+                   for r in retries)
+        # The failed primary is still in the tree, as an error span.
+        primaries = [r for r in spans_named(tree, "scatter")[0]["children"]
+                     if r["name"] == "rpc"
+                     and r["status"] == STATUS_ERROR]
+        assert primaries
+
+    def test_hedged_loser_is_cancelled_winner_marked(self, schema):
+        cluster = PinotCluster(num_servers=2, seed=7,
+                               clock=SimClock(auto_advance=False),
+                               hedging=HedgePolicy())
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.net.set_link("broker-0", "server-0",
+                             LinkModel(latency_s=0.25))
+        traced = None
+        for __ in range(40):
+            response = cluster.execute(
+                "SELECT count(*) FROM events"
+                " OPTION(trace=true, skipCache=true)")
+            assert not response.is_partial
+            cancelled = [r for r in spans_named(response.trace, "rpc")
+                         if r["status"] == STATUS_CANCELLED]
+            if cancelled:
+                traced = response.trace
+                break
+        assert traced is not None, "no hedge won within the query budget"
+        cancelled = [r for r in spans_named(traced, "rpc")
+                     if r["status"] == STATUS_CANCELLED]
+        winners = [r for r in spans_named(traced, "rpc")
+                   if r["attributes"].get("hedge_winner")]
+        assert all(r["attributes"]["hedge_loser"] for r in cancelled)
+        assert winners and all(r["attributes"]["hedge"] for r in winners)
+        # Losers stay visible but the response is whole: one rpc pair
+        # per hedged sub-request, winner ok, loser cancelled.
+        assert len(cancelled) >= 1
+
+    def test_queue_rejection_appears_as_rejected_span(self, schema):
+        cluster = PinotCluster(num_servers=1,
+                               clock=SimClock(auto_advance=False))
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", records([17000]))
+        server = cluster.server("server-0")
+        cluster.net.deregister("server-0")
+        cluster.net.register("server-0", server, queue_capacity=1,
+                             service=ServiceModel(base_s=0.2))
+        t0 = cluster.clock.now()
+        responses = [
+            cluster.execute("SELECT count(*) FROM events"
+                            " OPTION(trace=true, skipCache=true)",
+                            at=t0, now=t0)
+            for __ in range(3)
+        ]
+        rejected = [r for r in responses if r.is_partial]
+        assert rejected
+        for response in rejected:
+            tree = response.trace
+            error_rpcs = [r for r in spans_named(tree, "rpc")
+                          if r["status"] == STATUS_ERROR]
+            assert error_rpcs
+            assert any(r["attributes"].get("rejected")
+                       for r in error_rpcs)
+            queue_spans = [q for r in error_rpcs
+                           for q in spans_named(r, "queue")]
+            assert any(q["attributes"].get("rejected")
+                       and q["status"] == STATUS_ERROR
+                       for q in queue_spans)
+
+    def test_hedging_feedback_uses_winner_flight_time_only(self, schema):
+        """Tracing must not perturb the hedging feedback loop: the
+        latency window sees exactly the winners' own flight times."""
+        cluster = PinotCluster(num_servers=2, seed=7,
+                               clock=SimClock(auto_advance=False),
+                               hedging=HedgePolicy())
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=2))
+        cluster.upload_records("events", records([17000, 17001]),
+                               rows_per_segment=10)
+        cluster.net.set_link("broker-0", "server-0",
+                             LinkModel(latency_s=0.25))
+        for __ in range(30):
+            cluster.execute("SELECT count(*) FROM events"
+                            " OPTION(trace=true, skipCache=true)")
+        broker = cluster.brokers[0]
+        assert broker.metrics.count("hedge_wins") > 0
+        # Had the straggler's 500ms round trip been fed back, the
+        # budget would balloon past the slow link's RTT and hedging
+        # would stop winning; the percentile staying far below the slow
+        # RTT proves only winners feed the window.
+        assert broker._latency.percentile("events_OFFLINE") < 0.25
