@@ -63,6 +63,13 @@ class _SegmentFsm:
     committer: str | None = None
     target_offset: int | None = None
     committed_offset: int | None = None
+    #: Polls answered with HOLD while waiting for the elected committer
+    #: to come back with its COMMIT. If this exceeds the poll budget the
+    #: committer is presumed lost and a new one is elected.
+    commit_wait_polls: int = 0
+    #: Replicas already accounted for by :meth:`replica_removed`, so a
+    #: death followed by a rebalance cannot double-decrement.
+    removed: set[str] = field(default_factory=set)
 
 
 class SegmentCompletionManager:
@@ -111,7 +118,22 @@ class SegmentCompletionManager:
         if offset < fsm.target_offset:
             return CompletionResponse(Instruction.CATCHUP, fsm.target_offset)
         if server == fsm.committer:
+            fsm.commit_wait_polls = 0
             return CompletionResponse(Instruction.COMMIT, fsm.target_offset)
+        fsm.commit_wait_polls += 1
+        if fsm.commit_wait_polls > fsm.max_hold_polls * fsm.expected_replicas:
+            # The elected committer has gone silent — crashed without a
+            # death notification, or the replica was moved to another
+            # server (e.g. by a rebalance) and will never poll again.
+            # Without this deadline every surviving replica HOLDs
+            # forever and the partition stops committing. Re-elect among
+            # the replicas still polling; a late COMMIT from the old
+            # committer is rejected by segment_commit's committer check.
+            fsm.offsets.pop(fsm.committer, None)
+            self._decide_committer(fsm)
+            if server == fsm.committer:
+                return CompletionResponse(Instruction.COMMIT,
+                                          fsm.target_offset)
         return CompletionResponse(Instruction.HOLD)
 
     def _decide_committer(self, fsm: _SegmentFsm) -> None:
@@ -123,6 +145,7 @@ class SegmentCompletionManager:
         )
         fsm.committer = at_target[0]
         fsm.state = _State.COMMITTING
+        fsm.commit_wait_polls = 0
 
     def _respond_committed(self, fsm: _SegmentFsm, server: str,
                            offset: int) -> CompletionResponse:
@@ -164,6 +187,26 @@ class SegmentCompletionManager:
                 self.committer_failed(segment, server)
             else:
                 fsm.offsets.pop(server, None)
+
+    def replica_removed(self, segment: str, server: str) -> None:
+        """``server`` is known (from the ideal state) to have been a
+        replica of ``segment`` and will never poll for it again — it
+        died, or a rebalance moved the replica elsewhere.
+
+        Unlike :meth:`fail_server`, which can only reason from the
+        offset reports it has seen, the caller here asserts membership,
+        so the expected-replica count is decremented even if the replica
+        never polled. Otherwise the survivors are held for the full poll
+        budget waiting on a server that will never call."""
+        fsm = self._fsm(segment)
+        if fsm.state is _State.COMMITTED or server in fsm.removed:
+            return
+        fsm.removed.add(server)
+        fsm.expected_replicas = max(1, fsm.expected_replicas - 1)
+        if fsm.state is _State.COMMITTING and fsm.committer == server:
+            self.committer_failed(segment, server)
+        else:
+            fsm.offsets.pop(server, None)
 
     def committer_failed(self, segment: str, server: str) -> None:
         """The chosen committer died mid-commit; pick a new one among the

@@ -171,6 +171,25 @@ class Controller:
 
         segment.metadata.push_time_ms = push_time_ms
         self._store.put(table, segment)
+        self._write_segment_property(table, segment, push_time_ms)
+
+        replicas = self._pick_servers(table, config.replication)
+        mapping = self._helix.ideal_state(table)
+        mapping[segment.name] = {
+            server: SegmentState.ONLINE.value for server in replicas
+        }
+        self._helix.set_ideal_state(table, mapping)
+        self._helix.invalidation_bus.publish(
+            table, "segment_uploaded", segment=segment.name
+        )
+
+    def _write_segment_property(self, table: str,
+                                segment: ImmutableSegment,
+                                push_time_ms: int) -> None:
+        """Publish the segment metadata brokers route and prune by
+        (time range, blooms, partition). Must be rewritten whenever the
+        segment's *data* changes, or pruning and the hybrid time
+        boundary silently go stale."""
         blooms = {
             name: meta.bloom
             for name, meta in segment.metadata.columns.items()
@@ -187,16 +206,6 @@ class Controller:
                 "partition_id": segment.metadata.partition_id,
                 "blooms": blooms,
             },
-        )
-
-        replicas = self._pick_servers(table, config.replication)
-        mapping = self._helix.ideal_state(table)
-        mapping[segment.name] = {
-            server: SegmentState.ONLINE.value for server in replicas
-        }
-        self._helix.set_ideal_state(table, mapping)
-        self._helix.invalidation_bus.publish(
-            table, "segment_uploaded", segment=segment.name
         )
 
     def _verify_segment(self, config: TableConfig,
@@ -249,7 +258,18 @@ class Controller:
             raise ClusterError(
                 f"segment {segment.name!r} does not exist in {table!r}"
             )
+        config = self.table_config(table)
+        self._verify_segment(config, segment)
         self._store.put(table, segment)
+        # Refresh the routing metadata: the new copy's time range,
+        # blooms and doc count replace the original's. Skipping this
+        # leaves brokers pruning (and placing the hybrid time boundary)
+        # against the *old* copy's min/max_time.
+        previous = self._helix.get_property(
+            f"segments/{table}/{segment.name}") or {}
+        segment.metadata.push_time_ms = previous.get("push_time_ms", 0)
+        self._write_segment_property(table, segment,
+                                     segment.metadata.push_time_ms)
         # Bounce replicas OFFLINE -> ONLINE so they reload the new copy.
         mapping = self._helix.ideal_state(table)
         replicas = mapping.get(segment.name, {})
@@ -315,13 +335,40 @@ class Controller:
                 load[server] += 1
             new_mapping[segment] = {server: state for server in chosen}
 
-        # Two-phase apply: grow replicas first, then shrink.
+        # Two-phase apply: grow replicas first, then shrink — but only
+        # shrink a segment once its *new* replicas actually reached the
+        # target state in the external view. A crashed or slow server
+        # leaves its transition in ERROR; dropping the old replicas at
+        # that point would leave the segment served by nobody (and a
+        # query would silently skip it). Segments whose new replicas
+        # did not converge keep their old replicas until the next
+        # rebalance.
         grown = {
             segment: {**current.get(segment, {}), **replicas}
             for segment, replicas in new_mapping.items()
         }
         self._helix.set_ideal_state(table, grown)
-        self._helix.set_ideal_state(table, new_mapping)
+        view = self._helix.external_view(table)
+        final_mapping: dict[str, dict[str, str]] = {}
+        for segment, replicas in new_mapping.items():
+            converged = all(
+                view.get(segment, {}).get(server) == state
+                for server, state in replicas.items()
+            )
+            final_mapping[segment] = (dict(replicas) if converged
+                                      else dict(grown[segment]))
+        self._helix.set_ideal_state(table, final_mapping)
+        # Replicas moved off a server will never poll the completion
+        # protocol again; purge them so an in-flight commit is not
+        # orphaned waiting on a committer that left.
+        if table in self._completion:
+            manager = self._completion[table]
+            for segment, replicas in final_mapping.items():
+                for server, state in current.get(segment, {}).items():
+                    if (server not in replicas
+                            and state == SegmentState.CONSUMING.value):
+                        manager.replica_removed(segment, server)
+        new_mapping = final_mapping
         out: dict[str, list[str]] = {}
         for segment, replicas in new_mapping.items():
             for server in replicas:
@@ -398,11 +445,82 @@ class Controller:
 
     def handle_server_death(self, instance_id: str) -> None:
         """Purge a dead server from every in-flight completion protocol
-        so a surviving replica can be elected committer (§3.3.6)."""
+        so a surviving replica can be elected committer (§3.3.6).
+
+        The ideal state says which consuming segments the dead server
+        was a replica of, so the expected-replica count is corrected
+        even for segments the server never got to poll for — otherwise
+        the survivors are held for the full poll budget before they can
+        elect a committer."""
         if not self.is_leader:
             return
-        for manager in self._completion.values():
+        for table in self.list_tables():
+            if self.table_config(table).table_type is not (
+                    TableType.REALTIME):
+                continue
+            mapping = self._helix.ideal_state(table)
+            consuming = [
+                segment for segment, replicas in mapping.items()
+                if replicas.get(instance_id) == SegmentState.CONSUMING.value
+            ]
+            if not consuming and table not in self._completion:
+                continue
+            # Instantiate the manager if needed: the death may land
+            # before any replica's first poll, and the correction must
+            # survive until those polls arrive.
+            manager = self._completion_manager(table)
+            for segment in consuming:
+                manager.replica_removed(segment, instance_id)
+            # Catch-all for stale offset reports from replicas no
+            # longer in the ideal state (already re-elects a dead
+            # committer; no-op for servers it never saw).
             manager.fail_server(instance_id)
+        self._reassign_dead_replicas(instance_id)
+
+    def _reassign_dead_replicas(self, instance_id: str) -> None:
+        """Move a dead server's replicas to surviving servers.
+
+        Committed and offline segments live in the object store, so a
+        replacement replica loads instantly — leaving the dead instance
+        in the ideal state instead means a second death can strand a
+        segment with *no* live replica, which brokers silently skip (a
+        non-partial but wrong answer). CONSUMING replicas are *not*
+        re-seated: a replacement would re-consume from the segment's
+        start offset and serve a stale prefix to queries while catching
+        up; the partition instead runs at reduced replication until the
+        next rollover, where the new consuming segment is placed on
+        live servers."""
+        for table in self.list_tables():
+            mapping = self._helix.ideal_state(table)
+            if not any(instance_id in replicas
+                       for replicas in mapping.values()):
+                continue
+            servers = [
+                server for server in self._helix.live_instances()
+                if SERVER_TAG in self._helix.instance_tags(server)
+            ]
+            load = {server: 0 for server in servers}
+            for replicas in mapping.values():
+                for server in replicas:
+                    if server in load:
+                        load[server] += 1
+            new_mapping: dict[str, dict[str, str]] = {}
+            for segment, replicas in mapping.items():
+                replicas = dict(replicas)
+                state = replicas.pop(instance_id, None)
+                if state is not None and state != (
+                        SegmentState.CONSUMING.value):
+                    candidates = sorted(
+                        (server for server in servers
+                         if server not in replicas),
+                        key=lambda server: (load[server], server),
+                    )
+                    if candidates:
+                        replacement = candidates[0]
+                        replicas[replacement] = state
+                        load[replacement] += 1
+                new_mapping[segment] = replicas
+            self._helix.set_ideal_state(table, new_mapping)
 
     def segment_consumed(self, table: str, segment: str, server: str,
                          offset: int) -> CompletionResponse:

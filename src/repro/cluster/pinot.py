@@ -301,7 +301,15 @@ class PinotCluster:
 
     def add_server(self, instance_id: str | None = None) -> ServerInstance:
         """Scale out: a blank server joins and becomes usable (§3.4)."""
-        instance_id = instance_id or f"server-{len(self.servers)}"
+        if instance_id is None:
+            # Don't derive the default id from len(self.servers): after
+            # a kill_server the count shrinks and the next auto id
+            # would collide with a still-registered instance.
+            candidate = len(self.servers)
+            taken = {server.instance_id for server in self.servers}
+            while f"server-{candidate}" in taken:
+                candidate += 1
+            instance_id = f"server-{candidate}"
         server = ServerInstance(instance_id, self.helix, self.object_store,
                                 self.kafka, self.leader_controller)
         self.helix.register_participant(server, tags=[SERVER_TAG])

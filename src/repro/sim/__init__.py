@@ -1,0 +1,35 @@
+"""repro.sim — deterministic whole-cluster simulation testing.
+
+A seeded harness that runs random op schedules (queries, ingestion,
+segment lifecycle, rebalances, crashes, failovers) against an
+in-process cluster on a virtual clock, checks a catalogue of
+invariants after every step, shrinks failures to minimal schedules and
+writes replayable artifacts. See docs/SIMULATION.md.
+"""
+
+from repro.sim.artifact import load_artifact, write_artifact
+from repro.sim.harness import (SimResult, SimulationHarness, run_schedule,
+                               run_seed)
+from repro.sim.invariants import (Violation, check_completion_safety,
+                                  check_convergence)
+from repro.sim.oracle import diff_summary, expected_rows, rows_match
+from repro.sim.schedule import Op, Schedule
+from repro.sim.shrink import shrink
+
+__all__ = [
+    "Op",
+    "Schedule",
+    "SimResult",
+    "SimulationHarness",
+    "Violation",
+    "check_completion_safety",
+    "check_convergence",
+    "diff_summary",
+    "expected_rows",
+    "load_artifact",
+    "rows_match",
+    "run_schedule",
+    "run_seed",
+    "shrink",
+    "write_artifact",
+]

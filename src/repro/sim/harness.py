@@ -1,0 +1,715 @@
+"""The deterministic whole-cluster simulation harness.
+
+FoundationDB-style simulation testing for the repro cluster: a seeded
+RNG drives a random schedule of whole-cluster operations (queries,
+ingestion, segment uploads/replaces/deletes, rebalances, server
+crashes/kills/joins, controller failover, cache invalidations, link
+degradation, virtual-time jumps) against an in-process
+:class:`~repro.cluster.pinot.PinotCluster` running entirely on a manual
+virtual clock. After every step the harness checks the invariant
+catalogue in :mod:`repro.sim.invariants`, comparing query answers to
+the brute-force oracle in :mod:`repro.sim.oracle`.
+
+Two execution modes share one code path:
+
+* **generate** — ops are drawn from the seeded RNG *while the cluster
+  runs*, each resolved against harness-tracked state (which segment to
+  delete, which server to crash) and recorded fully concrete;
+* **replay** — a recorded (possibly shrunk) :class:`Schedule` is
+  executed verbatim.
+
+Because every source of nondeterminism (clock, transport, broker
+seeds, record generation, op choice) flows from the schedule, replaying
+a schedule reproduces the run bit-for-bit — the ``digest`` over the
+observation stream is identical, which ``tests/sim/test_replay.py``
+asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.server import parse_realtime_segment_name
+from repro.cluster.table import StreamConfig, TableConfig, TableType
+from repro.common.timeutils import time_boundary
+from repro.errors import ClusterError
+from repro.kafka.partitioner import kafka_partition
+from repro.net import SimClock, Transport
+from repro.pql.parser import parse
+from repro.segment.builder import SegmentBuilder
+from repro.sim import workload
+from repro.sim.invariants import (Violation, check_completion_safety,
+                                  check_convergence)
+from repro.sim.oracle import diff_summary, expected_rows, rows_match
+from repro.sim.schedule import Op, Schedule
+
+LOGICAL_TABLE = "events"
+TOPIC = "events-topic"
+
+DEFAULT_CONFIG: dict[str, Any] = {
+    "num_servers": 4,
+    "num_brokers": 2,
+    "num_controllers": 3,
+    "num_partitions": 2,
+    "replication": 2,
+    "flush_threshold_rows": 120,
+    "flush_threshold_ticks": 40,
+    "records_per_poll": 25,
+}
+
+#: (op kind, relative weight) — the schedule generator's op mix.
+OP_WEIGHTS: list[tuple[str, float]] = [
+    ("query", 30.0),
+    ("ingest", 18.0),
+    ("consume", 20.0),
+    ("advance_time", 5.0),
+    ("upload_segment", 4.0),
+    ("crash_server", 4.0),
+    ("recover_server", 6.0),
+    ("degrade_server", 3.0),
+    ("rebalance", 2.5),
+    ("cache_invalidate", 2.0),
+    ("replace_segment", 2.0),
+    ("delete_segment", 1.5),
+    ("kill_server", 1.0),
+    ("add_server", 1.5),
+    ("kill_controller", 1.0),
+]
+
+
+@dataclass
+class SimResult:
+    """Everything one run produced."""
+
+    schedule: Schedule
+    violations: list[Violation] = field(default_factory=list)
+    steps_executed: int = 0
+    #: SHA-256 over the observation stream; equal digests mean the runs
+    #: were observationally identical.
+    digest: str = ""
+    observations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else (
+            f"FAIL ({self.violations[0]})"
+        )
+        return (f"seed={self.schedule.seed} steps={self.steps_executed}"
+                f"/{len(self.schedule)} digest={self.digest[:12]} "
+                f"{verdict}")
+
+
+class _Model:
+    """The harness's own ledger of what data logically exists.
+
+    Maintained purely from the ops the harness itself applied — never
+    read back from the cluster — so engine bugs cannot leak into the
+    expected answers.
+    """
+
+    def __init__(self, num_partitions: int):
+        self.offline_segments: dict[str, list[dict]] = {}
+        self.produced: dict[int, list[dict]] = {
+            p: [] for p in range(num_partitions)
+        }
+
+    def offline_rows(self) -> list[dict]:
+        return [record
+                for __, records in sorted(self.offline_segments.items())
+                for record in records]
+
+    def max_offline_day(self) -> int | None:
+        days = [record["day"] for record in self.offline_rows()]
+        return max(days) if days else None
+
+
+class SimulationHarness:
+    """Builds the scenario cluster and runs one schedule against it."""
+
+    def __init__(self, schedule: Schedule,
+                 stop_on_violation: bool = True):
+        self.schedule = schedule
+        self.stop_on_violation = stop_on_violation
+        self.config = dict(DEFAULT_CONFIG)
+        self.config.update(schedule.config)
+        self.rng = random.Random(schedule.seed)
+        self.violations: list[Violation] = []
+        self.observations: list[str] = []
+        self._step = -1
+        self._op: Op | None = None
+        self._build_cluster()
+
+    # -- scenario construction ------------------------------------------------
+
+    def _build_cluster(self) -> None:
+        cfg = self.config
+        clock = SimClock(auto_advance=False)
+        transport = Transport(clock, seed=self.schedule.seed)
+        self.cluster = PinotCluster(
+            num_servers=cfg["num_servers"],
+            num_brokers=cfg["num_brokers"],
+            num_controllers=cfg["num_controllers"],
+            seed=self.schedule.seed,
+            clock=clock,
+            transport=transport,
+        )
+        self.model = _Model(cfg["num_partitions"])
+        schema = workload.schema()
+        self.cluster.create_kafka_topic(TOPIC, cfg["num_partitions"])
+        self.cluster.create_table(TableConfig.offline(
+            LOGICAL_TABLE, schema, replication=cfg["replication"],
+        ))
+        self.cluster.create_table(TableConfig.realtime(
+            LOGICAL_TABLE, schema,
+            StreamConfig(
+                TOPIC,
+                flush_threshold_rows=cfg["flush_threshold_rows"],
+                flush_threshold_ticks=cfg["flush_threshold_ticks"],
+                records_per_poll=cfg["records_per_poll"],
+            ),
+            replication=cfg["replication"],
+        ))
+        self.offline_table = f"{LOGICAL_TABLE}_{TableType.OFFLINE.value}"
+        self.realtime_table = f"{LOGICAL_TABLE}_{TableType.REALTIME.value}"
+
+        # A founding offline segment so the hybrid time boundary is
+        # always defined (days [BASE_DAY, BASE_DAY + 4]).
+        bootstrap = Op("upload_segment", {
+            "seed": self.schedule.seed ^ 0x5EED,
+            "count": 60,
+            "min_day": workload.BASE_DAY,
+            "max_day": workload.BASE_DAY + 4,
+        })
+        self._apply("upload_segment", bootstrap)
+
+        # Mirrors used by *generation* so drawing an op never has to
+        # interrogate (and accidentally perturb) the cluster.
+        self._live_servers = [s.instance_id for s in self.cluster.servers]
+        self._crashed: set[str] = set()
+        self._degraded: set[str] = set()
+        self._controllers = [c.instance_id
+                             for c in self.cluster.controllers]
+        self._added_servers = 0
+
+    # -- observation stream ---------------------------------------------------
+
+    def _observe(self, line: str) -> None:
+        self.observations.append(f"{self._step}|{line}")
+
+    def _violation(self, invariant: str, detail: str) -> Violation:
+        violation = Violation(
+            invariant=invariant, detail=detail, step=self._step,
+            op=self._op.to_dict() if self._op is not None else {},
+        )
+        self.violations.append(violation)
+        self._observe(f"VIOLATION {violation}")
+        return violation
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        ops = list(self.schedule.ops)
+        for index, op in enumerate(ops):
+            self._step = index
+            self._op = op
+            self._execute(op)
+            if self.violations and self.stop_on_violation:
+                break
+        else:
+            self._step = len(ops)
+            self._op = None
+            self._epilogue()
+        return self._result()
+
+    def _result(self) -> SimResult:
+        digest = hashlib.sha256(
+            "\n".join(self.observations).encode("utf-8")
+        ).hexdigest()
+        return SimResult(
+            schedule=self.schedule,
+            violations=list(self.violations),
+            steps_executed=min(self._step + 1, len(self.schedule)),
+            digest=digest,
+            observations=list(self.observations),
+        )
+
+    def _execute(self, op: Op) -> None:
+        handler = self._HANDLERS.get(op.kind)
+        if handler is None:
+            self._violation("harness_crash", f"unknown op kind {op.kind!r}")
+            return
+        self._observe(f"op {op}")
+        try:
+            handler(self, op)
+        except Exception:  # a crash inside the system under test
+            self._violation(
+                "harness_crash",
+                f"{op} raised:\n{traceback.format_exc(limit=8)}",
+            )
+            return
+        detail = check_completion_safety(
+            self.cluster.helix, self.cluster.object_store,
+            self.realtime_table,
+        )
+        if detail is not None:
+            self._violation("completion_safety", detail)
+
+    def _apply(self, kind: str, op: Op) -> None:
+        """Run one op through the normal execute path (bootstrap use)."""
+        self._op = op
+        self._execute(op)
+        self._op = None
+
+    # -- visibility model (oracle inputs) -------------------------------------
+
+    def _visible_offset(self, partition: int) -> tuple[bool, int]:
+        """(determinate?, visible kafka offset) for one partition.
+
+        The visible prefix is the committed chain plus the consuming
+        segment's rows — but only when every live, non-crashed replica
+        agrees on the consuming offset; otherwise the answer depends on
+        which replica the broker picks and the oracle must stand down.
+        """
+        helix = self.cluster.helix
+        committed_end = 0
+        consuming: str | None = None
+        entries = []
+        for name in helix.list_properties(f"realtime/{self.realtime_table}"):
+            __, seg_partition, sequence = parse_realtime_segment_name(name)
+            if seg_partition != partition:
+                continue
+            meta = helix.get_property(
+                f"realtime/{self.realtime_table}/{name}") or {}
+            entries.append((sequence, name, meta))
+        for __, name, meta in sorted(entries):
+            if meta.get("status") == "DONE":
+                committed_end = meta.get("end_offset", committed_end)
+            else:
+                consuming = name
+        if consuming is None:
+            return True, committed_end
+
+        ideal = helix.ideal_state(self.realtime_table)
+        offsets = []
+        for instance in ideal.get(consuming, {}):
+            try:
+                server = self.cluster.server(instance)
+            except ClusterError:
+                continue  # killed instance still in a stale mapping
+            if server.faults.crashed:
+                continue
+            offset = server.consuming_offset(self.realtime_table, consuming)
+            if offset is None:
+                return False, 0  # replica never started consuming
+            offsets.append(offset)
+        if not offsets or len(set(offsets)) > 1:
+            return False, 0
+        return True, offsets[0]
+
+    def _visible_rows(self) -> tuple[bool, list[dict]]:
+        """(determinate?, logically visible rows of the hybrid table)."""
+        offline = self.model.offline_rows()
+        realtime: list[dict] = []
+        for partition, produced in sorted(self.model.produced.items()):
+            determinate, offset = self._visible_offset(partition)
+            if not determinate:
+                return False, []
+            realtime.extend(produced[:offset])
+        max_day = self.model.max_offline_day()
+        if max_day is None:
+            return True, realtime
+        config = self.cluster.table_config(self.offline_table)
+        boundary = time_boundary(max_day, config.retention_granularity)
+        visible = [r for r in offline if r["day"] <= boundary]
+        visible += [r for r in realtime if r["day"] > boundary]
+        return True, visible
+
+    # -- op handlers ----------------------------------------------------------
+
+    def _op_query(self, op: Op) -> None:
+        pql = workload.random_query(random.Random(op.params["seed"]),
+                                    LOGICAL_TABLE)
+        response = self.cluster.execute(pql)
+        self._observe(f"result partial={response.is_partial} "
+                      f"cache_hit={response.cache_hit} "
+                      f"rows={response.rows!r}")
+        uncached = self.cluster.execute(pql + " OPTION(skipCache=true)")
+        self._observe(f"uncached partial={uncached.is_partial} "
+                      f"rows={uncached.rows!r}")
+        if response.is_partial or uncached.is_partial:
+            return  # partial answers are labelled, not wrong (§3.3.4)
+        determinate, visible = self._visible_rows()
+        self._observe(f"visible determinate={determinate} "
+                      f"n={len(visible)}")
+        if not determinate:
+            return
+        if not rows_match(response.rows, uncached.rows):
+            self._violation(
+                "cache_coherence",
+                f"{pql}: cached {response.rows!r} != uncached "
+                f"{uncached.rows!r} (cache_hit={response.cache_hit})",
+            )
+            return
+        expected = expected_rows(parse(pql), visible)
+        if not rows_match(uncached.rows, expected):
+            self._violation(
+                "query_oracle",
+                f"{pql}: {diff_summary(uncached.rows, expected)}",
+            )
+
+    def _op_ingest(self, op: Op) -> None:
+        records = workload.generate_records(
+            op.params["seed"], op.params["count"],
+            min_day=op.params.get("min_day", workload.BASE_DAY),
+            max_day=op.params.get("max_day",
+                                  workload.BASE_DAY + workload.DAY_SPAN - 1),
+        )
+        partitions = self.config["num_partitions"]
+        for record in records:
+            partition = kafka_partition(record["memberId"], partitions)
+            self.model.produced[partition].append(dict(record))
+        self.cluster.ingest(TOPIC, records, key_column="memberId")
+
+    def _op_consume(self, op: Op) -> None:
+        self.cluster.process_realtime(op.params.get("ticks", 1))
+
+    def _op_advance_time(self, op: Op) -> None:
+        self.cluster.clock.advance(op.params["seconds"])
+
+    def _op_upload_segment(self, op: Op) -> None:
+        records = workload.generate_records(
+            op.params["seed"], op.params["count"],
+            min_day=op.params["min_day"], max_day=op.params["max_day"],
+        )
+        names = self.cluster.upload_records(LOGICAL_TABLE, records,
+                                            rows_per_segment=10 ** 9)
+        for name in names:
+            self.model.offline_segments[name] = list(records)
+        self._observe(f"uploaded {names}")
+
+    def _op_replace_segment(self, op: Op) -> None:
+        name = op.params["name"]
+        if name not in self.model.offline_segments:
+            return  # shrunk schedule removed the producing upload
+        records = workload.generate_records(
+            op.params["seed"], op.params["count"],
+            min_day=op.params["min_day"], max_day=op.params["max_day"],
+        )
+        config = self.cluster.table_config(self.offline_table)
+        builder = SegmentBuilder(name, self.offline_table, config.schema,
+                                 config.segment_config)
+        builder.add_all(records)
+        self.cluster.leader_controller().replace_segment(
+            self.offline_table, builder.build())
+        self.model.offline_segments[name] = list(records)
+
+    def _op_delete_segment(self, op: Op) -> None:
+        name = op.params["name"]
+        if name not in self.model.offline_segments:
+            return
+        self.cluster.leader_controller().delete_segment(
+            self.offline_table, name)
+        del self.model.offline_segments[name]
+
+    def _op_rebalance(self, op: Op) -> None:
+        table = op.params.get("table", self.offline_table)
+        self.cluster.leader_controller().rebalance_table(table)
+
+    def _op_cache_invalidate(self, op: Op) -> None:
+        table = op.params.get("table", self.offline_table)
+        self.cluster.helix.invalidation_bus.publish(table, "sim_invalidate")
+
+    def _op_crash_server(self, op: Op) -> None:
+        instance = op.params["instance"]
+        if instance not in self._live_servers or instance in self._crashed:
+            return
+        self.cluster.crash_server(instance)
+        self._crashed.add(instance)
+
+    def _op_recover_server(self, op: Op) -> None:
+        instance = op.params["instance"]
+        if instance not in self._live_servers:
+            return
+        try:
+            self.cluster.server(instance).faults.recover()
+        except ClusterError:
+            return
+        self._crashed.discard(instance)
+        self._degraded.discard(instance)
+
+    def _op_degrade_server(self, op: Op) -> None:
+        instance = op.params["instance"]
+        if instance not in self._live_servers or instance in self._crashed:
+            return
+        faults = self.cluster.server(instance).faults
+        faults.extra_latency_s = op.params.get("latency_ms", 0) / 1000.0
+        faults.error_rate = op.params.get("error_rate", 0.0)
+        self._degraded.add(instance)
+
+    def _op_kill_server(self, op: Op) -> None:
+        instance = op.params["instance"]
+        if instance not in self._live_servers:
+            return
+        self.cluster.kill_server(instance)
+        self._live_servers.remove(instance)
+        self._crashed.discard(instance)
+        self._degraded.discard(instance)
+
+    def _op_add_server(self, op: Op) -> None:
+        server = self.cluster.add_server(op.params.get("instance"))
+        self._live_servers.append(server.instance_id)
+        self._added_servers += 1
+
+    def _op_kill_controller(self, op: Op) -> None:
+        instance = op.params["instance"]
+        if instance not in self._controllers:
+            return
+        self.cluster.kill_controller(instance)
+        self._controllers.remove(instance)
+
+    _HANDLERS: dict[str, Callable[["SimulationHarness", Op], None]] = {
+        "query": _op_query,
+        "ingest": _op_ingest,
+        "consume": _op_consume,
+        "advance_time": _op_advance_time,
+        "upload_segment": _op_upload_segment,
+        "replace_segment": _op_replace_segment,
+        "delete_segment": _op_delete_segment,
+        "rebalance": _op_rebalance,
+        "cache_invalidate": _op_cache_invalidate,
+        "crash_server": _op_crash_server,
+        "recover_server": _op_recover_server,
+        "degrade_server": _op_degrade_server,
+        "kill_server": _op_kill_server,
+        "add_server": _op_add_server,
+        "kill_controller": _op_kill_controller,
+    }
+
+    # -- op generation (generate mode) ----------------------------------------
+
+    def _draw_op(self) -> Op | None:
+        kinds = [kind for kind, __ in OP_WEIGHTS]
+        weights = [weight for __, weight in OP_WEIGHTS]
+        kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+        maker = getattr(self, f"_make_{kind}", None)
+        if maker is None:
+            return Op(kind)
+        return maker()
+
+    def _sub_seed(self) -> int:
+        return self.rng.randrange(2 ** 32)
+
+    def _make_query(self) -> Op:
+        return Op("query", {"seed": self._sub_seed()})
+
+    def _make_ingest(self) -> Op:
+        return Op("ingest", {"seed": self._sub_seed(),
+                             "count": self.rng.randrange(20, 120)})
+
+    def _make_consume(self) -> Op:
+        return Op("consume", {"ticks": self.rng.randrange(1, 4)})
+
+    def _make_advance_time(self) -> Op:
+        return Op("advance_time",
+                  {"seconds": round(self.rng.uniform(0.05, 2.0), 3)})
+
+    def _make_upload_segment(self) -> Op:
+        start = workload.BASE_DAY + self.rng.randrange(workload.DAY_SPAN // 2)
+        return Op("upload_segment", {
+            "seed": self._sub_seed(),
+            "count": self.rng.randrange(20, 80),
+            "min_day": start,
+            "max_day": start + self.rng.randrange(1, 4),
+        })
+
+    def _pick_offline_segment(self) -> str | None:
+        names = sorted(self.model.offline_segments)
+        if not names:
+            return None
+        return names[self.rng.randrange(len(names))]
+
+    def _make_replace_segment(self) -> Op | None:
+        name = self._pick_offline_segment()
+        if name is None:
+            return None
+        start = workload.BASE_DAY + self.rng.randrange(workload.DAY_SPAN // 2)
+        return Op("replace_segment", {
+            "name": name,
+            "seed": self._sub_seed(),
+            "count": self.rng.randrange(20, 80),
+            "min_day": start,
+            "max_day": start + self.rng.randrange(1, 4),
+        })
+
+    def _make_delete_segment(self) -> Op | None:
+        if len(self.model.offline_segments) < 2:
+            return None  # keep the time boundary defined
+        return Op("delete_segment", {"name": self._pick_offline_segment()})
+
+    def _make_rebalance(self) -> Op:
+        table = (self.offline_table if self.rng.random() < 0.6
+                 else self.realtime_table)
+        return Op("rebalance", {"table": table})
+
+    def _make_cache_invalidate(self) -> Op:
+        table = (self.offline_table if self.rng.random() < 0.5
+                 else self.realtime_table)
+        return Op("cache_invalidate", {"table": table})
+
+    def _healthy_servers(self) -> list[str]:
+        return [instance for instance in self._live_servers
+                if instance not in self._crashed]
+
+    def _make_crash_server(self) -> Op | None:
+        healthy = self._healthy_servers()
+        if len(healthy) < 3:
+            return None  # keep a queryable quorum
+        return Op("crash_server",
+                  {"instance": healthy[self.rng.randrange(len(healthy))]})
+
+    def _make_recover_server(self) -> Op | None:
+        impaired = sorted(self._crashed | self._degraded)
+        if not impaired:
+            return None
+        return Op("recover_server",
+                  {"instance": impaired[self.rng.randrange(len(impaired))]})
+
+    def _make_degrade_server(self) -> Op | None:
+        healthy = self._healthy_servers()
+        if len(healthy) < 2:
+            return None
+        return Op("degrade_server", {
+            "instance": healthy[self.rng.randrange(len(healthy))],
+            "latency_ms": self.rng.choice([5, 20, 80]),
+            "error_rate": self.rng.choice([0.0, 0.2, 0.5]),
+        })
+
+    def _make_kill_server(self) -> Op | None:
+        healthy = self._healthy_servers()
+        if len(self._live_servers) <= self.config["replication"] + 1:
+            return None
+        if not healthy:
+            return None
+        return Op("kill_server",
+                  {"instance": healthy[self.rng.randrange(len(healthy))]})
+
+    def _make_add_server(self) -> Op:
+        return Op("add_server", {})
+
+    def _make_kill_controller(self) -> Op | None:
+        if len(self._controllers) < 2:
+            return None
+        instance = self._controllers[
+            self.rng.randrange(len(self._controllers))]
+        return Op("kill_controller", {"instance": instance})
+
+    def generate_and_run(self, num_steps: int) -> SimResult:
+        """Generate mode: draw, record and execute ``num_steps`` ops."""
+        for index in range(num_steps):
+            op = None
+            while op is None:
+                op = self._draw_op()
+            self.schedule.ops.append(op)
+            self._step = len(self.schedule.ops) - 1
+            self._op = op
+            self._execute(op)
+            if self.violations and self.stop_on_violation:
+                return self._result()
+        self._step = len(self.schedule.ops)
+        self._op = None
+        self._epilogue()
+        return self._result()
+
+    # -- heal-and-verify epilogue ---------------------------------------------
+
+    def _epilogue(self) -> None:
+        self._observe("epilogue: heal all faults")
+        for server in self.cluster.servers:
+            server.faults.recover()
+        self._crashed.clear()
+        self._degraded.clear()
+
+        try:
+            self.cluster.drain_realtime(max_ticks=600)
+            for resource in self.cluster.helix.resources():
+                self.cluster.helix.converge(resource)
+        except Exception:
+            self._violation(
+                "harness_crash",
+                f"epilogue raised:\n{traceback.format_exc(limit=8)}",
+            )
+            return
+
+        detail = check_convergence(self.cluster.helix)
+        if detail is not None:
+            self._violation("convergence", detail)
+        detail = check_completion_safety(
+            self.cluster.helix, self.cluster.object_store,
+            self.realtime_table,
+        )
+        if detail is not None:
+            self._violation("completion_safety", detail)
+
+        # Liveness / hybrid integrity: every produced row must be
+        # visible once the cluster is healthy and drained.
+        for partition, produced in sorted(self.model.produced.items()):
+            determinate, offset = self._visible_offset(partition)
+            if not determinate:
+                self._violation(
+                    "hybrid_integrity",
+                    f"partition {partition}: replicas still disagree "
+                    f"after heal+drain",
+                )
+            elif offset != len(produced):
+                self._violation(
+                    "hybrid_integrity",
+                    f"partition {partition}: {len(produced)} rows "
+                    f"produced but only {offset} visible after "
+                    f"heal+drain (lost rows)",
+                )
+        if self.violations:
+            return
+
+        # Final oracle battery over a healthy cluster.
+        for index in range(8):
+            battery = Op("query", {
+                "seed": (self.schedule.seed * 1_000_003 + index) % 2 ** 32,
+            })
+            self._op = battery
+            try:
+                self._op_query(battery)
+            except Exception:
+                self._violation(
+                    "harness_crash",
+                    f"battery query raised:\n"
+                    f"{traceback.format_exc(limit=8)}",
+                )
+            self._op = None
+            if self.violations:
+                return
+
+
+def run_seed(seed: int, num_steps: int = 60,
+             config: dict[str, Any] | None = None,
+             stop_on_violation: bool = True) -> SimResult:
+    """Generate and run a fresh schedule from ``seed``."""
+    schedule = Schedule(seed=seed, config=dict(config or {}))
+    harness = SimulationHarness(schedule,
+                                stop_on_violation=stop_on_violation)
+    return harness.generate_and_run(num_steps)
+
+
+def run_schedule(schedule: Schedule,
+                 stop_on_violation: bool = True) -> SimResult:
+    """Replay a recorded schedule verbatim."""
+    harness = SimulationHarness(schedule,
+                                stop_on_violation=stop_on_violation)
+    return harness.run()

@@ -1,0 +1,124 @@
+"""The simulation harness's query oracle (invariant 1).
+
+Given a parsed PQL query and the set of logically visible record dicts,
+compute the exact expected result table the way a correct system would:
+filter with the brute-force reference evaluator, then aggregate with
+plain Python over the matching rows. No code is shared with the real
+execution engine beyond the AST, so a bug in dictionaries, forward
+indexes, pruning, routing, merging or caching cannot cancel itself out
+here.
+
+The oracle understands the aggregation surface the schedule generator
+emits: ``count/sum/min/max/avg/distinctcount/minmaxrange``, optional
+WHERE, and single-level GROUP BY with PQL's default TOP-n ordering
+(first aggregate descending, group key ascending — the same
+deterministic ordering the broker's reduce applies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.pql.ast_nodes import Aggregation, Query
+from repro.sim.reference import evaluate
+
+#: Relative tolerance for float-valued aggregates (avg and float sums
+#: merge in different orders than the oracle computes them).
+_REL_TOL = 1e-9
+
+
+def _aggregate(aggregation: Aggregation,
+               rows: Sequence[Mapping[str, Any]]) -> Any:
+    name = aggregation.func.value.lower()
+    if name == "count":
+        return len(rows)
+    values = [row[aggregation.column] for row in rows]
+    if name == "sum":
+        return float(sum(values)) if values else 0.0
+    if name == "min":
+        return float(min(values)) if values else math.inf
+    if name == "max":
+        return float(max(values)) if values else -math.inf
+    if name == "avg":
+        return (float(sum(values)) / len(values)) if values else 0.0
+    if name == "distinctcount":
+        return len(set(values))
+    if name == "minmaxrange":
+        return float(max(values) - min(values)) if values else -math.inf
+    raise ValueError(f"oracle does not model aggregation {name!r}")
+
+
+class _Reversed:
+    """Descending-order wrapper (mirrors the engine's TOP-n sort)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+def expected_rows(query: Query,
+                  records: Sequence[Mapping[str, Any]]) -> list[tuple]:
+    """The reference result rows for an aggregation/group-by query."""
+    if not query.is_aggregation:
+        raise ValueError("the oracle only models aggregation queries")
+    if query.where is not None:
+        records = [r for r in records if evaluate(query.where, r)]
+
+    if not query.group_by:
+        return [tuple(_aggregate(a, records) for a in query.aggregations)]
+
+    groups: dict[tuple, list] = {}
+    for record in records:
+        key = tuple(record[column] for column in query.group_by)
+        groups.setdefault(key, []).append(record)
+    entries = [
+        (key, tuple(_aggregate(a, rows) for a in query.aggregations))
+        for key, rows in groups.items()
+    ]
+    entries.sort(key=lambda entry: (_Reversed(entry[1][0]), entry[0]))
+    window = entries[query.offset:query.offset + query.limit]
+    return [key + values for key, values in window]
+
+
+def _values_match(actual: Any, expected: Any) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        try:
+            return math.isclose(float(actual), float(expected),
+                                rel_tol=_REL_TOL, abs_tol=1e-9)
+        except (TypeError, ValueError):
+            return False
+    return actual == expected
+
+
+def rows_match(actual: Sequence[tuple],
+               expected: Sequence[tuple]) -> bool:
+    """Row-for-row comparison with float tolerance."""
+    if len(actual) != len(expected):
+        return False
+    for actual_row, expected_row in zip(actual, expected):
+        if len(actual_row) != len(expected_row):
+            return False
+        for a, e in zip(actual_row, expected_row):
+            if not _values_match(a, e):
+                return False
+    return True
+
+
+def diff_summary(actual: Sequence[tuple],
+                 expected: Sequence[tuple], limit: int = 3) -> str:
+    """Human-readable first-differences summary for violation reports."""
+    lines = [f"expected {len(expected)} rows, got {len(actual)}"]
+    for index, (a, e) in enumerate(zip(actual, expected)):
+        if not rows_match([a], [e]):
+            lines.append(f"row {index}: expected {e!r}, got {a!r}")
+            if len(lines) > limit:
+                break
+    return "; ".join(lines)

@@ -1,0 +1,76 @@
+"""Schedule shrinking: reduce a failing schedule to a minimal prefix.
+
+A violating run typically has a long tail of irrelevant ops. The
+shrinker makes the artifact a human can debug:
+
+1. **truncate** — replay only up to the failing step (everything after
+   it cannot have mattered);
+2. **ddmin-style chunk removal** — repeatedly try dropping contiguous
+   chunks (halving the chunk size down to single ops) and keep any
+   reduction that still reproduces a violation of the *same invariant*.
+
+Every candidate is validated by a fresh full replay, so the final
+schedule is failing-by-construction. The run budget is bounded; a
+schedule that stops shrinking early is still a valid repro, just not a
+locally-minimal one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.harness import SimResult, run_schedule
+from repro.sim.schedule import Schedule
+
+RunFn = Callable[[Schedule], SimResult]
+
+
+def _fails_like(result: SimResult, invariant: str) -> bool:
+    return any(v.invariant == invariant for v in result.violations)
+
+
+def shrink(result: SimResult, run_fn: RunFn = run_schedule,
+           max_runs: int = 150) -> tuple[Schedule, SimResult]:
+    """Return (minimal schedule, its replay result) for a failing run.
+
+    ``result`` must contain at least one violation; the shrink target is
+    its first violation's invariant name.
+    """
+    if result.ok:
+        raise ValueError("cannot shrink a passing run")
+    invariant = result.violations[0].invariant
+    runs = 0
+
+    # Step 1: truncate to the failing prefix.
+    failing_step = result.violations[0].step
+    length = min(len(result.schedule), failing_step + 1)
+    best = result.schedule.truncated(length)
+    best_result = run_fn(best)
+    runs += 1
+    if not _fails_like(best_result, invariant):
+        # The generated run and the replay disagree — should not happen
+        # with a deterministic harness; keep the untruncated schedule.
+        best, best_result = result.schedule, result
+        return best, best_result
+
+    # Step 2: ddmin-style chunk removal.
+    chunk = max(1, len(best) // 2)
+    while chunk >= 1 and runs < max_runs:
+        start = 0
+        reduced = False
+        while start < len(best) and runs < max_runs:
+            candidate = best.without(start, start + chunk)
+            if len(candidate) == len(best):
+                break
+            candidate_result = run_fn(candidate)
+            runs += 1
+            if _fails_like(candidate_result, invariant):
+                best, best_result = candidate, candidate_result
+                reduced = True
+                # retry the same window — it now holds different ops
+            else:
+                start += chunk
+        if chunk == 1 and not reduced:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else (1 if reduced else 0)
+    return best, best_result

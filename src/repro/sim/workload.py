@@ -1,0 +1,111 @@
+"""Seeded record and PQL generators for the simulation scenario.
+
+The scenario models a hybrid "events" table shaped like the paper's §6
+use cases (and the :mod:`repro.workloads` generators this borrows its
+dimension pools from): a page-view-like stream with heavy reuse of a
+small member id space, categorical dimensions, one additive metric and
+a day-granularity time column. Queries are drawn from the aggregation
+surface the oracle models exactly; every generator takes an explicit
+seed so an op recorded as ``{"seed": 7, "count": 40}`` regenerates the
+identical rows on replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.workloads.generator import COUNTRIES, PLATFORMS
+
+#: First day of the simulated time axis (arbitrary epoch-days origin).
+BASE_DAY = 17_000
+#: Width of the day window events fall into.
+DAY_SPAN = 20
+NUM_MEMBERS = 40
+#: Dimension pools (kept small so group-bys and equality filters hit).
+SIM_COUNTRIES = COUNTRIES[:8]
+SIM_PLATFORMS = PLATFORMS
+
+
+def schema() -> Schema:
+    return Schema("events", [
+        dimension("country"),
+        dimension("platform"),
+        dimension("memberId", DataType.LONG),
+        metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def generate_records(seed: int, count: int,
+                     min_day: int = BASE_DAY,
+                     max_day: int = BASE_DAY + DAY_SPAN - 1
+                     ) -> list[dict[str, Any]]:
+    """``count`` deterministic event rows with days in [min, max]."""
+    rng = random.Random(seed)
+    records = []
+    for __ in range(count):
+        records.append({
+            "country": SIM_COUNTRIES[rng.randrange(len(SIM_COUNTRIES))],
+            "platform": SIM_PLATFORMS[rng.randrange(len(SIM_PLATFORMS))],
+            "memberId": rng.randrange(NUM_MEMBERS),
+            "views": rng.randrange(1, 5),
+            "day": rng.randint(min_day, max_day),
+        })
+    return records
+
+
+def _predicate(rng: random.Random) -> str | None:
+    """One WHERE clause (or None), spanning the predicate grammar."""
+    roll = rng.random()
+    if roll < 0.15:
+        return None
+    clauses = []
+    for __ in range(1 + (rng.random() < 0.4)):
+        kind = rng.randrange(5)
+        if kind == 0:
+            country = SIM_COUNTRIES[rng.randrange(len(SIM_COUNTRIES))]
+            clauses.append(f"country = '{country}'")
+        elif kind == 1:
+            picks = rng.sample(SIM_PLATFORMS, k=2)
+            values = ", ".join(f"'{p}'" for p in picks)
+            negated = "NOT " if rng.random() < 0.2 else ""
+            clauses.append(f"platform {negated}IN ({values})")
+        elif kind == 2:
+            low = rng.randrange(NUM_MEMBERS)
+            high = min(NUM_MEMBERS - 1, low + rng.randrange(1, 12))
+            clauses.append(f"memberId BETWEEN {low} AND {high}")
+        elif kind == 3:
+            day = BASE_DAY + rng.randrange(DAY_SPAN)
+            op = rng.choice([">=", "<=", ">", "<", "="])
+            clauses.append(f"day {op} {day}")
+        else:
+            views = rng.randrange(1, 5)
+            clauses.append(f"views <> {views}" if rng.random() < 0.5
+                           else f"views >= {views}")
+    return " AND ".join(clauses)
+
+
+def random_query(rng: random.Random, table: str = "events") -> str:
+    """One PQL aggregation query over the scenario schema."""
+    where = _predicate(rng)
+    where_sql = f" WHERE {where}" if where else ""
+    roll = rng.random()
+    if roll < 0.25:
+        select = "count(*)"
+    elif roll < 0.45:
+        select = "sum(views), count(*)"
+    elif roll < 0.6:
+        select = "min(day), max(day)"
+    elif roll < 0.72:
+        select = "distinctcount(memberId)"
+    elif roll < 0.8:
+        select = "avg(views)"
+    else:
+        facet = rng.choice(["country", "platform"])
+        top = rng.choice([3, 5, 10])
+        return (f"SELECT sum(views) FROM {table}{where_sql} "
+                f"GROUP BY {facet} TOP {top}")
+    return f"SELECT {select} FROM {table}{where_sql}"

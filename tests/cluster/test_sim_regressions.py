@@ -1,0 +1,276 @@
+"""Regression tests for latent bugs found by the simulation harness
+(repro.sim). Each test is the minimized form of a failing schedule the
+harness shrank; the originating seed is noted so the full repro can be
+regenerated with ``scripts/sim_repro.py --seed N``.
+"""
+
+import pytest
+
+from repro.cluster.completion import (Instruction,
+                                      SegmentCompletionManager)
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import StreamConfig, TableConfig
+from repro.errors import ClusterError
+from repro.segment.builder import SegmentBuilder
+from repro.sim.workload import schema
+
+
+def offline_records(days, per_day=10):
+    return [{"country": "us", "platform": "ios", "memberId": 1,
+             "views": 1, "day": day} for day in days for __ in range(per_day)]
+
+
+def realtime_records(days, per_day=10):
+    return [{"country": "de", "platform": "android", "memberId": member,
+             "views": 2, "day": day}
+            for day in days for member in range(per_day)]
+
+
+class TestReplaceSegmentRefreshesMetadata:
+    """Sim seed 30 (shrunk to one op): ``replace_segment`` stored the
+    new data but left the old copy's routing metadata — min/max_time,
+    blooms, num_docs — in place, so brokers pruned by time ranges and
+    placed the hybrid time boundary against data that no longer
+    existed."""
+
+    def make_hybrid(self):
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_kafka_topic("events-topic", 1)
+        cluster.create_table(TableConfig.offline("events", schema()))
+        cluster.create_table(TableConfig.realtime(
+            "events", schema(),
+            StreamConfig("events-topic", flush_threshold_rows=10_000),
+        ))
+        return cluster
+
+    def test_replace_updates_segment_property(self):
+        cluster = self.make_hybrid()
+        names = cluster.upload_records(
+            "events", offline_records([17000, 17001, 17002]))
+        controller = cluster.leader_controller()
+        config = controller.table_config("events_OFFLINE")
+        builder = SegmentBuilder(names[0], "events_OFFLINE", config.schema,
+                                 config.segment_config)
+        builder.add_all(offline_records([17003, 17004]))
+        controller.replace_segment("events_OFFLINE", builder.build())
+
+        meta = cluster.helix.get_property(
+            f"segments/events_OFFLINE/{names[0]}")
+        assert meta["min_time"] == 17003
+        assert meta["max_time"] == 17004
+        assert meta["num_docs"] == 20
+
+    def test_hybrid_boundary_follows_replaced_data(self):
+        cluster = self.make_hybrid()
+        names = cluster.upload_records("events", offline_records([17000]))
+        cluster.ingest("events-topic",
+                       realtime_records([17000, 17001, 17002]))
+        cluster.drain_realtime()
+        # Replace the only offline segment with one covering 17000-02:
+        # the time boundary must move from 16999 to 17001.
+        controller = cluster.leader_controller()
+        config = controller.table_config("events_OFFLINE")
+        builder = SegmentBuilder(names[0], "events_OFFLINE", config.schema,
+                                 config.segment_config)
+        builder.add_all(offline_records([17000, 17001, 17002]))
+        controller.replace_segment("events_OFFLINE", builder.build())
+
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        # Offline serves days <= 17001 (20 rows), realtime day 17002
+        # (10 rows). With stale metadata the boundary stays at 16999:
+        # offline contributes nothing and realtime double-serves.
+        assert response.rows[0][0] == 30
+
+
+class TestAddServerAfterKill:
+    """Sim seeds 5/14/20: ``add_server()`` derived its default id from
+    ``len(self.servers)``, which shrinks after a ``kill_server`` — the
+    next auto-named server collided with a live registered instance."""
+
+    def test_default_id_does_not_collide(self):
+        cluster = PinotCluster(num_servers=4)
+        cluster.kill_server("server-1")
+        server = cluster.add_server()  # raised ClusterError before
+        assert server.instance_id not in {"server-0", "server-2",
+                                          "server-3"}
+        assert server.instance_id in {
+            s.instance_id for s in cluster.servers
+        }
+
+    def test_explicit_id_still_honoured(self):
+        cluster = PinotCluster(num_servers=2)
+        assert cluster.add_server("server-x").instance_id == "server-x"
+        with pytest.raises(ClusterError):
+            cluster.add_server("server-x")
+
+
+class TestCompletionReplicaRemoved:
+    """Sim seed 23 (shrunk to kill + rebalance): a rebalance moved a
+    CONSUMING replica — the elected committer — to another server. The
+    FSM kept waiting for a committer that would never poll again and
+    the partition stopped committing forever."""
+
+    def committing_fsm(self):
+        manager = SegmentCompletionManager(expected_replicas=2)
+        assert manager.segment_consumed(
+            "seg", "s0", 100).instruction is Instruction.HOLD
+        response = manager.segment_consumed("seg", "s1", 100)
+        # Both polled at the same offset: s0 (lexicographic) commits.
+        assert response.instruction is Instruction.HOLD
+        assert manager.segment_consumed(
+            "seg", "s0", 100).instruction is Instruction.COMMIT
+        return manager
+
+    def test_replica_removed_reelects_committer(self):
+        manager = self.committing_fsm()
+        manager.replica_removed("seg", "s0")  # rebalance moved s0 away
+        response = manager.segment_consumed("seg", "s1", 100)
+        assert response.instruction is Instruction.COMMIT
+        assert manager.segment_commit("seg", "s1", 100)
+
+    def test_silent_committer_deadline_reelects(self):
+        """Safety net: even with no removal notification, survivors are
+        not HOLD-ed forever once the committer goes silent."""
+        manager = self.committing_fsm()
+        instructions = [
+            manager.segment_consumed("seg", "s1", 100).instruction
+            for __ in range(manager._max_hold_polls * 2 + 2)
+        ]
+        assert instructions[-1] is Instruction.COMMIT
+        assert manager.segment_commit("seg", "s1", 100)
+
+    def test_stale_commit_from_old_committer_rejected(self):
+        manager = self.committing_fsm()
+        manager.replica_removed("seg", "s0")
+        manager.segment_consumed("seg", "s1", 100)
+        assert not manager.segment_commit("seg", "s0", 100)
+        assert manager.segment_commit("seg", "s1", 100)
+
+
+class TestDeathBeforeFirstPoll:
+    """Sim seeds 17/95: a replica died before it ever polled the
+    completion protocol. ``fail_server`` only corrects the expected
+    count for servers it has *seen*, so the survivor was held for the
+    whole poll budget — and the controller didn't even have a
+    completion manager yet if the death preceded every poll."""
+
+    def test_replica_removed_counts_unseen_server(self):
+        manager = SegmentCompletionManager(expected_replicas=2)
+        manager.replica_removed("seg", "s0")  # never polled
+        response = manager.segment_consumed("seg", "s1", 80)
+        assert response.instruction is Instruction.COMMIT
+
+    def test_double_removal_does_not_double_decrement(self):
+        manager = SegmentCompletionManager(expected_replicas=3)
+        manager.replica_removed("seg", "s0")
+        manager.replica_removed("seg", "s0")  # death then rebalance
+        fsm = manager._fsm("seg")
+        assert fsm.expected_replicas == 2
+
+    def test_kill_before_any_poll_still_drains(self):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_kafka_topic("events-topic", 1)
+        cluster.create_table(TableConfig.realtime(
+            "events", schema(),
+            StreamConfig("events-topic", flush_threshold_rows=100,
+                         records_per_poll=50),
+            replication=2,
+        ))
+        cluster.ingest("events-topic", realtime_records(
+            [17000, 17001, 17002, 17003], per_day=40),
+            key_column="memberId")
+        ideal = cluster.helix.ideal_state("events_REALTIME")
+        victim = next(iter(ideal["events_REALTIME__0__0"]))
+        cluster.kill_server(victim)  # dies before any completion poll
+        cluster.drain_realtime()
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 160
+
+
+class TestDeadReplicaReassignment:
+    """Sim seed 171 (shrunk to two kills + query): nothing reassigned a
+    dead server's committed replicas, so a second death stranded a
+    segment with no live replica — which brokers silently skipped,
+    returning a wrong but *non-partial* answer."""
+
+    def test_two_deaths_do_not_lose_committed_segments(self):
+        cluster = PinotCluster(num_servers=4)
+        cluster.create_kafka_topic("events-topic", 1)
+        cluster.create_table(TableConfig.realtime(
+            "events", schema(),
+            StreamConfig("events-topic", flush_threshold_rows=100,
+                         records_per_poll=50),
+            replication=2,
+        ))
+        cluster.ingest("events-topic",
+                       realtime_records([17000, 17001, 17002], per_day=40),
+                       key_column="memberId")
+        cluster.drain_realtime()
+        segment = "events_REALTIME__0__0"
+        ideal = cluster.helix.ideal_state("events_REALTIME")
+        originals = sorted(ideal[segment])
+        cluster.kill_server(originals[0])
+        # The fix re-seats the replica from the object store at death.
+        reassigned = cluster.helix.ideal_state("events_REALTIME")[segment]
+        assert originals[0] not in reassigned
+        assert len(reassigned) == 2
+        cluster.kill_server(originals[1])
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 120
+
+
+class TestRebalanceConvergenceWindow:
+    """The ISSUE-named bug (controller.rebalance_table): the two-phase
+    grow-then-shrink applied the shrink without checking the external
+    view, so with a crashed/slow server the old replicas were dropped
+    while the new ones sat in ERROR — the segment was served by nobody
+    and queries silently skipped it mid-rebalance."""
+
+    def offline_cluster(self):
+        cluster = PinotCluster(num_servers=3)
+        cluster.create_table(TableConfig.offline(
+            "events", schema(), replication=1))
+        cluster.upload_records("events",
+                               offline_records([17000, 17001, 17002]),
+                               rows_per_segment=10)
+        return cluster
+
+    def test_table_stays_queryable_with_crashed_server(self):
+        cluster = self.offline_cluster()
+        # A joining blank server that immediately crashes: transitions
+        # to it fail, so rebalance must keep the old replicas.
+        joined = cluster.add_server()
+        cluster.crash_server(joined.instance_id)
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 30
+
+    def test_unconverged_segments_keep_old_replicas_in_ideal(self):
+        cluster = self.offline_cluster()
+        before = cluster.helix.ideal_state("events_OFFLINE")
+        joined = cluster.add_server()
+        cluster.crash_server(joined.instance_id)
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        after = cluster.helix.ideal_state("events_OFFLINE")
+        for segment, replicas in after.items():
+            if joined.instance_id in replicas:
+                # The new replica failed to come up, so at least one
+                # old replica must still be present.
+                survivors = set(replicas) & set(before[segment])
+                assert survivors, (
+                    f"{segment} lost all old replicas mid-rebalance"
+                )
+
+    def test_recovered_server_converges_on_next_rebalance(self):
+        cluster = self.offline_cluster()
+        joined = cluster.add_server()
+        cluster.crash_server(joined.instance_id)
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        joined.faults.recover()
+        cluster.leader_controller().rebalance_table("events_OFFLINE")
+        assert cluster.execute(
+            "SELECT count(*) FROM events").rows[0][0] == 30

@@ -1,49 +1,8 @@
 """Shared brute-force reference evaluators used by multiple test
-modules (kept out of test files so importing it never defines tests)."""
+modules. The implementation moved to :mod:`repro.sim.reference` so the
+simulation harness's query oracle can reuse it; this module remains as
+the import point for tests."""
 
-import re
+from repro.sim.reference import evaluate
 
-from repro.pql.ast_nodes import (
-    And,
-    Between,
-    CompareOp,
-    Comparison,
-    In,
-    Like,
-    Not,
-    Or,
-)
-
-
-def evaluate(predicate, record):
-    """Reference evaluator for predicates over a record dict."""
-    if isinstance(predicate, Comparison):
-        value = record[predicate.column]
-        op = predicate.op
-        if op is CompareOp.EQ:
-            return value == predicate.value
-        if op is CompareOp.NEQ:
-            return value != predicate.value
-        if op is CompareOp.LT:
-            return value < predicate.value
-        if op is CompareOp.LTE:
-            return value <= predicate.value
-        if op is CompareOp.GT:
-            return value > predicate.value
-        return value >= predicate.value
-    if isinstance(predicate, In):
-        result = record[predicate.column] in predicate.values
-        return not result if predicate.negated else result
-    if isinstance(predicate, Between):
-        return predicate.low <= record[predicate.column] <= predicate.high
-    if isinstance(predicate, Like):
-        matched = re.fullmatch(predicate.to_regex(),
-                               str(record[predicate.column])) is not None
-        return not matched if predicate.negated else matched
-    if isinstance(predicate, Not):
-        return not evaluate(predicate.child, record)
-    if isinstance(predicate, And):
-        return all(evaluate(c, record) for c in predicate.children)
-    if isinstance(predicate, Or):
-        return any(evaluate(c, record) for c in predicate.children)
-    raise TypeError(predicate)
+__all__ = ["evaluate"]

@@ -1,0 +1,93 @@
+"""Schedule and artifact serialization round-trips."""
+
+import json
+
+from repro.sim.artifact import (artifact_dict, load_artifact,
+                                write_artifact)
+from repro.sim.harness import SimResult
+from repro.sim.invariants import Violation
+from repro.sim.schedule import Op, Schedule
+
+
+def sample_schedule() -> Schedule:
+    return Schedule(seed=7, config={"num_servers": 3}, ops=[
+        Op("ingest", {"seed": 11, "count": 40}),
+        Op("query", {"seed": 12}),
+        Op("crash_server", {"instance": "server-1"}),
+        Op("query", {"seed": 13}),
+    ])
+
+
+class TestScheduleRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        schedule = sample_schedule()
+        restored = Schedule.from_json(schedule.to_json())
+        assert restored.seed == schedule.seed
+        assert restored.config == schedule.config
+        assert restored.ops == schedule.ops
+
+    def test_json_is_stable(self):
+        schedule = sample_schedule()
+        assert schedule.to_json() == Schedule.from_json(
+            schedule.to_json()).to_json()
+
+    def test_truncated(self):
+        schedule = sample_schedule()
+        assert schedule.truncated(2).ops == schedule.ops[:2]
+        assert len(schedule.truncated(99)) == len(schedule)
+
+    def test_without_removes_slice(self):
+        schedule = sample_schedule()
+        reduced = schedule.without(1, 3)
+        assert reduced.ops == [schedule.ops[0], schedule.ops[3]]
+
+    def test_op_str_is_readable(self):
+        assert str(Op("query", {"seed": 5})) == "query(seed=5)"
+
+
+class TestArtifacts:
+    def make_result(self) -> SimResult:
+        return SimResult(
+            schedule=sample_schedule(),
+            violations=[Violation("query_oracle", "row 0 differs",
+                                  step=3, op={"kind": "query"})],
+            steps_executed=4,
+            digest="abc123",
+        )
+
+    def test_write_and_load(self, tmp_path):
+        result = self.make_result()
+        path = write_artifact(result, tmp_path)
+        assert path.name == "sim-seed7-query_oracle.json"
+        schedule, violations = load_artifact(path)
+        assert schedule.ops == result.schedule.ops
+        assert violations[0].invariant == "query_oracle"
+        assert violations[0].step == 3
+
+    def test_artifact_is_valid_json_with_version(self, tmp_path):
+        path = write_artifact(self.make_result(), tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["digest"] == "abc123"
+
+    def test_null_op_in_violation_loads(self, tmp_path):
+        """Epilogue violations carry no op; a hand-edited artifact may
+        spell that as ``"op": null`` rather than omitting the key."""
+        payload = artifact_dict(self.make_result())
+        payload["violations"][0]["op"] = None
+        path = tmp_path / "null-op.json"
+        path.write_text(json.dumps(payload))
+        __, violations = load_artifact(path)
+        assert violations[0].op == {}
+
+    def test_unknown_version_rejected(self, tmp_path):
+        payload = artifact_dict(self.make_result())
+        payload["version"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        try:
+            load_artifact(path)
+        except ValueError as error:
+            assert "version" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
