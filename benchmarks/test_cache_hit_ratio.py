@@ -115,7 +115,13 @@ def test_cache_hit_ratio_report(benchmark, measured):
                  f"prune_ratio={prune_ratio:.2f}")
     lines.append("Max QPS at p99<=100ms: " + ", ".join(
         f"{name}={saturation[name]:.0f}" for name in series))
-    write_report("cache_hit_ratio", "\n".join(lines))
+    write_report("cache_hit_ratio", "\n".join(lines), data={
+        "p50_ms": {"warm_cached": p50_warm, "skip_cache": p50_skip},
+        "speedup": speedup,
+        "hit_ratio": hit_ratio,
+        "prune_ratio": prune_ratio,
+        "saturation_qps": saturation,
+    })
 
     assert speedup >= 5.0  # the issue's acceptance bar
     assert hit_ratio >= 0.5

@@ -86,7 +86,13 @@ def test_tail_hedging_report(benchmark, measured):
         f"p99 cut: {p99_off / p99_on:.1f}x "
         f"(hedges={hedges:.0f} wins={wins:.0f})",
     ]
-    write_report("tail_hedging", "\n".join(lines))
+    write_report("tail_hedging", "\n".join(lines), data={
+        "p50_ms": {"hedging_off": p50_off, "hedging_on": p50_on},
+        "p99_ms": {"hedging_off": p99_off, "hedging_on": p99_on},
+        "p99_cut": p99_off / p99_on,
+        "hedges": hedges,
+        "hedge_wins": wins,
+    })
 
     assert hedges > 0 and wins > 0
     # The issue's acceptance bar: hedging cuts p99 by at least 2x.

@@ -42,7 +42,8 @@ def _report_failure(result, args) -> None:
 
 
 def _run_one(seed: int, args) -> bool:
-    result = run_seed(seed, num_steps=args.steps)
+    config = {"engine_vectorized": args.engine != "scalar"}
+    result = run_seed(seed, num_steps=args.steps, config=config)
     print(result.summary(), flush=True)
     if result.ok:
         return True
@@ -65,6 +66,11 @@ def main() -> int:
                         help="skip minimization on failure")
     parser.add_argument("--keep-going", action="store_true",
                         help="sweep every seed even after failures")
+    parser.add_argument("--engine", choices=("vectorized", "scalar"),
+                        default="vectorized",
+                        help="execution engine under test for generated "
+                             "runs (the invariant oracle is always "
+                             "scalar Python over record dicts)")
     args = parser.parse_args()
 
     modes = [m for m in (args.seed is not None, args.sweep, args.schedule)

@@ -50,9 +50,14 @@ class PinotCluster:
                  clock: SimClock | None = None,
                  transport: Transport | None = None,
                  hedging: HedgePolicy | None = None,
-                 trace_sample_rate: float = 0.0):
+                 trace_sample_rate: float = 0.0,
+                 default_vectorized: bool = True):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
+        #: Cluster-wide engine default for servers created here and by
+        #: :meth:`add_server` (overridable per query with
+        #: ``OPTION(vectorized=...)``).
+        self.default_vectorized = default_vectorized
         self.zk = ZkStore()
         self.kafka = SimKafka()
         self.object_store = object_store or MemoryObjectStore()
@@ -81,7 +86,8 @@ class PinotCluster:
 
         self.servers = [
             ServerInstance(f"server-{i}", self.helix, self.object_store,
-                           self.kafka, self.leader_controller)
+                           self.kafka, self.leader_controller,
+                           default_vectorized=default_vectorized)
             for i in range(num_servers)
         ]
         for server in self.servers:
@@ -311,7 +317,8 @@ class PinotCluster:
                 candidate += 1
             instance_id = f"server-{candidate}"
         server = ServerInstance(instance_id, self.helix, self.object_store,
-                                self.kafka, self.leader_controller)
+                                self.kafka, self.leader_controller,
+                                default_vectorized=self.default_vectorized)
         self.helix.register_participant(server, tags=[SERVER_TAG])
         self.servers.append(server)
         self.metrics_registry.register("server", instance_id,

@@ -65,8 +65,13 @@ class ServerInstance:
 
     def __init__(self, instance_id: str, helix: HelixManager,
                  object_store: ObjectStore, kafka: SimKafka | None = None,
-                 controller_resolver: Callable[[], "Controller"] | None = None):
+                 controller_resolver: Callable[[], "Controller"] | None = None,
+                 default_vectorized: bool = True):
         self.instance_id = instance_id
+        #: Engine default for queries that carry no
+        #: ``OPTION(vectorized=...)``: batch kernels (True) or the
+        #: row-at-a-time scalar oracle (False) — docs/ENGINE.md.
+        self.default_vectorized = default_vectorized
         self._helix = helix
         self._store = object_store
         self._kafka = kafka
@@ -361,6 +366,9 @@ class ServerInstance:
                           deadline: float | None) -> ServerResult:
         skip_cache = bool(query.options.get("skipCache"))
         skip_prune = skip_cache or bool(query.options.get("skipPrune"))
+        vectorized = bool(
+            query.options.get("vectorized", self.default_vectorized)
+        )
         #: Ambient span recorder, present when the broker propagated a
         #: sampled trace context with this sub-request (repro.obs).
         recorder = propagation.current()
@@ -404,7 +412,8 @@ class ServerInstance:
                     if span is not None:
                         span.attributes["hot_hits"] = hits
                         span.attributes["hot_misses"] = misses
-                segment_result = execute_segment(segment, query)
+                segment_result = execute_segment(segment, query,
+                                                 vectorized=vectorized)
                 results.append(segment_result)
                 if span is not None:
                     span.attributes["docs_scanned"] = (

@@ -3,6 +3,7 @@ planning and execution, aggregation, group-by, and result merging."""
 
 from repro.engine.executor import execute_plan, execute_segment
 from repro.engine.merge import combine_segment_results, reduce_server_results
+from repro.engine.scalar import execute_segment_scalar
 from repro.engine.operators import DocSelection, FilterPlan
 from repro.engine.planner import PlanKind, SegmentPlan, plan_segment
 from repro.engine.predicates import IdMatch, compile_leaf
@@ -29,6 +30,7 @@ __all__ = [
     "compile_leaf",
     "execute_plan",
     "execute_segment",
+    "execute_segment_scalar",
     "plan_segment",
     "reduce_server_results",
 ]

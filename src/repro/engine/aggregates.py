@@ -27,6 +27,20 @@ from repro.errors import ExecutionError
 from repro.pql.ast_nodes import AggFunc, Aggregation
 
 
+def _group_slices(values: np.ndarray, codes: np.ndarray,
+                  num_groups: int) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ``values`` by group code (stably, preserving document order
+    within each group) and return ``(sorted_values, bounds)`` where
+    group ``g`` occupies ``sorted_values[bounds[g]:bounds[g + 1]]``.
+
+    One argsort replaces a per-row Python dispatch loop for every
+    set/sample-state aggregation (DISTINCTCOUNT, HLL, percentiles).
+    """
+    order = np.argsort(codes, kind="stable")
+    bounds = np.searchsorted(codes[order], np.arange(num_groups + 1))
+    return values[order], bounds
+
+
 class AggregateFunction:
     """Interface for one aggregation function."""
 
@@ -189,10 +203,11 @@ class DistinctCountFunction(AggregateFunction):
         return frozenset(values.tolist())
 
     def aggregate_grouped(self, values, codes, num_groups):
-        sets: list[set] = [set() for _ in range(num_groups)]
-        for code, value in zip(codes.tolist(), values.tolist()):
-            sets[code].add(value)
-        return [frozenset(s) for s in sets]
+        sorted_values, bounds = _group_slices(values, codes, num_groups)
+        return [
+            frozenset(sorted_values[bounds[g]:bounds[g + 1]].tolist())
+            for g in range(num_groups)
+        ]
 
     def merge(self, a: frozenset, b: frozenset) -> frozenset:
         return a | b
@@ -227,9 +242,10 @@ class DistinctCountHllFunction(AggregateFunction):
         return sketch
 
     def aggregate_grouped(self, values, codes, num_groups):
+        sorted_values, bounds = _group_slices(values, codes, num_groups)
         sketches = [self._new() for _ in range(num_groups)]
-        for code, value in zip(codes.tolist(), values.tolist()):
-            sketches[code].add(value)
+        for g, sketch in enumerate(sketches):
+            sketch.add_many(sorted_values[bounds[g]:bounds[g + 1]].tolist())
         return sketches
 
     def merge(self, a, b):
@@ -257,10 +273,11 @@ class PercentileFunction(AggregateFunction):
         return tuple(values.tolist())
 
     def aggregate_grouped(self, values, codes, num_groups):
-        buckets: list[list] = [[] for _ in range(num_groups)]
-        for code, value in zip(codes.tolist(), values.tolist()):
-            buckets[code].append(value)
-        return [tuple(b) for b in buckets]
+        sorted_values, bounds = _group_slices(values, codes, num_groups)
+        return [
+            tuple(sorted_values[bounds[g]:bounds[g + 1]].tolist())
+            for g in range(num_groups)
+        ]
 
     def merge(self, a: tuple, b: tuple) -> tuple:
         return a + b

@@ -31,8 +31,19 @@ from repro.segment.segment import ImmutableSegment
 
 def execute_segment(segment: ImmutableSegment, query: Query,
                     use_cost_ordering: bool = True,
-                    allow_star_tree: bool = True) -> SegmentResult:
-    """Plan and execute ``query`` on one segment."""
+                    allow_star_tree: bool = True,
+                    vectorized: bool = True) -> SegmentResult:
+    """Plan and execute ``query`` on one segment.
+
+    ``vectorized=False`` bypasses the planner and batch kernels entirely
+    and runs the row-at-a-time scalar oracle (:mod:`repro.engine.scalar`)
+    — selectable per query via ``OPTION(vectorized=false)`` and per
+    cluster via ``ServerInstance.default_vectorized``.
+    """
+    if not vectorized:
+        from repro.engine.scalar import execute_segment_scalar
+
+        return execute_segment_scalar(segment, query)
     plan = plan_segment(segment, query, use_cost_ordering, allow_star_tree)
     return execute_plan(plan)
 

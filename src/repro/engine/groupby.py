@@ -96,19 +96,38 @@ def _expand_multi_value(group_columns, docs: np.ndarray, mv_column):
 
 
 def _combine_codes(group_columns, id_columns):
-    """Mixed-radix combine of per-column ids; returns (compact codes per
-    row, per-column unique key ids per group)."""
-    cards = [column.dictionary.cardinality for column in group_columns]
-    combined = np.zeros(len(id_columns[0]), dtype=np.int64)
-    for ids, card in zip(id_columns, cards):
-        combined = combined * card + ids.astype(np.int64)
-    unique_codes, codes = np.unique(combined, return_inverse=True)
+    """Pack per-column dictionary ids into one group key per row;
+    returns (compact codes per row, per-column unique key ids per
+    group).
 
-    # Decompose unique codes back into per-column ids.
-    unique_key_ids: list[np.ndarray] = []
-    remainder = unique_codes.copy()
-    for card in reversed(cards):
-        unique_key_ids.append(remainder % card)
-        remainder //= card
-    unique_key_ids.reverse()
+    The fast path packs ids mixed-radix into a single int64 — one
+    vectorized multiply-add per column and one ``np.unique`` to number
+    the groups. When the cardinality product would overflow int64
+    (many wide group columns), fall back to a row-wise ``np.unique``
+    over the stacked id matrix, which needs no packed representation.
+    """
+    cards = [column.dictionary.cardinality for column in group_columns]
+    key_space = 1
+    for card in cards:
+        key_space *= card  # python int: no silent overflow
+    if key_space < 2 ** 63:
+        combined = np.zeros(len(id_columns[0]), dtype=np.int64)
+        for ids, card in zip(id_columns, cards):
+            combined = combined * card + ids.astype(np.int64)
+        unique_codes, codes = np.unique(combined, return_inverse=True)
+
+        # Decompose unique codes back into per-column ids.
+        unique_key_ids: list[np.ndarray] = []
+        remainder = unique_codes.copy()
+        for card in reversed(cards):
+            unique_key_ids.append(remainder % card)
+            remainder //= card
+        unique_key_ids.reverse()
+        return codes, unique_key_ids
+
+    stacked = np.stack(
+        [ids.astype(np.int64) for ids in id_columns], axis=1
+    )
+    unique_rows, codes = np.unique(stacked, axis=0, return_inverse=True)
+    unique_key_ids = [unique_rows[:, i] for i in range(len(id_columns))]
     return codes, unique_key_ids

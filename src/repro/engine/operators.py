@@ -38,15 +38,31 @@ class FilterStats:
 
 
 class DocSelection:
-    """A set of selected documents: contiguous range or sorted id array."""
+    """A selection vector: contiguous range, sorted id array, or mask.
 
-    __slots__ = ("start", "end", "_docs")
+    Three physical representations, chosen adaptively:
+
+    * a *contiguous range* ``[start, end)`` — produced by sorted-column
+      filters; enables the §4.2 vectorized fast path downstream;
+    * a *boolean mask* over the whole segment — produced by scan
+      filters; AND/OR combine in O(num_docs) with no sorting or
+      materialized id lists;
+    * a *sorted id array* — produced by inverted-index bitmap unions.
+
+    Conversions are lazy and cached; ``doc_array()`` is the
+    materialization point for gather-style consumers.
+    """
+
+    __slots__ = ("start", "end", "_docs", "_mask", "_count")
 
     def __init__(self, start: int = 0, end: int = 0,
-                 docs: np.ndarray | None = None):
+                 docs: np.ndarray | None = None,
+                 mask: np.ndarray | None = None):
         self.start = start
         self.end = end
-        self._docs = docs  # sorted unique int64 array when not contiguous
+        self._docs = docs  # sorted unique int64 array when id-backed
+        self._mask = mask  # bool array over [0, num_docs) when mask-backed
+        self._count: int | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -74,31 +90,65 @@ class DocSelection:
         out = cls(0, 0, docs.astype(np.int64, copy=False))
         return out
 
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "DocSelection":
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            return cls.empty()
+        first = int(mask.argmax())
+        last = len(mask) - 1 - int(mask[::-1].argmax())
+        if last - first + 1 == count:  # dense run: keep it contiguous
+            return cls(first, last + 1)
+        out = cls(0, 0, mask=mask)
+        out._count = count
+        return out
+
     # -- accessors ---------------------------------------------------------
 
     @property
     def is_contiguous(self) -> bool:
-        return self._docs is None
+        return self._docs is None and self._mask is None
 
     @property
     def count(self) -> int:
-        if self._docs is None:
-            return self.end - self.start
-        return len(self._docs)
+        if self._count is not None:
+            return self._count
+        if self._docs is not None:
+            self._count = len(self._docs)
+        elif self._mask is not None:
+            self._count = int(np.count_nonzero(self._mask))
+        else:
+            self._count = self.end - self.start
+        return self._count
 
     @property
     def is_empty(self) -> bool:
         return self.count == 0
 
     def doc_array(self) -> np.ndarray:
-        if self._docs is None:
-            return np.arange(self.start, self.end, dtype=np.int64)
-        return self._docs
+        if self._docs is not None:
+            return self._docs
+        if self._mask is not None:
+            self._docs = np.nonzero(self._mask)[0].astype(np.int64)
+            return self._docs
+        return np.arange(self.start, self.end, dtype=np.int64)
+
+    def mask(self, num_docs: int) -> np.ndarray:
+        """This selection as a boolean mask over ``[0, num_docs)``."""
+        if self._mask is not None:
+            return self._mask
+        out = np.zeros(num_docs, dtype=bool)
+        if self._docs is not None:
+            out[self._docs] = True
+        else:
+            out[self.start:self.end] = True
+        return out
 
     def __repr__(self) -> str:
         if self.is_contiguous:
             return f"DocSelection[{self.start}:{self.end}]"
-        return f"DocSelection(docs={self.count})"
+        kind = "mask" if self._docs is None else "docs"
+        return f"DocSelection({kind}={self.count})"
 
     # -- combinators -------------------------------------------------------
 
@@ -113,6 +163,13 @@ class DocSelection:
             return other._clip(self.start, self.end)
         if other.is_contiguous:
             return self._clip(other.start, other.end)
+        if self._mask is not None and other._mask is not None:
+            return DocSelection.from_mask(self._mask & other._mask)
+        if self._mask is not None or other._mask is not None:
+            # Mask ∧ docs: probe the mask at the id positions — O(ids).
+            masked = self if self._mask is not None else other
+            ids = (other if masked is self else self).doc_array()
+            return DocSelection.from_docs(ids[masked._mask[ids]])
         docs = np.intersect1d(self._docs, other._docs, assume_unique=True)
         return DocSelection.from_docs(docs)
 
@@ -126,10 +183,26 @@ class DocSelection:
             return DocSelection.from_range(
                 min(self.start, other.start), max(self.end, other.end)
             )
+        if self._mask is not None and other._mask is not None:
+            return DocSelection.from_mask(self._mask | other._mask)
+        if self._mask is not None or other._mask is not None:
+            masked = self if self._mask is not None else other
+            rest = other if masked is self else self
+            out = masked._mask.copy()
+            if rest._docs is not None:
+                out[rest._docs] = True
+            else:
+                out[rest.start:rest.end] = True
+            return DocSelection.from_mask(out)
         docs = np.union1d(self.doc_array(), other.doc_array())
         return DocSelection.from_docs(docs)
 
     def _clip(self, start: int, end: int) -> "DocSelection":
+        if self._mask is not None:
+            out = self._mask.copy()
+            out[:start] = False
+            out[end:] = False
+            return DocSelection.from_mask(out)
         docs = self._docs
         lo = int(np.searchsorted(docs, start, side="left"))
         hi = int(np.searchsorted(docs, end, side="left"))
@@ -252,14 +325,24 @@ class InvertedFilter(FilterOperator):
 
 def _scan_within(column: Column, match: IdMatch, context: DocSelection,
                  stats: FilterStats) -> DocSelection:
-    """Vectorized forward-index check of ``match`` on the context docs."""
+    """Vectorized forward-index check of ``match`` on the context docs.
+
+    Contiguous contexts produce a boolean selection vector over the
+    whole segment (no id materialization — AND/OR chains combine masks
+    in O(num_docs)); narrowed id-array contexts gather only the
+    surviving documents' dictionary ids.
+    """
     forward = column.forward
     if context.is_contiguous:
+        if context.start == 0 and context.end == column.num_docs:
+            ids = forward.dict_ids()
+            stats.entries_scanned += len(ids)
+            return DocSelection.from_mask(match.mask_for(ids))
         ids = forward.dict_ids()[context.start:context.end]
         stats.entries_scanned += len(ids)
-        mask = match.mask_for(ids)
-        docs = np.nonzero(mask)[0].astype(np.int64) + context.start
-        return DocSelection.from_docs(docs)
+        mask = np.zeros(column.num_docs, dtype=bool)
+        mask[context.start:context.end] = match.mask_for(ids)
+        return DocSelection.from_mask(mask)
     docs = context.doc_array()
     ids = forward.dict_ids()[docs]
     stats.entries_scanned += len(ids)
@@ -292,8 +375,7 @@ class ScanFilter(FilterOperator):
         flat_mask = self.match.mask_for(flat)
         cumulative = np.concatenate(([0], np.cumsum(flat_mask)))
         per_doc = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
-        docs = np.nonzero(per_doc > 0)[0].astype(np.int64)
-        return DocSelection.from_docs(docs).intersect(context)
+        return DocSelection.from_mask(per_doc > 0).intersect(context)
 
     def describe(self) -> str:
         return f"Scan({self.column.name}, ids={self.match.matched_ids})"

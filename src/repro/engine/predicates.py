@@ -72,14 +72,34 @@ class IdMatch:
         return np.concatenate(parts)
 
     def mask_for(self, dict_ids: np.ndarray) -> np.ndarray:
-        """Boolean mask of which entries in ``dict_ids`` match."""
-        mask = np.zeros(len(dict_ids), dtype=bool)
-        for lo, hi in self.ranges:
-            if hi == lo + 1:
-                mask |= dict_ids == lo
-            else:
-                mask |= (dict_ids >= lo) & (dict_ids < hi)
-        return mask
+        """Boolean mask of which entries in ``dict_ids`` match.
+
+        Few ranges (EQ, a range predicate, NEQ's two-sided complement)
+        evaluate as direct comparisons; many ranges (IN / NOT IN / LIKE
+        over a large dictionary) use one binary search per entry against
+        the flattened range boundaries — an id is inside some half-open
+        range exactly when its insertion point is odd, so the whole
+        batch is a single ``searchsorted`` instead of one comparison
+        pass per range.
+        """
+        if not self.ranges:
+            return np.zeros(len(dict_ids), dtype=bool)
+        if len(self.ranges) <= 2:
+            mask = np.zeros(len(dict_ids), dtype=bool)
+            for lo, hi in self.ranges:
+                if hi == lo + 1:
+                    mask |= dict_ids == lo
+                else:
+                    mask |= (dict_ids >= lo) & (dict_ids < hi)
+            return mask
+        # _coalesce guarantees sorted, disjoint, non-adjacent ranges, so
+        # the flattened boundaries are strictly increasing.
+        boundaries = np.fromiter(
+            (bound for id_range in self.ranges for bound in id_range),
+            dtype=np.int64, count=2 * len(self.ranges),
+        )
+        positions = np.searchsorted(boundaries, dict_ids, side="right")
+        return (positions & 1).astype(bool)
 
 
 def _coalesce(ranges: list[tuple[int, int]], cardinality: int) -> IdMatch:

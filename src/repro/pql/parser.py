@@ -52,6 +52,9 @@ _KNOWN_OPTIONS: dict[str, tuple[type, ...]] = {
     "skipCache": (bool,),
     "skipPrune": (bool,),
     "trace": (bool,),
+    #: Engine selection: false runs the row-at-a-time scalar oracle
+    #: instead of the batch kernels (docs/ENGINE.md).
+    "vectorized": (bool,),
 }
 
 

@@ -60,6 +60,12 @@ DEFAULT_CONFIG: dict[str, Any] = {
     "flush_threshold_rows": 120,
     "flush_threshold_ticks": 40,
     "records_per_poll": 25,
+    #: Engine under test: batch kernels (True) or the row-at-a-time
+    #: scalar executor (False). The invariant checker's naive oracle is
+    #: always scalar Python over record dicts, so a vectorized run makes
+    #: every seeded fault schedule double as an engine-equivalence
+    #: check, and a scalar run cross-checks the oracle engine itself.
+    "engine_vectorized": True,
 }
 
 #: (op kind, relative weight) — the schedule generator's op mix.
@@ -160,6 +166,7 @@ class SimulationHarness:
             seed=self.schedule.seed,
             clock=clock,
             transport=transport,
+            default_vectorized=bool(cfg["engine_vectorized"]),
         )
         self.model = _Model(cfg["num_partitions"])
         schema = workload.schema()

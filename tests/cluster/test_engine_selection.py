@@ -1,0 +1,103 @@
+"""Engine selection end to end: OPTION(vectorized=...) and the
+cluster-wide default, threaded broker -> server -> execute_segment."""
+
+from unittest.mock import patch
+
+import pytest
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric
+from repro.engine.executor import execute_segment
+
+RECORDS = [
+    {"color": color, "size": size, "m": i}
+    for i, (color, size) in enumerate(
+        (c, s) for c in ("red", "green", "blue") for s in (1, 2, 3, 4)
+    )
+]
+
+PQL = "SELECT sum(m), count(*) FROM items WHERE color != 'green' " \
+      "GROUP BY size TOP 10"
+
+
+def _schema():
+    return Schema("items", [
+        dimension("color"), dimension("size", DataType.LONG),
+        metric("m", DataType.LONG),
+    ])
+
+
+def _make_cluster(**kwargs):
+    cluster = PinotCluster(num_servers=2, **kwargs)
+    cluster.create_table(TableConfig.offline("items", _schema()))
+    cluster.upload_records("items", RECORDS, rows_per_segment=4)
+    return cluster
+
+
+def _captured_flags(cluster, pql, extra="skipCache=true"):
+    """Run one query and record the vectorized= flag each segment
+    execution actually received (skipping the broker result cache, or a
+    repeat query would never reach the servers)."""
+    flags = []
+    real = execute_segment
+
+    def spy(segment, query, **kwargs):
+        flags.append(kwargs.get("vectorized", True))
+        return real(segment, query, **kwargs)
+
+    with patch("repro.cluster.server.execute_segment", side_effect=spy):
+        response = cluster.execute(f"{pql} OPTION({extra})")
+    assert not response.is_partial
+    return flags, response
+
+
+@pytest.fixture(scope="module")
+def vectorized_cluster():
+    return _make_cluster()
+
+
+def test_default_is_vectorized(vectorized_cluster):
+    flags, __ = _captured_flags(vectorized_cluster, PQL)
+    assert flags and all(flags)
+
+
+def test_query_option_forces_scalar(vectorized_cluster):
+    flags, __ = _captured_flags(vectorized_cluster, PQL,
+                                "vectorized=false, skipCache=true")
+    assert flags and not any(flags)
+
+
+def test_cluster_default_scalar_and_per_query_override():
+    cluster = _make_cluster(default_vectorized=False)
+    assert all(not s.default_vectorized for s in cluster.servers)
+
+    flags, __ = _captured_flags(cluster, PQL)
+    assert flags and not any(flags)
+
+    # A per-query OPTION wins over the cluster default, both ways.
+    flags, __ = _captured_flags(cluster, PQL,
+                                "vectorized=true, skipCache=true")
+    assert flags and all(flags)
+
+
+def test_added_server_inherits_cluster_default():
+    cluster = _make_cluster(default_vectorized=False)
+    server = cluster.add_server()
+    assert server.default_vectorized is False
+
+
+def test_engines_agree_through_the_cluster(vectorized_cluster):
+    scalar = _make_cluster(default_vectorized=False)
+    queries = [
+        PQL,
+        "SELECT count(*) FROM items",
+        "SELECT min(m), max(m), avg(m) FROM items WHERE size >= 2",
+        "SELECT color, m FROM items WHERE size IN (1, 3) "
+        "ORDER BY m DESC LIMIT 5",
+    ]
+    for pql in queries:
+        fast = vectorized_cluster.execute(pql + " OPTION(skipCache=true)")
+        slow = scalar.execute(pql + " OPTION(skipCache=true)")
+        assert fast.table.rows == slow.table.rows, pql

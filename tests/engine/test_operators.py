@@ -61,6 +61,51 @@ class TestDocSelection:
         assert set(sel_a.intersect(sel_b).doc_array().tolist()) == a & b
         assert set(sel_a.union(sel_b).doc_array().tolist()) == a | b
 
+    # -- boolean-mask representation -------------------------------------
+
+    def test_from_mask_detects_contiguity(self):
+        mask = np.zeros(10, dtype=bool)
+        mask[3:7] = True
+        selection = DocSelection.from_mask(mask)
+        assert selection.is_contiguous
+        assert (selection.start, selection.end) == (3, 7)
+
+    def test_from_mask_empty_and_full(self):
+        assert DocSelection.from_mask(np.zeros(8, dtype=bool)).is_empty
+        full = DocSelection.from_mask(np.ones(8, dtype=bool))
+        assert full.is_contiguous and full.count == 8
+
+    def test_mask_roundtrip(self):
+        mask = np.zeros(12, dtype=bool)
+        mask[[0, 4, 5, 11]] = True
+        selection = DocSelection.from_mask(mask)
+        assert selection.count == 4
+        assert selection.doc_array().tolist() == [0, 4, 5, 11]
+        assert np.array_equal(selection.mask(12), mask)
+
+    @staticmethod
+    def _as_selection(docs, universe, representation):
+        if not docs:
+            return DocSelection.empty()
+        if representation == "mask":
+            mask = np.zeros(universe, dtype=bool)
+            mask[np.array(sorted(docs))] = True
+            return DocSelection.from_mask(mask)
+        return DocSelection.from_docs(np.array(sorted(docs),
+                                               dtype=np.int64))
+
+    @settings(max_examples=80, deadline=None)
+    @given(doc_sets, doc_sets,
+           st.sampled_from(["docs", "mask"]),
+           st.sampled_from(["docs", "mask"]))
+    def test_algebra_across_representations(self, a, b, repr_a, repr_b):
+        sel_a = self._as_selection(a, 201, repr_a)
+        sel_b = self._as_selection(b, 201, repr_b)
+        assert set(sel_a.intersect(sel_b).doc_array().tolist()) == a & b
+        assert set(sel_a.union(sel_b).doc_array().tolist()) == a | b
+        assert sel_a.intersect(sel_b).count == len(a & b)
+        assert sel_a.union(sel_b).count == len(a | b)
+
 
 def _build_segment(sorted_column=None, inverted=()):
     schema = Schema("t", [dimension("s"), dimension("n", DataType.LONG),
