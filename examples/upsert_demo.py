@@ -1,0 +1,121 @@
+"""Primary-key upsert: latest-value customer profiles over a stream.
+
+Run with::
+
+    python examples/upsert_demo.py
+
+A customer-profile table consumes a change stream where every event
+carries the member's *current* state (plan, lifetime views). With
+``UpsertConfig(mode="upsert")`` the table is keyed on ``memberId``:
+each new event supersedes the member's previous row, and queries always
+see exactly one — the latest — row per member, even though the
+superseded versions still sit physically inside committed segments
+(they are masked by per-segment valid-docId bitmaps; see
+docs/UPSERT.md). A second table shows ``mode="dedup"``, where repeated
+deliveries of the same key are dropped at ingestion instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster import PinotCluster, StreamConfig, TableConfig
+from repro.common import DataType, Schema, dimension, metric, time_column
+from repro.upsert import UpsertConfig
+
+PLANS = ["free", "premium", "enterprise"]
+
+
+def schema(name: str) -> Schema:
+    return Schema(name, [
+        dimension("memberId", DataType.LONG),
+        dimension("plan"),
+        metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def profile_event(rng: random.Random, member: int, day: int) -> dict:
+    return {"memberId": member, "plan": rng.choice(PLANS),
+            "views": rng.randrange(1, 500), "day": day}
+
+
+def main() -> None:
+    cluster = PinotCluster(num_servers=3)
+    cluster.create_kafka_topic("profile-updates", num_partitions=2)
+    cluster.create_table(TableConfig.realtime(
+        "profiles", schema("profiles"),
+        StreamConfig("profile-updates", flush_threshold_rows=200,
+                     records_per_poll=100),
+        replication=2,
+        upsert=UpsertConfig(mode="upsert", key_columns=("memberId",)),
+    ))
+
+    rng = random.Random(7)
+    members = list(range(100))
+
+    # Three days of profile churn: every member's row is rewritten many
+    # times; segments seal and commit in between.
+    latest: dict[int, dict] = {}
+    for day in (17000, 17001, 17002):
+        events = [profile_event(rng, rng.choice(members), day)
+                  for __ in range(600)]
+        for event in events:
+            latest[event["memberId"]] = event
+        cluster.ingest("profile-updates", events, key_column="memberId")
+        cluster.drain_realtime()
+        count = cluster.execute(
+            "SELECT count(*) FROM profiles").rows[0][0]
+        print(f"day {day}: {len(events)} updates ingested, "
+              f"{count} member rows visible")
+
+    # count(*) equals the number of distinct members ever seen — one
+    # visible row per primary key, however many versions were written.
+    count = cluster.execute("SELECT count(*) FROM profiles").rows[0][0]
+    assert count == len(latest), (count, len(latest))
+
+    total = cluster.execute("SELECT sum(views) FROM profiles").rows[0][0]
+    expected = sum(event["views"] for event in latest.values())
+    assert total == expected, (total, expected)
+    print(f"\nlatest-value total views: {total:.0f} "
+          f"(matches the reference ledger of {len(latest)} members)")
+
+    print("\nmembers on each plan right now:")
+    for plan, members_on_plan in cluster.execute(
+            "SELECT count(*) FROM profiles GROUP BY plan TOP 5").rows:
+        want = sum(1 for event in latest.values()
+                   if event["plan"] == plan)
+        assert members_on_plan == want, (plan, members_on_plan, want)
+        print(f"  {plan:>10}: {members_on_plan:.0f}")
+
+    # The same stream into a dedup table keeps the *first* delivery per
+    # member and silently drops every later duplicate at ingestion.
+    cluster.create_kafka_topic("profile-signups", num_partitions=2)
+    cluster.create_table(TableConfig.realtime(
+        "signups", schema("signups"),
+        StreamConfig("profile-signups", flush_threshold_rows=200,
+                     records_per_poll=100),
+        replication=2,
+        upsert=UpsertConfig(mode="dedup", key_columns=("memberId",)),
+    ))
+    deliveries = [profile_event(rng, member, 17000)
+                  for member in members for __ in range(3)]
+    rng.shuffle(deliveries)
+    cluster.ingest("profile-signups", deliveries, key_column="memberId")
+    cluster.drain_realtime()
+    count = cluster.execute("SELECT count(*) FROM signups").rows[0][0]
+    dropped = sum(server.metrics.count("dedup_rows_dropped")
+                  for server in cluster.servers)
+    assert count == len(members), count
+    print(f"\ndedup table: {len(deliveries)} deliveries -> "
+          f"{count:.0f} rows ({dropped} duplicate rows dropped "
+          f"across replicas)")
+
+    print("\nupsert bookkeeping (from the unified metrics registry):")
+    for line in cluster.metrics_registry.export_text().splitlines():
+        if "upsert" in line or "dedup" in line:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,7 +42,8 @@ def _report_failure(result, args) -> None:
 
 
 def _run_one(seed: int, args) -> bool:
-    config = {"engine_vectorized": args.engine != "scalar"}
+    config = {"engine_vectorized": args.engine != "scalar",
+              "workload": args.workload}
     result = run_seed(seed, num_steps=args.steps, config=config)
     print(result.summary(), flush=True)
     if result.ok:
@@ -71,6 +72,12 @@ def main() -> int:
                         help="execution engine under test for generated "
                              "runs (the invariant oracle is always "
                              "scalar Python over record dicts)")
+    parser.add_argument("--workload", choices=("default", "upsert", "dedup"),
+                        default="default",
+                        help="scenario shape for generated runs: the "
+                             "hybrid table (default) or a realtime-only "
+                             "upsert/dedup table whose oracle keeps the "
+                             "latest/first row per primary key")
     args = parser.parse_args()
 
     modes = [m for m in (args.seed is not None, args.sweep, args.schedule)

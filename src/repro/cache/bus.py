@@ -3,8 +3,10 @@
 Anything that changes what data a table serves publishes an
 :class:`InvalidationEvent` here: the controller on realtime segment
 completion and on minion-driven segment replacement (purge,
-merge_rollup, add_inverted_index), and the Helix manager whenever a
-replica executes a data-affecting state transition. Subscribers react
+merge_rollup, add_inverted_index), the Helix manager whenever a
+replica executes a data-affecting state transition, and servers when
+their upsert index masks rows inside already-committed segments (the
+upsert-state epoch). Subscribers react
 synchronously; the main subscriber is :class:`TableEpochs`, which bumps
 a monotonically increasing per-table *segment epoch* that brokers embed
 in result-cache keys — an epoch bump changes every key for the table,
@@ -25,7 +27,8 @@ class InvalidationEvent:
     table: str
     #: What happened: ``segment_completed``, ``segment_replaced``,
     #: ``segment_uploaded``, ``segment_deleted``, ``state_transition``,
-    #: ``instance_death``.
+    #: ``instance_death``, ``upsert_state`` (a server's upsert index
+    #: masked rows in an already-committed segment, or was rebuilt).
     reason: str
     segment: str | None = None
 

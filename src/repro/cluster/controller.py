@@ -18,7 +18,10 @@ from repro.cluster.completion import (
     SegmentCompletionManager,
 )
 from repro.cluster.objectstore import ObjectStore
-from repro.cluster.server import realtime_segment_name
+from repro.cluster.server import (
+    parse_realtime_segment_name,
+    realtime_segment_name,
+)
 from repro.cluster.table import TableConfig, TableType
 from repro.common.types import FieldSpec
 from repro.errors import ClusterError, NotLeaderError, QuotaExceededError
@@ -318,6 +321,8 @@ class Controller:
                 f"{len(servers)} live"
             )
         current = self._helix.ideal_state(table)
+        if config.upsert is not None:
+            return self._rebalance_upsert(config, servers, current)
         load: dict[str, int] = {server: 0 for server in servers}
         new_mapping: dict[str, dict[str, str]] = {}
         for segment in sorted(current):
@@ -375,6 +380,80 @@ class Controller:
                 out.setdefault(server, []).append(segment)
         return out
 
+    def _rebalance_upsert(self, config: TableConfig, servers: list[str],
+                          current: dict[str, dict[str, str]],
+                          ) -> dict[str, list[str]]:
+        """Rebalance an upsert/dedup table at *partition* granularity.
+
+        Segments of one partition move as a unit so the complete-replica
+        invariant holds: every chosen server receives the partition's
+        whole chain (grow), and the shrink is all-or-nothing per
+        partition — if any segment failed to reach its new replicas, the
+        entire partition rolls back to its old placement rather than
+        leaving a server with a partial chain (whose PK index would miss
+        updates and serve superseded rows)."""
+        table = config.name
+        partitions: dict[int, list[str]] = {}
+        for segment in sorted(current):
+            partition = parse_realtime_segment_name(segment)[1]
+            partitions.setdefault(partition, []).append(segment)
+        load: dict[str, int] = {server: 0 for server in servers}
+        targets: dict[int, list[str]] = {}
+        for partition in sorted(partitions):
+            holders = {
+                server for segment in partitions[partition]
+                for server in current[segment]
+            }
+            # Least-loaded for balance; among equals keep existing
+            # holders (no data movement, no index rebuild).
+            candidates = sorted(
+                servers, key=lambda s: (load[s], s not in holders, s)
+            )
+            chosen = candidates[:config.replication]
+            for server in chosen:
+                load[server] += len(partitions[partition])
+            targets[partition] = chosen
+
+        new_mapping: dict[str, dict[str, str]] = {}
+        for partition, segments in partitions.items():
+            for segment in segments:
+                state = next(iter(current[segment].values()),
+                             SegmentState.ONLINE.value)
+                new_mapping[segment] = {
+                    server: state for server in targets[partition]
+                }
+        grown = {
+            segment: {**current.get(segment, {}), **replicas}
+            for segment, replicas in new_mapping.items()
+        }
+        self._helix.set_ideal_state(table, grown)
+        view = self._helix.external_view(table)
+        final_mapping: dict[str, dict[str, str]] = {}
+        for partition, segments in partitions.items():
+            converged = all(
+                view.get(segment, {}).get(server) == state
+                for segment in segments
+                for server, state in new_mapping[segment].items()
+            )
+            for segment in segments:
+                final_mapping[segment] = (
+                    dict(new_mapping[segment]) if converged
+                    else dict(current[segment])
+                )
+        self._helix.set_ideal_state(table, final_mapping)
+        if table in self._completion:
+            manager = self._completion[table]
+            for segment, replicas in final_mapping.items():
+                for server, state in current.get(segment, {}).items():
+                    if (server not in replicas
+                            and state == SegmentState.CONSUMING.value):
+                        manager.replica_removed(segment, server)
+        out: dict[str, list[str]] = {}
+        for segment, replicas in final_mapping.items():
+            for server in replicas:
+                out.setdefault(server, []).append(segment)
+        return out
+
     # -- retention GC (§3.2) -----------------------------------------------------
 
     def run_retention(self, now: int) -> list[str]:
@@ -427,13 +506,65 @@ class Controller:
                 "max_time": None,
             },
         )
-        replicas = self._pick_servers(table, config.replication)
         mapping = self._helix.ideal_state(table)
+        if config.upsert is not None:
+            replicas = self._assign_upsert_partition(config, partition,
+                                                     mapping)
+        else:
+            replicas = self._pick_servers(table, config.replication)
         mapping[name] = {
             server: SegmentState.CONSUMING.value for server in replicas
         }
         self._helix.set_ideal_state(table, mapping)
         return name
+
+    def _assign_upsert_partition(self, config: TableConfig, partition: int,
+                                 mapping: dict[str, dict[str, str]],
+                                 ) -> list[str]:
+        """Replica placement for an upsert/dedup table's next consuming
+        segment — and the *complete-replica invariant* that makes
+        per-segment routing safe under upsert: every server hosting any
+        of a partition's segments hosts ALL of them, so its PK index
+        sees every version of every key and its valid-docId bitmaps are
+        complete. Existing holders of the partition are preferred; a
+        fill-in server (healing after a death) receives the partition's
+        whole committed chain in the same ideal-state update, so its
+        index is rebuilt before it consumes or serves anything."""
+        table = config.name
+        servers = [
+            instance for instance in self._helix.live_instances()
+            if SERVER_TAG in self._helix.instance_tags(instance)
+        ]
+        if len(servers) < config.replication:
+            raise ClusterError(
+                f"need {config.replication} servers, only "
+                f"{len(servers)} live"
+            )
+        partition_segments = [
+            segment for segment in mapping
+            if parse_realtime_segment_name(segment)[1] == partition
+        ]
+        holders = {
+            server for segment in partition_segments
+            for server in mapping[segment]
+        }
+        load = {server: 0 for server in servers}
+        for replica_states in mapping.values():
+            for server in replica_states:
+                if server in load:
+                    load[server] += 1
+        candidates = sorted(
+            servers, key=lambda s: (s not in holders, load[s], s)
+        )
+        chosen = candidates[:config.replication]
+        for segment in partition_segments:
+            # All prior segments of the partition are committed here
+            # (the previous sequence is promoted before rollover).
+            states = mapping[segment]
+            for server in chosen:
+                if server not in states:
+                    states[server] = SegmentState.ONLINE.value
+        return chosen
 
     def _completion_manager(self, table: str) -> SegmentCompletionManager:
         if table not in self._completion:
@@ -489,12 +620,21 @@ class Controller:
         start offset and serve a stale prefix to queries while catching
         up; the partition instead runs at reduced replication until the
         next rollover, where the new consuming segment is placed on
-        live servers."""
+        live servers.
+
+        Upsert/dedup tables re-seat nothing at all: a replacement
+        hosting one committed segment without the rest of its partition
+        would serve rows its PK index never masked (the complete-replica
+        invariant). The partition runs at reduced replication and heals
+        wholesale at the next rollover, where
+        :meth:`_assign_upsert_partition` hands a fill-in server the
+        entire chain."""
         for table in self.list_tables():
             mapping = self._helix.ideal_state(table)
             if not any(instance_id in replicas
                        for replicas in mapping.values()):
                 continue
+            upsert = self.table_config(table).upsert is not None
             servers = [
                 server for server in self._helix.live_instances()
                 if SERVER_TAG in self._helix.instance_tags(server)
@@ -508,8 +648,8 @@ class Controller:
             for segment, replicas in mapping.items():
                 replicas = dict(replicas)
                 state = replicas.pop(instance_id, None)
-                if state is not None and state != (
-                        SegmentState.CONSUMING.value):
+                if (state is not None and not upsert
+                        and state != SegmentState.CONSUMING.value):
                     candidates = sorted(
                         (server for server in servers
                          if server not in replicas),

@@ -228,15 +228,20 @@ class PinotCluster:
         completion protocol negotiates a commit, so the drain only stops
         after ``patience`` consecutive ticks without growth.
         """
-        previous = -1
+        previous = (-1, -1)
         idle = 0
         for __ in range(max_ticks):
             self.process_realtime()
-            total = sum(
+            docs = sum(
                 server.num_docs(table)
                 for server in self.servers
                 for table in self.leader_controller().list_tables()
             )
+            # Consumed offsets advance even when rows are dropped
+            # (dedup tables); doc counts alone would stall the drain.
+            offsets = sum(server.stream_progress()
+                          for server in self.servers)
+            total = (docs, offsets)
             idle = idle + 1 if total == previous else 0
             if idle >= patience:
                 return

@@ -35,6 +35,7 @@ from repro.obs.trace import STATUS_ERROR
 from repro.pql.ast_nodes import Query
 from repro.segment.mutable import MutableSegment
 from repro.segment.segment import ImmutableSegment
+from repro.upsert.index import TableUpsertManager
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.controller import Controller
@@ -90,6 +91,12 @@ class ServerInstance:
         #: LRU of decoded column structures for the hottest columns
         #: (layer 3 of the cache subsystem, repro.cache).
         self.hot_cache = HotStructureCache()
+        #: table -> primary-key upsert/dedup index (repro.upsert);
+        #: created lazily from the table config on first contact.
+        self._upsert: dict[str, TableUpsertManager] = {}
+        #: Tables known to have no upsert config (lookup cache — a
+        #: table's upsert setting is immutable once created).
+        self._no_upsert: set[str] = set()
 
     # -- introspection ------------------------------------------------------
 
@@ -118,6 +125,13 @@ class ServerInstance:
                 f"{table}/{name}"
             ) from None
 
+    def stream_progress(self) -> int:
+        """Total stream offset consumed across this server's consuming
+        segments — a progress signal that advances even when every
+        polled row is dropped (dedup), unlike stored doc counts."""
+        return sum(consuming.offset
+                   for consuming in self._consuming.values())
+
     def consuming_offset(self, table: str, segment: str) -> int | None:
         """The stream offset this replica has consumed up to, or None
         when unknown (not consuming here, or the server is down).
@@ -145,15 +159,36 @@ class ServerInstance:
             self._segments.pop(key, None)
             self._consuming.pop(key, None)
             self.hot_cache.invalidate_segment(resource, segment)
+            self._on_segment_removed(resource)
         elif to_state is SegmentState.DROPPED:
             self._segments.pop(key, None)
             self._consuming.pop(key, None)
             self.hot_cache.invalidate_segment(resource, segment)
+            self._on_segment_removed(resource)
         else:
             raise ClusterError(f"unsupported target state {to_state}")
 
+    def _on_segment_removed(self, table: str) -> None:
+        # Un-applying one segment's rows from a PK index is not possible
+        # (a removed winner must resurrect the runner-up, which the
+        # winner map no longer knows) — rebuild from what remains.
+        if table in self._upsert:
+            self._rebuild_upsert_index(table)
+
     def _load_from_store(self, table: str, segment: str) -> None:
-        self._segments[(table, segment)] = self._store.get(table, segment)
+        loaded = self._store.get(table, segment)
+        self._segments[(table, segment)] = loaded
+        manager = self.upsert_manager(table)
+        if manager is None:
+            return
+        if manager.bitmap_length(segment) > loaded.num_docs:
+            # Local consumption ran past the authoritative copy before a
+            # DISCARD verdict: the index attributes rows to docIds this
+            # segment does not contain. Replay everything hosted.
+            self._rebuild_upsert_index(table)
+            return
+        if manager.apply_segment(loaded):
+            self._publish_upsert_state(table, segment)
 
     def _promote_consuming(self, table: str, segment: str) -> None:
         """CONSUMING → ONLINE: keep local sealed data when it matches the
@@ -168,9 +203,22 @@ class ServerInstance:
             and consuming.sealed is not None
             and consuming.sealed_offset == committed_offset
         ):
+            # Seal handoff: local rows == authoritative rows, and seal
+            # preserves docId order, so the upsert bitmaps keyed by this
+            # segment name stay valid verbatim — the atomic handoff.
             self._segments[key] = consuming.sealed
-        else:
-            self._load_from_store(table, segment)
+            return
+        overran = (
+            consuming is not None
+            and committed_offset is not None
+            and consuming.offset > committed_offset
+        )
+        self._load_from_store(table, segment)
+        if overran:
+            # DISCARD after consuming past the committed end: the PK
+            # index saw rows the authoritative copy does not contain
+            # (they re-arrive in the next sequence). Replay from storage.
+            self._rebuild_upsert_index(table)
 
     def _start_consuming(self, table: str, segment: str) -> None:
         if self._kafka is None:
@@ -191,16 +239,80 @@ class ServerInstance:
         mutable = MutableSegment(segment, table, config.schema,
                                  config.segment_config)
         mutable.start_offset = start_offset
+        previous = self._consuming.get((table, segment))
         self._consuming[(table, segment)] = _ConsumingSegment(
             table=table, name=segment, partition=partition,
             mutable=mutable, consumer=consumer, config=config,
         )
+        manager = self.upsert_manager(table)
+        if manager is not None and (previous is not None
+                                    or manager.tracks(segment)):
+            # Re-seated on a segment a prior incarnation already fed
+            # into the PK index: drop that stale state and replay.
+            self._rebuild_upsert_index(table)
 
     def _table_config(self, table: str) -> TableConfig:
         payload = self._helix.get_property(f"tableconfigs/{table}")
         if payload is None:
             raise ClusterError(f"no table config for {table!r}")
         return TableConfig.from_dict(payload)
+
+    # -- upsert/dedup index lifecycle ----------------------------------------
+
+    def upsert_manager(self, table: str) -> TableUpsertManager | None:
+        """This server's PK index for ``table``, or None for plain
+        tables (and tables whose config is not registered, e.g. bare
+        unit-test setups)."""
+        manager = self._upsert.get(table)
+        if manager is not None:
+            return manager
+        if table in self._no_upsert:
+            return None
+        payload = self._helix.get_property(f"tableconfigs/{table}")
+        upsert = None
+        if payload is not None:
+            upsert = TableConfig.from_dict(payload).upsert
+        if upsert is None:
+            self._no_upsert.add(table)
+            return None
+        manager = TableUpsertManager(table, upsert, metrics=self.metrics)
+
+        def sum_keys_gauge() -> None:
+            # One gauge per server: sum over every upsert table hosted
+            # here, so two managers sharing the metrics object don't
+            # clobber each other's value.
+            self.metrics.gauge(
+                "upsert_keys_tracked",
+                sum(m.keys_tracked for m in self._upsert.values()),
+            )
+
+        manager.gauge_hook = sum_keys_gauge
+        self._upsert[table] = manager
+        return manager
+
+    def _rebuild_upsert_index(self, table: str) -> None:
+        """Rebuild the PK index from everything this server hosts —
+        restart/failover/rebalance recovery. Pure replay of stored rows,
+        so every replica's rebuild converges to the same state."""
+        manager = self._upsert.get(table)
+        if manager is None:
+            return
+        segments = [segment for (t, __), segment in self._segments.items()
+                    if t == table]
+        consuming = [(c.name, c.mutable.records())
+                     for (t, __), c in self._consuming.items() if t == table]
+        manager.rebuild(segments, consuming)
+        self._publish_upsert_state(table, None)
+
+    def _publish_upsert_state(self, table: str,
+                              segment: str | None) -> None:
+        """Bump the table's upsert-state epoch on the invalidation bus:
+        a valid-docId bitmap over already-committed data changed, so
+        broker result-cache entries for this table must never be served
+        again."""
+        self.metrics.incr("upsert_invalidations")
+        self._helix.invalidation_bus.publish(table, "upsert_state",
+                                             segment=segment)
 
     # -- realtime consumption loop --------------------------------------------
 
@@ -215,12 +327,39 @@ class ServerInstance:
             if consuming.reached_end_criteria:
                 self._run_completion_step(consuming)
 
+    def _index_messages(self, consuming: _ConsumingSegment,
+                        messages) -> None:
+        """Index polled messages into the consuming mutable segment,
+        applying the table's upsert/dedup semantics row by row."""
+        manager = self.upsert_manager(consuming.table)
+        if manager is None:
+            for message in messages:
+                consuming.mutable.index(message.value)
+            return
+        invalidated = False
+        for message in messages:
+            record = consuming.config.schema.normalize(message.value)
+            if manager.config.is_dedup:
+                if not manager.admit(consuming.partition, record):
+                    self.metrics.incr("dedup_rows_dropped")
+                    continue
+                consuming.mutable.index(record)
+                continue
+            doc_id = consuming.mutable.num_docs
+            consuming.mutable.index(record)
+            if manager.apply(consuming.name, doc_id, record):
+                invalidated = True
+        if invalidated:
+            # A row in this consuming segment superseded one inside an
+            # already-committed segment: cached results over committed
+            # data just went stale.
+            self._publish_upsert_state(consuming.table, consuming.name)
+
     def _poll_once(self, consuming: _ConsumingSegment) -> None:
         stream = consuming.config.stream
         assert stream is not None
         messages = consuming.consumer.poll(stream.records_per_poll)
-        for message in messages:
-            consuming.mutable.index(message.value)
+        self._index_messages(consuming, messages)
         consuming.ticks += 1
         if consuming.mutable.num_docs >= stream.flush_threshold_rows:
             consuming.reached_end_criteria = True
@@ -262,8 +401,7 @@ class ServerInstance:
                     return
                 if not messages:
                     break
-                for message in messages:
-                    consuming.mutable.index(message.value)
+                self._index_messages(consuming, messages)
             return
         if response.instruction is Instruction.KEEP:
             self._seal(consuming)
@@ -372,6 +510,7 @@ class ServerInstance:
         #: Ambient span recorder, present when the broker propagated a
         #: sampled trace context with this sub-request (repro.obs).
         recorder = propagation.current()
+        upsert = self.upsert_manager(table)
         results: list[SegmentResult] = []
         span = None
         try:
@@ -412,8 +551,15 @@ class ServerInstance:
                     if span is not None:
                         span.attributes["hot_hits"] = hits
                         span.attributes["hot_misses"] = misses
+                valid_docs = (
+                    upsert.selection_for(name, segment.num_docs)
+                    if upsert is not None else None
+                )
+                if span is not None and valid_docs is not None:
+                    span.attributes["valid_docs"] = valid_docs.count
                 segment_result = execute_segment(segment, query,
-                                                 vectorized=vectorized)
+                                                 vectorized=vectorized,
+                                                 valid_docs=valid_docs)
                 results.append(segment_result)
                 if span is not None:
                     span.attributes["docs_scanned"] = (

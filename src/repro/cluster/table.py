@@ -18,6 +18,7 @@ from repro.common.schema import Schema
 from repro.common.timeutils import TimeGranularity, TimeUnit
 from repro.errors import ClusterError
 from repro.segment.builder import SegmentConfig
+from repro.upsert.config import UpsertConfig
 
 
 class TableType(enum.Enum):
@@ -71,6 +72,8 @@ class TableConfig:
     partition: PartitionConfig | None = None
     stream: StreamConfig | None = None
     tenant: str = "DefaultTenant"
+    #: Primary-key upsert/dedup semantics (realtime tables only).
+    upsert: UpsertConfig | None = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -91,6 +94,35 @@ class TableConfig:
             self.segment_config.partition_column = self.partition.column
             self.segment_config.num_partitions = (
                 self.partition.num_partitions
+            )
+        if self.upsert is not None:
+            self._validate_upsert()
+
+    def _validate_upsert(self) -> None:
+        assert self.upsert is not None
+        if self.table_type is not TableType.REALTIME:
+            raise ClusterError("upsert/dedup requires a realtime table")
+        columns = list(self.upsert.key_columns)
+        if self.upsert.comparison_column is not None:
+            columns.append(self.upsert.comparison_column)
+        for column in columns:
+            spec = self.schema.field(column)
+            if spec.multi_value:
+                raise ClusterError(
+                    f"upsert column {column!r} cannot be multi-value"
+                )
+        # Valid-docId bitmaps address rows by docId, so the sealed
+        # segment must preserve the mutable segment's insertion order:
+        # no sort-on-seal, no star-tree pre-aggregation.
+        if self.segment_config.sorted_column is not None:
+            raise ClusterError(
+                "upsert/dedup tables cannot use a sorted_column "
+                "(seal would reorder docIds under the bitmaps)"
+            )
+        if self.segment_config.star_tree is not None:
+            raise ClusterError(
+                "upsert/dedup tables cannot use a star-tree index "
+                "(pre-aggregation ignores valid-docId masks)"
             )
 
     @property
@@ -146,6 +178,7 @@ class TableConfig:
                  "records_per_poll": self.stream.records_per_poll}
                 if self.stream else None
             ),
+            "upsert": self.upsert.to_dict() if self.upsert else None,
         }
 
     @classmethod
@@ -181,4 +214,6 @@ class TableConfig:
             ),
             partition=partition,
             stream=stream,
+            upsert=(UpsertConfig.from_dict(payload["upsert"])
+                    if payload.get("upsert") else None),
         )

@@ -32,23 +32,33 @@ from repro.segment.segment import ImmutableSegment
 def execute_segment(segment: ImmutableSegment, query: Query,
                     use_cost_ordering: bool = True,
                     allow_star_tree: bool = True,
-                    vectorized: bool = True) -> SegmentResult:
+                    vectorized: bool = True,
+                    valid_docs: DocSelection | None = None) -> SegmentResult:
     """Plan and execute ``query`` on one segment.
 
     ``vectorized=False`` bypasses the planner and batch kernels entirely
     and runs the row-at-a-time scalar oracle (:mod:`repro.engine.scalar`)
     — selectable per query via ``OPTION(vectorized=false)`` and per
     cluster via ``ServerInstance.default_vectorized``.
+
+    ``valid_docs`` is an upsert table's valid-docId selection: both
+    engines intersect it before filter evaluation, so superseded rows
+    are invisible whichever engine (or mix of engines) runs the query.
     """
+    if valid_docs is not None and valid_docs.count >= segment.num_docs:
+        valid_docs = None  # every doc valid: keep the unmasked fast paths
     if not vectorized:
         from repro.engine.scalar import execute_segment_scalar
 
-        return execute_segment_scalar(segment, query)
-    plan = plan_segment(segment, query, use_cost_ordering, allow_star_tree)
-    return execute_plan(plan)
+        return execute_segment_scalar(segment, query, valid_docs=valid_docs)
+    plan = plan_segment(segment, query, use_cost_ordering,
+                        allow_star_tree and valid_docs is None,
+                        allow_metadata_only=valid_docs is None)
+    return execute_plan(plan, valid_docs=valid_docs)
 
 
-def execute_plan(plan: SegmentPlan) -> SegmentResult:
+def execute_plan(plan: SegmentPlan,
+                 valid_docs: DocSelection | None = None) -> SegmentResult:
     query = plan.query
     segment = plan.segment
     stats = ExecutionStats(num_segments_queried=1,
@@ -60,6 +70,10 @@ def execute_plan(plan: SegmentPlan) -> SegmentResult:
     stats.num_segments_processed = 1
 
     if plan.kind is PlanKind.METADATA:
+        assert valid_docs is None, (
+            "metadata plans answer over all docs; planner must not pick "
+            "them under a partial valid-docId mask"
+        )
         stats.metadata_only = True
         stats.num_segments_matched = 1
         return _execute_metadata(segment, query, stats)
@@ -67,6 +81,9 @@ def execute_plan(plan: SegmentPlan) -> SegmentResult:
     if plan.kind is PlanKind.STAR_TREE:
         from repro.startree.query import execute_on_star_tree
 
+        assert valid_docs is None, (
+            "star-tree pre-aggregation ignores valid-docId masks"
+        )
         assert segment.star_tree is not None
         partial, docs_scanned = execute_on_star_tree(
             segment.star_tree, query
@@ -83,7 +100,7 @@ def execute_plan(plan: SegmentPlan) -> SegmentResult:
         return result
 
     assert plan.filter_plan is not None
-    selection = plan.filter_plan.execute()
+    selection = plan.filter_plan.execute(valid_docs)
     stats.num_entries_scanned_in_filter = (
         plan.filter_plan.stats.entries_scanned
     )

@@ -431,11 +431,16 @@ class FilterPlan:
     num_docs: int
     stats: FilterStats = field(default_factory=FilterStats)
 
-    def execute(self) -> DocSelection:
-        full = DocSelection.full(self.num_docs)
+    def execute(self, base: DocSelection | None = None) -> DocSelection:
+        """Run the filter tree. ``base`` restricts the starting context
+        (e.g. an upsert table's valid-docId bitmap): operators only ever
+        narrow their context, so superseded docs can never re-enter."""
+        context = DocSelection.full(self.num_docs)
+        if base is not None:
+            context = context.intersect(base)
         if self.root is None:
-            return full
-        return self.root.execute(full, self.stats)
+            return context
+        return self.root.execute(context, self.stats)
 
     def describe(self) -> str:
         return self.root.describe() if self.root else "MatchAll"

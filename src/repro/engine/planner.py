@@ -78,11 +78,16 @@ _METADATA_FUNCS = frozenset({AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX,
 
 def plan_segment(segment: ImmutableSegment, query: Query,
                  use_cost_ordering: bool = True,
-                 allow_star_tree: bool = True) -> SegmentPlan:
+                 allow_star_tree: bool = True,
+                 allow_metadata_only: bool = True) -> SegmentPlan:
     """Build the physical plan for ``query`` on ``segment``.
 
     ``use_cost_ordering`` and ``allow_star_tree`` exist for the ablation
     benchmarks; production behaviour is both enabled.
+    ``allow_metadata_only=False`` forces a scan plan even for
+    metadata-answerable queries — required when the caller will mask the
+    scan with a partial valid-docId selection (upsert tables), since
+    metadata answers describe *every* stored doc.
     """
     _validate_columns(segment, query)
 
@@ -90,7 +95,7 @@ def plan_segment(segment: ImmutableSegment, query: Query,
         return SegmentPlan(PlanKind.EMPTY, segment, query,
                            notes=["pruned by segment time range"])
 
-    if _is_metadata_only(segment, query):
+    if allow_metadata_only and _is_metadata_only(segment, query):
         return SegmentPlan(PlanKind.METADATA, segment, query,
                            notes=["answered from segment metadata"])
 

@@ -59,8 +59,15 @@ _RowTest = Callable[[int], bool]
 
 
 def execute_segment_scalar(segment: ImmutableSegment,
-                           query: Query) -> SegmentResult:
-    """Execute ``query`` on one segment, one document at a time."""
+                           query: Query,
+                           valid_docs=None) -> SegmentResult:
+    """Execute ``query`` on one segment, one document at a time.
+
+    ``valid_docs`` (a :class:`~repro.engine.operators.DocSelection`, or
+    None for all-valid) is an upsert table's valid-docId mask: invalid
+    docs are skipped before the predicate runs, mirroring the vectorized
+    engine's base-selection intersection exactly.
+    """
     _validate(segment, query)
     stats = ExecutionStats(num_segments_queried=1,
                            num_segments_processed=1,
@@ -68,6 +75,12 @@ def execute_segment_scalar(segment: ImmutableSegment,
 
     test = _compile_predicate(segment, query.where)
     leaves = _count_leaves(query.where)
+    if valid_docs is not None:
+        valid_mask = valid_docs.mask(segment.num_docs)
+        predicate_test = test
+
+        def test(doc: int) -> bool:
+            return bool(valid_mask[doc]) and predicate_test(doc)
 
     if query.group_by:
         result = SegmentResult(stats=stats)

@@ -58,3 +58,35 @@ def kafka_partition(key: Any, num_partitions: int) -> int:
     if num_partitions < 1:
         raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
     return (murmur2(key_bytes(key)) & 0x7FFFFFFF) % num_partitions
+
+
+def primary_key_bytes(values: Any) -> bytes:
+    """Canonical byte encoding of an upsert primary key.
+
+    A single-column key encodes exactly like a plain Kafka message key
+    (so producers keyed on that column and upsert partition routing
+    always agree); a composite key concatenates the per-column
+    encodings with a length prefix, which keeps distinct tuples
+    distinct — ``("a", "bc")`` must not collide with ``("ab", "c")``.
+    """
+    parts = [key_bytes(value) for value in values]
+    if len(parts) == 1:
+        return parts[0]
+    out = bytearray()
+    for part in parts:
+        out += len(part).to_bytes(4, "big")
+        out += part
+    return bytes(out)
+
+
+def pk_partition(values: Any, num_partitions: int) -> int:
+    """Partition for an upsert primary key (iterable of column values).
+
+    This is the placement contract of :mod:`repro.upsert`: every row of
+    one primary key lands on one stream partition, so exactly one
+    server-side :class:`~repro.upsert.index.TableUpsertManager`
+    partition map owns the key and cross-partition races cannot occur.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    return (murmur2(primary_key_bytes(values)) & 0x7FFFFFFF) % num_partitions

@@ -46,12 +46,20 @@ class Metrics:
 
     counters: dict[str, float] = field(default_factory=dict)
     stages: dict[str, StageTiming] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
 
     def incr(self, name: str, amount: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
 
     def count(self, name: str) -> float:
         return self.counters.get(name, 0)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (e.g. keys tracked by an index)."""
+        self.gauges[name] = value
+
+    def gauge_value(self, name: str) -> float:
+        return self.gauges.get(name, 0)
 
     def record_stage(self, stage: str, elapsed_ms: float) -> None:
         if stage not in self.stages:
@@ -71,6 +79,7 @@ class Metrics:
         """A plain-dict view (what an HTTP /metrics endpoint would serve)."""
         return {
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "stages": {
                 name: {
                     "count": timing.count,
@@ -101,7 +110,9 @@ class ServerMetrics(Metrics):
 
     Same registry shape as :class:`BrokerMetrics` so tooling can scrape
     either uniformly. Well-known server counter names: segments_pruned,
-    segments_scanned, hot_hits, hot_misses.
+    segments_scanned, hot_hits, hot_misses, upsert_rows_masked,
+    dedup_rows_dropped, upsert_index_rebuilds, upsert_invalidations;
+    well-known gauge: upsert_keys_tracked.
     """
 
 
@@ -153,6 +164,11 @@ name="queries"} 12``
                 lines.append(
                     f'repro_counter{{{labels},name="{name}"}} '
                     f"{metrics.counters[name]:g}"
+                )
+            for name in sorted(metrics.gauges):
+                lines.append(
+                    f'repro_gauge{{{labels},name="{name}"}} '
+                    f"{metrics.gauges[name]:g}"
                 )
             for stage in sorted(metrics.stages):
                 timing = metrics.stages[stage]

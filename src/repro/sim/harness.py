@@ -36,6 +36,7 @@ from typing import Any, Callable
 from repro.cluster.pinot import PinotCluster
 from repro.cluster.server import parse_realtime_segment_name
 from repro.cluster.table import StreamConfig, TableConfig, TableType
+from repro.upsert.config import UpsertConfig
 from repro.common.timeutils import time_boundary
 from repro.errors import ClusterError
 from repro.kafka.partitioner import kafka_partition
@@ -66,6 +67,11 @@ DEFAULT_CONFIG: dict[str, Any] = {
     #: every seeded fault schedule double as an engine-equivalence
     #: check, and a scalar run cross-checks the oracle engine itself.
     "engine_vectorized": True,
+    #: Scenario shape: ``default`` is the hybrid offline+realtime table;
+    #: ``upsert`` and ``dedup`` are realtime-only tables keyed on
+    #: memberId, whose oracle reduces the visible stream prefix to the
+    #: latest (upsert) or first (dedup) row per key.
+    "workload": "default",
 }
 
 #: (op kind, relative weight) — the schedule generator's op mix.
@@ -86,6 +92,18 @@ OP_WEIGHTS: list[tuple[str, float]] = [
     ("add_server", 1.5),
     ("kill_controller", 1.0),
 ]
+
+#: Ops that have no meaning for the realtime-only upsert/dedup
+#: scenarios: there is no offline table to upload/replace/delete from,
+#: and dead upsert replicas deliberately heal at the next segment
+#: rollover rather than by re-seating (see
+#: ``Controller._reassign_dead_replicas``), so a permanent kill of the
+#: last live replica of a partition before a rollover would wedge the
+#: chain — restart/failover coverage comes from crash/recover plus the
+#: dedicated regression tests instead.
+_NON_UPSERT_OPS = frozenset({
+    "upload_segment", "replace_segment", "delete_segment", "kill_server",
+})
 
 
 @dataclass
@@ -169,33 +187,50 @@ class SimulationHarness:
             default_vectorized=bool(cfg["engine_vectorized"]),
         )
         self.model = _Model(cfg["num_partitions"])
+        self.workload = cfg["workload"]
+        if self.workload not in ("default", "upsert", "dedup"):
+            raise ValueError(f"unknown workload {self.workload!r}")
         schema = workload.schema()
         self.cluster.create_kafka_topic(TOPIC, cfg["num_partitions"])
-        self.cluster.create_table(TableConfig.offline(
-            LOGICAL_TABLE, schema, replication=cfg["replication"],
-        ))
-        self.cluster.create_table(TableConfig.realtime(
-            LOGICAL_TABLE, schema,
-            StreamConfig(
-                TOPIC,
-                flush_threshold_rows=cfg["flush_threshold_rows"],
-                flush_threshold_ticks=cfg["flush_threshold_ticks"],
-                records_per_poll=cfg["records_per_poll"],
-            ),
-            replication=cfg["replication"],
-        ))
+        stream = StreamConfig(
+            TOPIC,
+            flush_threshold_rows=cfg["flush_threshold_rows"],
+            flush_threshold_ticks=cfg["flush_threshold_ticks"],
+            records_per_poll=cfg["records_per_poll"],
+        )
+        if self.workload == "default":
+            self.cluster.create_table(TableConfig.offline(
+                LOGICAL_TABLE, schema, replication=cfg["replication"],
+            ))
+            self.cluster.create_table(TableConfig.realtime(
+                LOGICAL_TABLE, schema, stream,
+                replication=cfg["replication"],
+            ))
+        else:
+            # Realtime-only: upsert/dedup are stream-native semantics
+            # (there is no offline leg to upsert into). Arrival order
+            # decides the winner (no comparison column), so the oracle
+            # is "last produced row per memberId wins" for upsert and
+            # "first produced row per memberId wins" for dedup.
+            self.cluster.create_table(TableConfig.realtime(
+                LOGICAL_TABLE, schema, stream,
+                replication=cfg["replication"],
+                upsert=UpsertConfig(mode=self.workload,
+                                    key_columns=("memberId",)),
+            ))
         self.offline_table = f"{LOGICAL_TABLE}_{TableType.OFFLINE.value}"
         self.realtime_table = f"{LOGICAL_TABLE}_{TableType.REALTIME.value}"
 
-        # A founding offline segment so the hybrid time boundary is
-        # always defined (days [BASE_DAY, BASE_DAY + 4]).
-        bootstrap = Op("upload_segment", {
-            "seed": self.schedule.seed ^ 0x5EED,
-            "count": 60,
-            "min_day": workload.BASE_DAY,
-            "max_day": workload.BASE_DAY + 4,
-        })
-        self._apply("upload_segment", bootstrap)
+        if self.workload == "default":
+            # A founding offline segment so the hybrid time boundary is
+            # always defined (days [BASE_DAY, BASE_DAY + 4]).
+            bootstrap = Op("upload_segment", {
+                "seed": self.schedule.seed ^ 0x5EED,
+                "count": 60,
+                "min_day": workload.BASE_DAY,
+                "max_day": workload.BASE_DAY + 4,
+            })
+            self._apply("upload_segment", bootstrap)
 
         # Mirrors used by *generation* so drawing an op never has to
         # interrogate (and accidentally perturb) the cluster.
@@ -264,7 +299,7 @@ class SimulationHarness:
             return
         detail = check_completion_safety(
             self.cluster.helix, self.cluster.object_store,
-            self.realtime_table,
+            self.realtime_table, dedup=self.workload == "dedup",
         )
         if detail is not None:
             self._violation("completion_safety", detail)
@@ -322,14 +357,33 @@ class SimulationHarness:
         return True, offsets[0]
 
     def _visible_rows(self) -> tuple[bool, list[dict]]:
-        """(determinate?, logically visible rows of the hybrid table)."""
+        """(determinate?, logically visible rows of the table).
+
+        For the upsert/dedup workloads the visible prefix of each
+        partition is reduced to one row per primary key — the latest
+        produced occurrence for upsert (arrival order wins: priority is
+        ``(sequence, docId)`` with no comparison column) and the first
+        for dedup (later duplicates are dropped at ingestion). Keys are
+        partitioned by memberId, so per-partition reduction equals
+        global reduction.
+        """
         offline = self.model.offline_rows()
         realtime: list[dict] = []
         for partition, produced in sorted(self.model.produced.items()):
             determinate, offset = self._visible_offset(partition)
             if not determinate:
                 return False, []
-            realtime.extend(produced[:offset])
+            prefix = produced[:offset]
+            if self.workload == "default":
+                realtime.extend(prefix)
+                continue
+            per_key: dict[Any, dict] = {}
+            for row in prefix:
+                if self.workload == "dedup":
+                    per_key.setdefault(row["memberId"], row)
+                else:
+                    per_key[row["memberId"]] = row
+            realtime.extend(per_key.values())
         max_day = self.model.max_offline_day()
         if max_day is None:
             return True, realtime
@@ -503,8 +557,12 @@ class SimulationHarness:
     # -- op generation (generate mode) ----------------------------------------
 
     def _draw_op(self) -> Op | None:
-        kinds = [kind for kind, __ in OP_WEIGHTS]
-        weights = [weight for __, weight in OP_WEIGHTS]
+        mix = OP_WEIGHTS
+        if self.workload != "default":
+            mix = [(kind, weight) for kind, weight in OP_WEIGHTS
+                   if kind not in _NON_UPSERT_OPS]
+        kinds = [kind for kind, __ in mix]
+        weights = [weight for __, weight in mix]
         kind = self.rng.choices(kinds, weights=weights, k=1)[0]
         maker = getattr(self, f"_make_{kind}", None)
         if maker is None:
@@ -562,11 +620,15 @@ class SimulationHarness:
         return Op("delete_segment", {"name": self._pick_offline_segment()})
 
     def _make_rebalance(self) -> Op:
+        if self.workload != "default":
+            return Op("rebalance", {"table": self.realtime_table})
         table = (self.offline_table if self.rng.random() < 0.6
                  else self.realtime_table)
         return Op("rebalance", {"table": table})
 
     def _make_cache_invalidate(self) -> Op:
+        if self.workload != "default":
+            return Op("cache_invalidate", {"table": self.realtime_table})
         table = (self.offline_table if self.rng.random() < 0.5
                  else self.realtime_table)
         return Op("cache_invalidate", {"table": table})
@@ -660,7 +722,7 @@ class SimulationHarness:
             self._violation("convergence", detail)
         detail = check_completion_safety(
             self.cluster.helix, self.cluster.object_store,
-            self.realtime_table,
+            self.realtime_table, dedup=self.workload == "dedup",
         )
         if detail is not None:
             self._violation("completion_safety", detail)

@@ -61,8 +61,14 @@ class Violation:
 
 
 def check_completion_safety(helix: HelixManager, store,
-                            table: str) -> str | None:
-    """Invariant 2 for one realtime table."""
+                            table: str, dedup: bool = False) -> str | None:
+    """Invariant 2 for one realtime table.
+
+    ``dedup`` relaxes the doc-count checks: a dedup table drops
+    duplicate-key rows at ingestion, so a committed segment may hold
+    *fewer* docs than its offset range spans — but never more, and its
+    metadata must agree with the store copy exactly.
+    """
     by_partition: dict[int, list[tuple[int, str, dict]]] = {}
     for name in helix.list_properties(f"realtime/{table}"):
         meta = helix.get_property(f"realtime/{table}/{name}") or {}
@@ -100,13 +106,19 @@ def check_completion_safety(helix: HelixManager, store,
                 if not store.exists(table, name):
                     return f"{name}: committed but missing from store"
                 sealed = store.get(table, name)
-                if sealed.num_docs != end - start:
+                if dedup:
+                    if sealed.num_docs > end - start:
+                        return (f"{name}: store copy has "
+                                f"{sealed.num_docs} docs, more than the "
+                                f"offset range [{start}, {end})")
+                elif sealed.num_docs != end - start:
                     return (f"{name}: store copy has {sealed.num_docs} "
                             f"docs for offset range [{start}, {end})")
                 num_docs = meta.get("num_docs")
-                if num_docs is not None and num_docs != end - start:
+                expected = sealed.num_docs if dedup else end - start
+                if num_docs is not None and num_docs != expected:
                     return (f"{name}: metadata num_docs {num_docs} != "
-                            f"offset range {end - start}")
+                            f"expected {expected}")
             else:
                 return f"{name}: unknown status {status!r}"
             if previous_end is not None and start != previous_end:

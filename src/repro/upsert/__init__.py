@@ -1,0 +1,24 @@
+"""Primary-key upsert and stream dedup for realtime tables.
+
+The paper's realtime tables are append-only; production Pinot (and
+L-Store before it) serve *mutable* entities on top of the same storage
+by keeping every version on disk and masking superseded versions at
+read time. This package implements that recipe:
+
+* :class:`~repro.upsert.config.UpsertConfig` — per-table settings: the
+  primary-key columns, the mode (``upsert`` masks old versions,
+  ``dedup`` drops duplicate keys at ingestion), and an optional
+  comparison column that decides which version wins;
+* :class:`~repro.upsert.index.TableUpsertManager` — the per-server,
+  per-partition primary-key index mapping each key to its winning
+  (segment, docId) plus the valid-docId bitmaps the query path
+  intersects before filter evaluation.
+
+See docs/UPSERT.md for the version-map design and the completion-window
+handoff story.
+"""
+
+from repro.upsert.config import UpsertConfig
+from repro.upsert.index import TableUpsertManager
+
+__all__ = ["UpsertConfig", "TableUpsertManager"]

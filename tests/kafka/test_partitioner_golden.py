@@ -9,7 +9,8 @@ Expected values are Java's *signed* 32-bit ints, as published.
 
 import pytest
 
-from repro.kafka.partitioner import kafka_partition, key_bytes, murmur2
+from repro.kafka.partitioner import (kafka_partition, key_bytes, murmur2,
+                                     pk_partition, primary_key_bytes)
 
 # (key bytes, signed 32-bit murmur2) straight from Kafka's UtilsTest.
 KAFKA_GOLDEN = [
@@ -68,3 +69,37 @@ class TestPartitionPlacement:
         assert key_bytes(21) == b"21"
         assert kafka_partition(21, 8) == kafka_partition("21", 8)
         assert key_bytes(b"raw") == b"raw"
+
+
+class TestPrimaryKeyPartition:
+    """Upsert primary-key placement (single + composite keys)."""
+
+    def test_single_column_matches_plain_key(self):
+        # The single-column encoding IS the Kafka message-key encoding,
+        # so producing with key_column=<pk> routes identically.
+        for data, __ in KAFKA_GOLDEN:
+            assert primary_key_bytes([data]) == key_bytes(data)
+            assert pk_partition([data], 8) == kafka_partition(data, 8)
+        assert pk_partition([21], 4) == kafka_partition(21, 4)
+
+    def test_composite_length_prefix_disambiguates(self):
+        assert primary_key_bytes(["a", "bc"]) != primary_key_bytes(
+            ["ab", "c"])
+        assert primary_key_bytes(["a", "bc"]) == (
+            b"\x00\x00\x00\x01a\x00\x00\x00\x02bc")
+
+    @pytest.mark.parametrize("values,by4,by8,by7", [
+        (("member-1", 17000), 0, 4, 6),
+        (("member-2", 17000), 2, 2, 0),
+        (("a", "bc"), 0, 0, 1),
+        (("ab", "c"), 0, 0, 4),
+    ])
+    def test_golden_composite_placements(self, values, by4, by8, by7):
+        # Pinned so historical upsert partition metadata stays valid.
+        assert pk_partition(values, 4) == by4
+        assert pk_partition(values, 8) == by8
+        assert pk_partition(values, 7) == by7
+
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            pk_partition(["k"], 0)
