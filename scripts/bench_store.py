@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Benchmark the tiered segment store: hit ratios, cold-read
+amplification, and eviction-policy behavior under scans.
+
+Four seeded access traces replay against a single-server cluster whose
+deep store sits behind a virtual-latency link (see
+``repro.bench.store``):
+
+* ``fit``        — budget = total bytes: after warmup everything is
+  resident, so the hit ratio must be ~1 and p99 stays at compute cost;
+* ``pressure``   — working set is 4x the budget: constant evict/reload
+  churn, and the deep-store round trip dominates p99;
+* ``scan_lru`` / ``scan_sieve`` — a hot set plus periodic one-shot
+  scans over every table, replayed under both policies: SIEVE keeps
+  the hot set resident through the scans, LRU does not.
+
+A machine-readable summary is written to ``BENCH_store.json``. CI
+gates: the fit hit ratio must stay >= ``--min-hit-ratio`` (default
+0.90), cold p99 under pressure must exceed the fit p99 by
+``--min-amplification`` (default 3x), and SIEVE must not lose to LRU
+on the scan trace. Deliberately no timestamps in the output: the
+committed file should only churn when the numbers move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.store import run_store_scenario  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_store.json"),
+                        help="output path for the JSON report")
+    parser.add_argument("--min-hit-ratio", type=float, default=0.90,
+                        help="fail unless the fit scenario's hit ratio "
+                             "reaches this")
+    parser.add_argument("--min-amplification", type=float, default=3.0,
+                        help="fail unless pressure p99 exceeds fit p99 "
+                             "by this factor")
+    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument("--rows-per-table", type=int, default=400)
+    parser.add_argument("--accesses", type=int, default=240)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    shared = {
+        "num_tables": args.tables,
+        "rows_per_table": args.rows_per_table,
+        "accesses": args.accesses,
+        "seed": args.seed,
+    }
+    specs = {
+        "fit": {"budget_fraction": 1.0},
+        "pressure": {"budget_fraction": 0.25},
+        "scan_lru": {"budget_fraction": 0.5, "scan_every": 20},
+        "scan_sieve": {"budget_fraction": 0.5, "scan_every": 20,
+                       "policy": "sieve"},
+    }
+    scenarios = {}
+    for name, overrides in specs.items():
+        print(f"[{name}] replaying {args.accesses} accesses ...",
+              flush=True)
+        result = run_store_scenario(name, **shared, **overrides)
+        scenarios[name] = result.summary()
+        print(f"[{name}] hit_ratio={scenarios[name]['hit_ratio']}"
+              f" p50={scenarios[name]['p50_ms']}ms"
+              f" p99={scenarios[name]['p99_ms']}ms"
+              f" evictions={scenarios[name]['evictions']}", flush=True)
+
+    fit_hit = scenarios["fit"]["hit_ratio"]
+    amplification = round(
+        scenarios["pressure"]["p99_ms"] / max(1e-9,
+                                              scenarios["fit"]["p99_ms"]),
+        2)
+    sieve_wins = (scenarios["scan_sieve"]["hit_ratio"]
+                  >= scenarios["scan_lru"]["hit_ratio"])
+    gate_pass = (fit_hit >= args.min_hit_ratio
+                 and amplification >= args.min_amplification
+                 and sieve_wins)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "config": shared,
+        "scenarios": scenarios,
+        "gate": {
+            "min_hit_ratio": args.min_hit_ratio,
+            "fit_hit_ratio": fit_hit,
+            "min_amplification": args.min_amplification,
+            "cold_p99_amplification": amplification,
+            "sieve_beats_lru_on_scans": sieve_wins,
+            "pass": gate_pass,
+        },
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) +
+                        "\n")
+    print(f"wrote {out_path}")
+    if not gate_pass:
+        print(f"GATE FAILED: fit hit ratio {fit_hit} "
+              f"(min {args.min_hit_ratio}), amplification "
+              f"{amplification}x (min {args.min_amplification}x), "
+              f"sieve_beats_lru={sieve_wins}", file=sys.stderr)
+        return 1
+    print(f"gate OK: hit ratio {fit_hit}, cold p99 amplification "
+          f"{amplification}x, sieve beats lru on scans")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

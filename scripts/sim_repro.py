@@ -44,6 +44,9 @@ def _report_failure(result, args) -> None:
 def _run_one(seed: int, args) -> bool:
     config = {"engine_vectorized": args.engine != "scalar",
               "workload": args.workload}
+    if args.memory_budget is not None:
+        config["store_budget_bytes"] = args.memory_budget
+        config["store_policy"] = args.store_policy
     result = run_seed(seed, num_steps=args.steps, config=config)
     print(result.summary(), flush=True)
     if result.ok:
@@ -72,6 +75,15 @@ def main() -> int:
                         help="execution engine under test for generated "
                              "runs (the invariant oracle is always "
                              "scalar Python over record dicts)")
+    parser.add_argument("--memory-budget", type=int, default=None,
+                        help="per-server segment-cache byte budget for "
+                             "generated runs: every query then contends "
+                             "with cold loads and evictions, and the "
+                             "oracle checks results are identical "
+                             "regardless of residency (docs/STORAGE.md)")
+    parser.add_argument("--store-policy", choices=("lru", "sieve"),
+                        default="lru",
+                        help="eviction policy when --memory-budget is set")
     parser.add_argument("--workload", choices=("default", "upsert", "dedup"),
                         default="default",
                         help="scenario shape for generated runs: the "

@@ -1,0 +1,157 @@
+"""Tiered-storage scenarios: access traces against a byte-budgeted
+segment cache over a virtual-latency deep store.
+
+Shared by ``scripts/bench_store.py`` (the BENCH_store.json CI gate) and
+``benchmarks/test_tiered_storage.py`` (the fig_store report). Each
+scenario builds a single-server cluster whose deep-store link has real
+latency and bandwidth on the virtual clock, uploads one segment per
+table, sizes the cache budget as a fraction of the total bytes, and
+replays a seeded hot-set access trace (optionally polluted with
+periodic full-table scans). Per-query latency is the broker's
+``time_used_ms`` — virtual-clock time, so cold loads surface as the
+deep-store round trip plus the transfer time of the segment bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.net import LinkModel, SimClock, Transport
+from repro.store import DEEPSTORE_ADDRESS
+
+
+@dataclass
+class StoreScenarioResult:
+    """One access-trace replay, summarized."""
+
+    name: str
+    policy: str
+    hit_ratio: float
+    p50_ms: float
+    p99_ms: float
+    hits: int
+    misses: int
+    evictions: int
+    budget_bytes: int
+    total_bytes: int
+
+    def summary(self) -> dict:
+        return {
+            "policy": self.policy,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "budget_bytes": self.budget_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def _schema() -> Schema:
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def _records(rows: int, table_index: int) -> list[dict]:
+    return [{"country": f"c{i % 7}", "views": i + table_index,
+             "day": 17000 + (i % 5)} for i in range(rows)]
+
+
+def _trace(rng: np.random.Generator, num_tables: int, accesses: int,
+           hot_tables: int, hot_fraction: float,
+           scan_every: int | None) -> list[int]:
+    """Hot-set accesses, optionally polluted with periodic one-shot
+    scans over every table (the pattern SIEVE resists and LRU does
+    not)."""
+    trace: list[int] = []
+    step = 0
+    while len(trace) < accesses:
+        if scan_every is not None and step % scan_every == 0 and step:
+            trace.extend(range(num_tables))
+        elif rng.random() < hot_fraction:
+            trace.append(int(rng.integers(0, hot_tables)))
+        else:
+            trace.append(int(rng.integers(hot_tables, num_tables)))
+        step += 1
+    return trace[:accesses]
+
+
+def run_store_scenario(name: str, *, num_tables: int = 12,
+                       rows_per_table: int = 400,
+                       budget_fraction: float = 1.0,
+                       policy: str = "lru", accesses: int = 240,
+                       hot_tables: int = 4, hot_fraction: float = 0.85,
+                       scan_every: int | None = None, seed: int = 7,
+                       link_latency_s: float = 0.010,
+                       bandwidth_bytes_per_s: float = 50e6,
+                       ) -> StoreScenarioResult:
+    """Replay one access trace and summarize cache behavior.
+
+    ``budget_fraction`` sizes the cache budget relative to the total
+    bytes of all uploaded segments (1.0 = everything fits; 0.25 = the
+    working set is 4x the budget).
+    """
+    clock = SimClock(auto_advance=False)
+    transport = Transport(clock, seed=seed)
+    transport.set_link(None, DEEPSTORE_ADDRESS, LinkModel(
+        latency_s=link_latency_s,
+        bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+    ))
+    cluster = PinotCluster(num_servers=1, clock=clock,
+                           transport=transport,
+                           store_budget_bytes=1 << 40,
+                           store_policy=policy)
+    schema = _schema()
+    tables = [f"t{i:02d}" for i in range(num_tables)]
+    for index, table in enumerate(tables):
+        cluster.create_table(TableConfig.offline(table, schema))
+        cluster.upload_records(table, _records(rows_per_table, index),
+                               rows_per_segment=rows_per_table)
+
+    server = cluster.servers[0]
+    cache = server.segment_cache
+    total_bytes = sum(e.size_bytes for e in cache.entries())
+    # The budget is sized from the actual uploaded bytes, so set it
+    # after upload; the next cache operation re-enforces it.
+    budget = max(1, int(total_bytes * budget_fraction))
+    cache.budget_bytes = budget
+
+    rng = np.random.default_rng(seed)
+    trace = _trace(rng, num_tables, accesses, hot_tables, hot_fraction,
+                   scan_every)
+
+    def query(table_index: int) -> float:
+        pql = (f"SELECT sum(views), count(*) FROM {tables[table_index]} "
+               "OPTION(skipCache=true)")
+        return cluster.execute(pql).time_used_ms
+
+    # Warm every table once so the measured window starts from steady
+    # state: with a fitting budget nothing is cold afterwards, while
+    # under pressure the eviction churn this causes IS the steady state.
+    for table_index in range(num_tables):
+        query(table_index)
+    hits0 = server.metrics.count("store_hits")
+    misses0 = server.metrics.count("store_misses")
+    evictions0 = server.metrics.count("store_evictions")
+    times_ms = np.array([query(t) for t in trace])
+    hits = server.metrics.count("store_hits") - hits0
+    misses = server.metrics.count("store_misses") - misses0
+    evictions = server.metrics.count("store_evictions") - evictions0
+    return StoreScenarioResult(
+        name=name, policy=policy,
+        hit_ratio=hits / max(1, hits + misses),
+        p50_ms=float(np.percentile(times_ms, 50)),
+        p99_ms=float(np.percentile(times_ms, 99)),
+        hits=hits, misses=misses, evictions=evictions,
+        budget_bytes=budget, total_bytes=total_bytes,
+    )

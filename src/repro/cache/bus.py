@@ -28,7 +28,10 @@ class InvalidationEvent:
     #: What happened: ``segment_completed``, ``segment_replaced``,
     #: ``segment_uploaded``, ``segment_deleted``, ``state_transition``,
     #: ``instance_death``, ``upsert_state`` (a server's upsert index
-    #: masked rows in an already-committed segment, or was rebuilt).
+    #: masked rows in an already-committed segment, or was rebuilt),
+    #: ``segment_evicted`` (a server dropped a segment's resident
+    #: payload under memory pressure — repro.store), ``segment_tiered``
+    #: (the controller moved an aged segment to remote-only storage).
     reason: str
     segment: str | None = None
 

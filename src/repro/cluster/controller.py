@@ -202,7 +202,7 @@ class Controller:
             f"segments/{table}/{segment.name}",
             {
                 "num_docs": segment.num_docs,
-                "size_bytes": segment.metadata.total_bytes,
+                "size_bytes": segment.estimated_size_bytes(),
                 "min_time": segment.metadata.min_time,
                 "max_time": segment.metadata.max_time,
                 "push_time_ms": push_time_ms,
@@ -227,7 +227,7 @@ class Controller:
         if config.quota_bytes is None:
             return
         projected = self._store.size_bytes(table) + (
-            segment.metadata.total_bytes
+            segment.estimated_size_bytes()
         )
         if projected > config.quota_bytes:
             raise QuotaExceededError(
@@ -326,8 +326,21 @@ class Controller:
         load: dict[str, int] = {server: 0 for server in servers}
         new_mapping: dict[str, dict[str, str]] = {}
         for segment in sorted(current):
-            state = next(iter(current[segment].values()),
-                         SegmentState.ONLINE.value)
+            state = next(iter(current[segment].values()), None)
+            if state is None:
+                # Every replica died before this rebalance (e.g. all
+                # CONSUMING holders were killed and re-seating was
+                # deferred to the next mapping change). Recover from
+                # the segment metadata: only committed segments exist
+                # in the deep store and can come back ONLINE; an
+                # uncommitted one must re-consume from its start
+                # offset.
+                meta = self._helix.get_property(
+                    f"realtime/{table}/{segment}") or {}
+                committed = (config.table_type is TableType.OFFLINE
+                             or meta.get("status") == "DONE")
+                state = (SegmentState.ONLINE.value if committed
+                         else SegmentState.CONSUMING.value)
             # Least-loaded first for balance; among equally loaded
             # servers prefer existing replicas (no data movement).
             existing = set(current[segment])
@@ -479,6 +492,54 @@ class Controller:
                     self.delete_segment(table, segment_name)
                     deleted.append(segment_name)
         return deleted
+
+    # -- retention tiering (docs/STORAGE.md) ------------------------------------
+
+    def run_tiering(self, now: int) -> list[str]:
+        """Move segments past their table's ``tier_to_remote_after``
+        window to remote-only: the authoritative copy stays in the deep
+        store, hosting servers drop any resident payload, and future
+        queries cold-fetch under a per-query pin. A cheaper sibling of
+        retention GC — the data stays queryable, it just stops occupying
+        server memory. Returns the newly tiered segment names."""
+        self._require_leader()
+        tiered = []
+        for table in self.list_tables():
+            config = self.table_config(table)
+            if config.tier_to_remote_after is None:
+                continue
+            cutoff = now - config.tier_to_remote_after
+            for segment_name in self.list_segments(table):
+                for kind in ("segments", "realtime"):
+                    path = f"{kind}/{table}/{segment_name}"
+                    meta = self._helix.get_property(path)
+                    if meta is not None:
+                        break
+                if meta is None or meta.get("tier") == "remote":
+                    continue
+                max_time = meta.get("max_time")
+                if max_time is None or max_time >= cutoff:
+                    continue
+                meta["tier"] = "remote"
+                self._helix.set_property(path, meta)
+                for instance in self._helix.external_view(table).get(
+                        segment_name, {}):
+                    participant = self._helix.participant(instance)
+                    if participant is None or not hasattr(
+                            participant, "apply_tiering"):
+                        continue
+                    try:
+                        self._helix.transport.call(
+                            self.instance_id, instance,
+                            "apply_tiering", table, segment_name,
+                        )
+                    except ClusterError:
+                        continue  # dead replica rebuilds lazily anyway
+                self._helix.invalidation_bus.publish(
+                    table, "segment_tiered", segment=segment_name
+                )
+                tiered.append(segment_name)
+        return tiered
 
     # -- realtime segment management (§3.3.6) ---------------------------------------
 
@@ -689,6 +750,7 @@ class Controller:
             min_time=sealed.metadata.min_time,
             max_time=sealed.metadata.max_time,
             num_docs=sealed.num_docs,
+            size_bytes=sealed.estimated_size_bytes(),
         )
         self._helix.set_property(f"realtime/{table}/{segment}", meta)
 

@@ -76,7 +76,7 @@ class MemoryObjectStore(ObjectStore):
 
     def size_bytes(self, table: str) -> int:
         return sum(
-            segment.metadata.total_bytes
+            segment.estimated_size_bytes()
             for (t, __), segment in self._segments.items() if t == table
         )
 

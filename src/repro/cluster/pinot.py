@@ -36,6 +36,8 @@ from repro.obs.trace import Tracer
 from repro.kafka.partitioner import kafka_partition
 from repro.segment.builder import SegmentBuilder
 from repro.segment.segment import ImmutableSegment
+from repro.store import DEEPSTORE_ADDRESS, DeepStoreService
+from repro.store.remote import DEEPSTORE_QUEUE_CAPACITY
 from repro.zk.store import ZkStore
 
 
@@ -51,9 +53,16 @@ class PinotCluster:
                  transport: Transport | None = None,
                  hedging: HedgePolicy | None = None,
                  trace_sample_rate: float = 0.0,
-                 default_vectorized: bool = True):
+                 default_vectorized: bool = True,
+                 store_budget_bytes: int | None = None,
+                 store_policy: str = "lru"):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
+        #: Per-server segment-cache byte budget and eviction policy
+        #: (repro.store, docs/STORAGE.md). ``None`` keeps every hosted
+        #: segment resident.
+        self.store_budget_bytes = store_budget_bytes
+        self.store_policy = store_policy
         #: Cluster-wide engine default for servers created here and by
         #: :meth:`add_server` (overridable per query with
         #: ``OPTION(vectorized=...)``).
@@ -72,6 +81,13 @@ class PinotCluster:
             self.clock, seed=seed
         )
         self.helix = HelixManager(self.zk, cluster_name, transport=self.net)
+        # The deep store is an addressable service on the fabric, so
+        # cold segment fetches are real timed RPCs (give the address a
+        # LinkModel to shape cold-read latency/bandwidth).
+        if self.net.endpoint(DEEPSTORE_ADDRESS) is None:
+            self.net.register(DEEPSTORE_ADDRESS,
+                              DeepStoreService(self.object_store),
+                              queue_capacity=DEEPSTORE_QUEUE_CAPACITY)
         self.quotas = quotas if quotas is not None else TenantQuotaManager(
             default_capacity=1e12, default_refill_rate=1e12
         )
@@ -87,7 +103,9 @@ class PinotCluster:
         self.servers = [
             ServerInstance(f"server-{i}", self.helix, self.object_store,
                            self.kafka, self.leader_controller,
-                           default_vectorized=default_vectorized)
+                           default_vectorized=default_vectorized,
+                           store_budget_bytes=store_budget_bytes,
+                           store_policy=store_policy)
             for i in range(num_servers)
         ]
         for server in self.servers:
@@ -274,6 +292,10 @@ class PinotCluster:
     def run_retention(self, now: int) -> list[str]:
         return self.leader_controller().run_retention(now)
 
+    def run_tiering(self, now: int) -> list[str]:
+        """Move aged segments to remote-only storage (docs/STORAGE.md)."""
+        return self.leader_controller().run_tiering(now)
+
     def run_minions(self) -> int:
         return sum(minion.run_pending() for minion in self.minions)
 
@@ -323,7 +345,9 @@ class PinotCluster:
             instance_id = f"server-{candidate}"
         server = ServerInstance(instance_id, self.helix, self.object_store,
                                 self.kafka, self.leader_controller,
-                                default_vectorized=self.default_vectorized)
+                                default_vectorized=self.default_vectorized,
+                                store_budget_bytes=self.store_budget_bytes,
+                                store_policy=self.store_policy)
         self.helix.register_participant(server, tags=[SERVER_TAG])
         self.servers.append(server)
         self.metrics_registry.register("server", instance_id,

@@ -31,10 +31,11 @@ from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.kafka.broker import KafkaConsumer, SimKafka
 from repro.obs import propagation
-from repro.obs.trace import STATUS_ERROR
+from repro.obs.trace import STATUS_ERROR, STATUS_OK
 from repro.pql.ast_nodes import Query
 from repro.segment.mutable import MutableSegment
 from repro.segment.segment import ImmutableSegment
+from repro.store import DEEPSTORE_ADDRESS, SegmentCache
 from repro.upsert.index import TableUpsertManager
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,7 +68,9 @@ class ServerInstance:
     def __init__(self, instance_id: str, helix: HelixManager,
                  object_store: ObjectStore, kafka: SimKafka | None = None,
                  controller_resolver: Callable[[], "Controller"] | None = None,
-                 default_vectorized: bool = True):
+                 default_vectorized: bool = True,
+                 store_budget_bytes: int | None = None,
+                 store_policy: str = "lru"):
         self.instance_id = instance_id
         #: Engine default for queries that carry no
         #: ``OPTION(vectorized=...)``: batch kernels (True) or the
@@ -77,8 +80,6 @@ class ServerInstance:
         self._store = object_store
         self._kafka = kafka
         self._controller_resolver = controller_resolver
-        #: (table, segment) -> loaded immutable segment.
-        self._segments: dict[tuple[str, str], ImmutableSegment] = {}
         #: (table, segment) -> consuming replica state.
         self._consuming: dict[tuple[str, str], _ConsumingSegment] = {}
         #: Fault-injection hooks (crash / error / slow / flaky), seeded
@@ -86,8 +87,18 @@ class ServerInstance:
         self.faults = FaultInjector(seed=zlib.crc32(instance_id.encode()))
         self.queries_executed = 0
         #: Per-server counters (segments_pruned, segments_scanned,
-        #: hot_hits, hot_misses).
+        #: hot_hits, hot_misses, store_*).
         self.metrics = ServerMetrics()
+        #: Hosted committed segments: sized refs over the deep store,
+        #: loaded lazily and evicted under the byte budget
+        #: (repro.store, docs/STORAGE.md). ``None`` budget keeps every
+        #: hosted segment resident — the pre-tiering behavior.
+        self.segment_cache = SegmentCache(
+            budget_bytes=store_budget_bytes,
+            policy=store_policy,
+            on_evict=self._on_store_evict,
+            metrics=self.metrics,
+        )
         #: LRU of decoded column structures for the hottest columns
         #: (layer 3 of the cache subsystem, repro.cache).
         self.hot_cache = HotStructureCache()
@@ -101,15 +112,14 @@ class ServerInstance:
     # -- introspection ------------------------------------------------------
 
     def hosted_segments(self, table: str) -> list[str]:
-        online = [s for (t, s) in self._segments if t == table]
+        online = self.segment_cache.names(table)
         consuming = [s for (t, s) in self._consuming if t == table]
         return sorted(online + consuming)
 
     def num_docs(self, table: str) -> int:
-        total = sum(
-            segment.num_docs for (t, __), segment in self._segments.items()
-            if t == table
-        )
+        # Doc counts come from the sized refs, so the answer is exact
+        # whether or not the segments are resident.
+        total = self.segment_cache.num_docs(table)
         total += sum(
             consuming.mutable.num_docs
             for (t, __), consuming in self._consuming.items() if t == table
@@ -117,13 +127,15 @@ class ServerInstance:
         return total
 
     def segment(self, table: str, name: str) -> ImmutableSegment:
-        try:
-            return self._segments[(table, name)]
-        except KeyError:
+        """The hosted segment's loaded form (cold-loading if needed)."""
+        if (table, name) not in self.segment_cache:
             raise ClusterError(
                 f"server {self.instance_id!r} does not host "
                 f"{table}/{name}"
-            ) from None
+            )
+        loaded = self.segment_cache.pin(table, name, self._fetch_segment)
+        self.segment_cache.unpin(table, name)
+        return loaded
 
     def stream_progress(self) -> int:
         """Total stream offset consumed across this server's consuming
@@ -155,18 +167,23 @@ class ServerInstance:
                 self._load_from_store(resource, segment)
         elif to_state is SegmentState.CONSUMING:
             self._start_consuming(resource, segment)
-        elif to_state is SegmentState.OFFLINE:
-            self._segments.pop(key, None)
-            self._consuming.pop(key, None)
-            self.hot_cache.invalidate_segment(resource, segment)
-            self._on_segment_removed(resource)
-        elif to_state is SegmentState.DROPPED:
-            self._segments.pop(key, None)
+        elif to_state in (SegmentState.OFFLINE, SegmentState.DROPPED):
+            self.segment_cache.drop(resource, segment)
             self._consuming.pop(key, None)
             self.hot_cache.invalidate_segment(resource, segment)
             self._on_segment_removed(resource)
         else:
             raise ClusterError(f"unsupported target state {to_state}")
+
+    def _on_store_evict(self, table: str, segment: str) -> None:
+        """A resident segment was evicted under memory pressure (or
+        tiered off): no derived structure may outlive its backing
+        segment, so the hot-structure cache drops the segment's decoded
+        columns and the eviction is published on the invalidation bus
+        (broker result-cache keys for the table rotate)."""
+        self.hot_cache.invalidate_segment(table, segment)
+        self._helix.invalidation_bus.publish(table, "segment_evicted",
+                                             segment=segment)
 
     def _on_segment_removed(self, table: str) -> None:
         # Un-applying one segment's rows from a PK index is not possible
@@ -176,9 +193,26 @@ class ServerInstance:
             self._rebuild_upsert_index(table)
 
     def _load_from_store(self, table: str, segment: str) -> None:
-        loaded = self._store.get(table, segment)
-        self._segments[(table, segment)] = loaded
+        """OFFLINE -> ONLINE: start hosting a committed segment.
+
+        Plain tables with published routing metadata register a lazy
+        sized ref — the payload stays in the deep store until the first
+        query pins it (tiered storage). Upsert/dedup tables and
+        segments without metadata load eagerly: the PK index needs the
+        rows now, and an unsized ref cannot be budget-accounted."""
         manager = self.upsert_manager(table)
+        ref = self._segment_ref(table, segment)
+        if manager is None and ref is not None:
+            size_bytes, num_docs = ref
+            self.segment_cache.register(table, segment,
+                                        size_bytes=size_bytes,
+                                        num_docs=num_docs)
+            return
+        loaded = self._fetch_segment(table, segment)
+        self.segment_cache.register(
+            table, segment, size_bytes=loaded.estimated_size_bytes(),
+            num_docs=loaded.num_docs, segment=loaded,
+        )
         if manager is None:
             return
         if manager.bitmap_length(segment) > loaded.num_docs:
@@ -189,6 +223,73 @@ class ServerInstance:
             return
         if manager.apply_segment(loaded):
             self._publish_upsert_state(table, segment)
+
+    def _segment_ref(self, table: str, segment: str) -> tuple[int, int] | None:
+        """(size_bytes, num_docs) from published segment metadata, or
+        None when the controller never published any (bare unit-test
+        setups, pre-commit realtime segments)."""
+        meta = (self._helix.get_property(f"segments/{table}/{segment}")
+                or self._helix.get_property(f"realtime/{table}/{segment}"))
+        if not meta:
+            return None
+        size_bytes = meta.get("size_bytes")
+        num_docs = meta.get("num_docs")
+        if size_bytes is None or num_docs is None:
+            return None
+        return int(size_bytes), int(num_docs)
+
+    def _fetch_segment(self, table: str, segment: str) -> ImmutableSegment:
+        """Download one segment from the deep store.
+
+        When the cluster transport exposes a ``deepstore`` endpoint the
+        download is a real nested RPC: link latency/bandwidth/drop
+        models apply on the virtual timeline and the fetch extends the
+        enclosing handler's service time (a cold replica is visibly
+        slow to the broker — exactly what hedging exists for). The call
+        is traced as a ``segment_load`` span when a sampled trace
+        context is active. Bare setups without the endpoint read the
+        object store directly."""
+        transport = self._helix.transport
+        if transport.endpoint(DEEPSTORE_ADDRESS) is None:
+            loaded = self._store.get(table, segment)
+            self._reconcile_schema(table, loaded)
+            return loaded
+        recorder = propagation.current()
+        span = (recorder.start("segment_load", segment=segment)
+                if recorder is not None else None)
+        result = transport.subcall(self.instance_id, DEEPSTORE_ADDRESS,
+                                   "fetch", table, segment)
+        self.metrics.incr("store_cold_fetches")
+        self.metrics.record_stage("segment_load",
+                                  result.duration_s * 1000.0)
+        if span is not None and recorder is not None:
+            if result.error is not None:
+                span.attributes["error"] = str(result.error)
+            recorder.end(span,
+                         STATUS_OK if result.error is None else STATUS_ERROR)
+            # Place the span on the fetch's virtual interval: the RPC's
+            # modelled latencies, not the negligible real time spent
+            # issuing it.
+            span.start_s = result.departed
+            span.end_s = result.completed
+        loaded = result.unwrap()
+        if span is not None:
+            span.attributes["bytes"] = loaded.estimated_size_bytes()
+        self._reconcile_schema(table, loaded)
+        return loaded
+
+    def _reconcile_schema(self, table: str, segment: ImmutableSegment) -> None:
+        """Re-apply schema evolution to a freshly downloaded segment:
+        columns added after the segment was built (§5.2) exist only as
+        virtual columns on loaded copies, so a cold reload must recreate
+        them or queries on the new column would fail after an evict."""
+        payload = self._helix.get_property(f"tableconfigs/{table}")
+        if payload is None:
+            return
+        schema = TableConfig.from_dict(payload).schema
+        for name in schema.column_names:
+            if not segment.has_column(name):
+                self._add_virtual_column(segment, schema.field(name))
 
     def _promote_consuming(self, table: str, segment: str) -> None:
         """CONSUMING → ONLINE: keep local sealed data when it matches the
@@ -206,7 +307,12 @@ class ServerInstance:
             # Seal handoff: local rows == authoritative rows, and seal
             # preserves docId order, so the upsert bitmaps keyed by this
             # segment name stay valid verbatim — the atomic handoff.
-            self._segments[key] = consuming.sealed
+            self.segment_cache.register(
+                table, segment,
+                size_bytes=consuming.sealed.estimated_size_bytes(),
+                num_docs=consuming.sealed.num_docs,
+                segment=consuming.sealed,
+            )
             return
         overran = (
             consuming is not None
@@ -297,11 +403,20 @@ class ServerInstance:
         manager = self._upsert.get(table)
         if manager is None:
             return
-        segments = [segment for (t, __), segment in self._segments.items()
-                    if t == table]
-        consuming = [(c.name, c.mutable.records())
-                     for (t, __), c in self._consuming.items() if t == table]
-        manager.rebuild(segments, consuming)
+        # Pin everything hosted for the replay (cold segments load);
+        # the list keeps the references alive past the unpins.
+        names = self.segment_cache.names(table)
+        segments = [self.segment_cache.pin(table, name, self._fetch_segment)
+                    for name in names]
+        try:
+            consuming = [
+                (c.name, c.mutable.records())
+                for (t, __), c in self._consuming.items() if t == table
+            ]
+            manager.rebuild(segments, consuming)
+        finally:
+            for name in names:
+                self.segment_cache.unpin(table, name)
         self._publish_upsert_state(table, None)
 
     def _publish_upsert_state(self, table: str,
@@ -445,7 +560,21 @@ class ServerInstance:
 
     def apply_new_column(self, table: str, spec) -> None:
         """Expose a newly added column on already-loaded segments as a
-        default-valued virtual column, without reloading anything."""
+        default-valued virtual column, without reloading anything.
+        Non-resident (evicted / never-loaded) segments are reconciled
+        against the table schema when they are next fetched."""
+        for entry in self.segment_cache.entries(table):
+            if entry.segment is not None:
+                self._add_virtual_column(entry.segment, spec)
+        for (t, __), consuming in self._consuming.items():
+            if t == table and spec.name not in consuming.mutable.schema:
+                consuming.mutable.schema = (
+                    consuming.mutable.schema.with_column(spec)
+                )
+                consuming.mutable.invalidate_snapshot()
+
+    @staticmethod
+    def _add_virtual_column(segment: ImmutableSegment, spec) -> None:
         import numpy as np
 
         from repro.segment.bitpack import bits_required
@@ -454,29 +583,31 @@ class ServerInstance:
         from repro.segment.metadata import ColumnMetadata
         from repro.segment.segment import Column
 
-        for (t, __), segment in self._segments.items():
-            if t != table or segment.has_column(spec.name):
-                continue
-            default = spec.default
-            dictionary = Dictionary(spec.dtype, [default])
-            forward = SingleValueForwardIndex.from_dict_ids(
-                np.zeros(segment.num_docs, dtype=np.uint32)
-            )
-            meta = ColumnMetadata(
-                name=spec.name, dtype=spec.dtype, role=spec.role,
-                cardinality=1, min_value=default, max_value=default,
-                total_docs=segment.num_docs, total_entries=segment.num_docs,
-                bit_width=bits_required(0),
-            )
-            segment.add_virtual_column(Column(spec, dictionary, forward,
-                                              meta))
-            segment.schema = segment.schema.with_column(spec)
-        for (t, __), consuming in self._consuming.items():
-            if t == table and spec.name not in consuming.mutable.schema:
-                consuming.mutable.schema = (
-                    consuming.mutable.schema.with_column(spec)
-                )
-                consuming.mutable.invalidate_snapshot()
+        if segment.has_column(spec.name):
+            return
+        default = spec.default
+        dictionary = Dictionary(spec.dtype, [default])
+        forward = SingleValueForwardIndex.from_dict_ids(
+            np.zeros(segment.num_docs, dtype=np.uint32)
+        )
+        meta = ColumnMetadata(
+            name=spec.name, dtype=spec.dtype, role=spec.role,
+            cardinality=1, min_value=default, max_value=default,
+            total_docs=segment.num_docs, total_entries=segment.num_docs,
+            bit_width=bits_required(0),
+        )
+        segment.add_virtual_column(Column(spec, dictionary, forward,
+                                          meta))
+        segment.schema = segment.schema.with_column(spec)
+
+    # -- retention tiering (docs/STORAGE.md) -----------------------------------
+
+    def apply_tiering(self, table: str, segment: str) -> None:
+        """Controller RPC: the segment aged past the table's tiering
+        threshold and is now remote-only — drop any resident payload and
+        never keep it resident beyond individual query pins."""
+        if (table, segment) in self.segment_cache:
+            self.segment_cache.set_remote_only(table, segment)
 
     # -- query execution (§3.3.4) -----------------------------------------------
 
@@ -513,12 +644,16 @@ class ServerInstance:
         upsert = self.upsert_manager(table)
         results: list[SegmentResult] = []
         span = None
+        #: Segments pinned resident for the duration of this query —
+        #: eviction under pressure must never pull a segment out from
+        #: under an executing scan.
+        pinned: list[tuple[str, str]] = []
         try:
             for name in segment_names:
                 if (deadline is not None
                         and time.perf_counter() > deadline):
                     break  # run_with_faults turns this into a timeout
-                segment = self._resolve_for_query(table, name)
+                segment = self._resolve_for_query(table, name, pinned)
                 if recorder is not None:
                     span = recorder.start("segment", segment=name)
                 if segment is None:
@@ -530,7 +665,7 @@ class ServerInstance:
                     continue
                 # Pre-execution pruning applies only to immutable
                 # segments: consuming snapshots lack settled metadata.
-                immutable = (table, name) in self._segments
+                immutable = (table, name) in self.segment_cache
                 reason = (
                     prune_reason(segment.metadata, query)
                     if not skip_prune and immutable else None
@@ -575,6 +710,9 @@ class ServerInstance:
                 span.attributes["error"] = str(exc)
                 recorder.end(span, STATUS_ERROR)
             return ServerResult(server=self.instance_id, error=str(exc))
+        finally:
+            for t, n in pinned:
+                self.segment_cache.unpin(t, n)
         return combine_segment_results(query, results, self.instance_id)
 
     def _warm_hot_columns(self, table: str, segment: ImmutableSegment,
@@ -617,11 +755,23 @@ class ServerInstance:
             plans[name] = plan_segment(segment, query).describe()
         return plans
 
-    def _resolve_for_query(self, table: str,
-                           name: str) -> ImmutableSegment | None:
+    def _resolve_for_query(
+        self, table: str, name: str,
+        pinned: list[tuple[str, str]] | None = None,
+    ) -> ImmutableSegment | None:
+        """The loaded form of one queried segment, cold-fetching lazy
+        refs. With ``pinned``, hosted segments stay pinned (caller
+        unpins after the query); without it the pin is released
+        immediately (explain/introspection paths)."""
         key = (table, name)
-        if key in self._segments:
-            return self._segments[key]
+        if key in self.segment_cache:
+            segment = self.segment_cache.pin(table, name,
+                                             self._fetch_segment)
+            if pinned is None:
+                self.segment_cache.unpin(table, name)
+            else:
+                pinned.append(key)
+            return segment
         if key in self._consuming:
             return self._consuming[key].mutable.snapshot()
         raise ClusterError(

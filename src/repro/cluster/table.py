@@ -65,6 +65,11 @@ class TableConfig:
     )
     #: Storage quota in bytes; uploads beyond it are rejected (§3.3.5).
     quota_bytes: int | None = None
+    #: Segments whose max_time is older than this (time-column units)
+    #: are tiered to remote-only: still queryable, but never held
+    #: resident in server memory between queries (docs/STORAGE.md).
+    #: None disables tiering.
+    tier_to_remote_after: int | None = None
     segment_config: SegmentConfig = field(default_factory=SegmentConfig)
     #: "balanced" | "large_cluster" | "partition_aware"
     routing_strategy: str = "balanced"
@@ -161,6 +166,7 @@ class TableConfig:
                 "size": self.retention_granularity.size,
             },
             "quota_bytes": self.quota_bytes,
+            "tier_to_remote_after": self.tier_to_remote_after,
             "routing_strategy": self.routing_strategy,
             "tenant": self.tenant,
             "sorted_column": self.segment_config.sorted_column,
@@ -205,6 +211,7 @@ class TableConfig:
             retention=payload.get("retention"),
             retention_granularity=retention_granularity,
             quota_bytes=payload.get("quota_bytes"),
+            tier_to_remote_after=payload.get("tier_to_remote_after"),
             routing_strategy=payload.get("routing_strategy", "balanced"),
             tenant=payload.get("tenant", "DefaultTenant"),
             segment_config=SegmentConfig(

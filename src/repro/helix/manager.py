@@ -32,6 +32,11 @@ from repro.zk.store import ZkSession, ZkStore
 #: Source address used for controller-originated transition RPCs.
 CONTROLLER_ADDRESS = "helix-controller"
 
+#: External-view marker for a replica whose transition failed. Not a
+#: :class:`SegmentState` — brokers skip it, and convergence retries it
+#: from OFFLINE.
+ERROR_STATE = "ERROR"
+
 
 class Participant(Protocol):
     """Anything that can execute segment state transitions (servers)."""
@@ -192,6 +197,12 @@ class HelixManager:
                 current_name = view.get(segment, {}).get(
                     instance, SegmentState.OFFLINE.value
                 )
+                if current_name == ERROR_STATE:
+                    # A replica parked in ERROR by a failed transition
+                    # restarts its lifecycle from OFFLINE (Helix's
+                    # ERROR -> OFFLINE reset) — the retry either heals
+                    # it or parks it in ERROR again.
+                    current_name = SegmentState.OFFLINE.value
                 current = SegmentState(current_name)
                 if current is desired:
                     continue
@@ -203,7 +214,10 @@ class HelixManager:
             for instance in list(replica_states):
                 if instance in ideal.get(segment, {}):
                     continue
-                current = SegmentState(replica_states[instance])
+                current_name = replica_states[instance]
+                if current_name == ERROR_STATE:
+                    current_name = SegmentState.OFFLINE.value
+                current = SegmentState(current_name)
                 if instance in live and current is not SegmentState.DROPPED:
                     self._execute_transitions(
                         resource, segment, instance, current,
@@ -238,7 +252,7 @@ class HelixManager:
         except ClusterError:
             # A failed transition leaves the replica in ERROR; Helix
             # reports it in the external view so brokers avoid it.
-            view.setdefault(segment, {})[instance] = "ERROR"
+            view.setdefault(segment, {})[instance] = ERROR_STATE
 
     def handle_instance_death(self, instance_id: str) -> None:
         """Purge a dead instance from all external views."""

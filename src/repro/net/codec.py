@@ -63,12 +63,16 @@ def _resolve_class(path: str) -> type:
 
 
 def blob_size_estimate(obj: Any) -> int:
-    """A rough byte size for bandwidth accounting of blob payloads."""
-    num_docs = getattr(obj, "num_docs", None)
-    if num_docs is not None:
-        schema = getattr(obj, "schema", None)
-        width = len(schema.column_names) if schema is not None else 8
-        return max(1024, int(num_docs) * width * 8)
+    """Byte size for bandwidth accounting of blob payloads.
+
+    Blob types carry their own accounting
+    (``estimated_size_bytes()`` on segments — the same authority the
+    segment cache and table quotas use); anything else gets a flat
+    envelope.
+    """
+    sizer = getattr(obj, "estimated_size_bytes", None)
+    if sizer is not None:
+        return int(sizer())
     return 1024
 
 

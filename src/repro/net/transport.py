@@ -185,6 +185,28 @@ class _Wire:
     blobs: list = field(default_factory=list)
 
 
+@dataclass
+class _HandlerFrame:
+    """Virtual-time context of one in-flight handler invocation.
+
+    ``cursor`` is the frame's nested-call departure instant: it starts
+    at the handler's virtual service start and advances to each nested
+    call's completion, so sequential sub-calls (a server fetching two
+    cold segments) queue up on the virtual timeline. The accumulated
+    ``cursor - start`` is added to the handler's service time — the
+    caller of the outer RPC waits for the nested work.
+
+    ``nested_real_s`` collects the real (perf_counter) seconds spent
+    executing nested handlers, which the outer measurement subtracts so
+    that real work is not billed twice (once as the nested call's
+    service, once inside the outer handler's measured time).
+    """
+
+    start: float
+    cursor: float
+    nested_real_s: float = 0.0
+
+
 class Transport:
     """The cluster's message fabric.
 
@@ -204,6 +226,8 @@ class Transport:
         self._rng = random.Random(seed)
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str | None, str], LinkModel] = {}
+        #: Stack of in-flight handler invocations (nested RPCs).
+        self._frames: list[_HandlerFrame] = []
 
     # -- topology -----------------------------------------------------------
 
@@ -302,6 +326,8 @@ class Transport:
             # way an RPC server parents spans under the inbound
             # traceparent header; anchored at the virtual service start.
             propagation.activate(decoded_ctx, start, component=dst)
+        frame = _HandlerFrame(start=start, cursor=start)
+        self._frames.append(frame)
         measured_start = time.perf_counter()
         value: object = None
         error: BaseException | None = None
@@ -311,11 +337,20 @@ class Transport:
         except PinotError as exc:
             error = exc
         finally:
+            self._frames.pop()
             remote_spans = (propagation.deactivate()
                             if recorder_active else [])
         result.handled = True
-        measured = time.perf_counter() - measured_start
-        service = measured + endpoint.service.sample(self._rng)
+        measured = max(
+            0.0,
+            time.perf_counter() - measured_start - frame.nested_real_s,
+        )
+        # Nested sub-calls the handler made (subcall) happened *during*
+        # service: their whole virtual duration extends it, so a cold
+        # deep-store fetch inside a query handler delays this call's
+        # completion — and the original caller visibly waits.
+        surcharge = frame.cursor - frame.start
+        service = measured + surcharge + endpoint.service.sample(self._rng)
         result.service_s = service
         done = start + service
         endpoint.finish(done)
@@ -355,6 +390,35 @@ class Transport:
                               depart_at=depart_at, **kwargs)
         self.clock.advance_to(result.completed)
         return result.unwrap()
+
+    def subcall(self, src: str, dst: str, method: str, *args,
+                **kwargs) -> CallResult:
+        """A blocking RPC issued from *inside* an endpoint handler.
+
+        The nested call departs at the enclosing handler's virtual
+        cursor and its full duration is folded into that handler's
+        service time, so the outer call's completion — what the outer
+        caller waits for — moves out by exactly the nested call's
+        latency. This is how a server's cold deep-store fetch amplifies
+        the broker-visible tail.
+
+        Returns the :class:`CallResult` (callers wanting raise-or-value
+        semantics call ``.unwrap()``); outside any handler it degrades
+        to plain synchronous-call timing against the shared clock.
+        """
+        frame = self._frames[-1] if self._frames else None
+        real_start = time.perf_counter()
+        result = self.request(
+            src, dst, method, *args,
+            depart_at=frame.cursor if frame is not None else None,
+            **kwargs,
+        )
+        if frame is not None:
+            frame.cursor = max(frame.cursor, result.completed)
+            frame.nested_real_s += time.perf_counter() - real_start
+        else:
+            self.clock.advance_to(result.completed)
+        return result
 
     # -- codec --------------------------------------------------------------
 

@@ -111,8 +111,11 @@ class ServerMetrics(Metrics):
     Same registry shape as :class:`BrokerMetrics` so tooling can scrape
     either uniformly. Well-known server counter names: segments_pruned,
     segments_scanned, hot_hits, hot_misses, upsert_rows_masked,
-    dedup_rows_dropped, upsert_index_rebuilds, upsert_invalidations;
-    well-known gauge: upsert_keys_tracked.
+    dedup_rows_dropped, upsert_index_rebuilds, upsert_invalidations,
+    and the segment-cache family (repro.store): store_hits,
+    store_misses, store_evictions, store_pins, store_cold_fetches;
+    well-known gauges: upsert_keys_tracked, store_resident_bytes,
+    store_budget_bytes (-1 when unbounded).
     """
 
 

@@ -61,6 +61,15 @@ class MutableSegment:
         """A copy of the raw records consumed so far."""
         return list(self._records)
 
+    def estimated_size_bytes(self) -> int:
+        """Byte accounting for an in-flight consuming segment.
+
+        No built indexes exist yet, so the estimate is row-shaped:
+        rows x columns x 8 bytes, the same floor the sealed form's
+        metadata-derived size bottoms out at.
+        """
+        return max(1024, len(self._records) * len(self.schema.column_names) * 8)
+
     # -- querying --------------------------------------------------------
 
     def snapshot(self) -> ImmutableSegment | None:

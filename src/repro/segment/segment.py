@@ -137,6 +137,17 @@ class ImmutableSegment:
     def num_docs(self) -> int:
         return self.metadata.num_docs
 
+    def estimated_size_bytes(self) -> int:
+        """The segment's storage footprint for byte accounting.
+
+        The single sizing authority shared by the server segment cache,
+        table quota checks, blob-ref bandwidth accounting and the
+        routing metadata brokers read — derived from the per-column
+        index sizes in the metadata, with a floor covering the metadata
+        envelope itself.
+        """
+        return max(1024, self.metadata.total_bytes)
+
     def __repr__(self) -> str:
         return (
             f"ImmutableSegment({self.name!r}, docs={self.num_docs}, "

@@ -45,7 +45,7 @@ from repro.pql.parser import parse
 from repro.segment.builder import SegmentBuilder
 from repro.sim import workload
 from repro.sim.invariants import (Violation, check_completion_safety,
-                                  check_convergence)
+                                  check_convergence, check_residency)
 from repro.sim.oracle import diff_summary, expected_rows, rows_match
 from repro.sim.schedule import Op, Schedule
 
@@ -72,6 +72,13 @@ DEFAULT_CONFIG: dict[str, Any] = {
     #: memberId, whose oracle reduces the visible stream prefix to the
     #: latest (upsert) or first (dedup) row per key.
     "workload": "default",
+    #: Per-server segment-cache byte budget (repro.store); None keeps
+    #: every hosted segment resident. A finite budget turns every run
+    #: into a memory-pressure schedule: queries cold-load and evict
+    #: segments constantly, and the oracle verifies results are
+    #: identical regardless of residency.
+    "store_budget_bytes": None,
+    "store_policy": "lru",
 }
 
 #: (op kind, relative weight) — the schedule generator's op mix.
@@ -91,6 +98,7 @@ OP_WEIGHTS: list[tuple[str, float]] = [
     ("kill_server", 1.0),
     ("add_server", 1.5),
     ("kill_controller", 1.0),
+    ("evict_residency", 2.0),
 ]
 
 #: Ops that have no meaning for the realtime-only upsert/dedup
@@ -185,6 +193,8 @@ class SimulationHarness:
             clock=clock,
             transport=transport,
             default_vectorized=bool(cfg["engine_vectorized"]),
+            store_budget_bytes=cfg["store_budget_bytes"],
+            store_policy=cfg["store_policy"],
         )
         self.model = _Model(cfg["num_partitions"])
         self.workload = cfg["workload"]
@@ -303,6 +313,9 @@ class SimulationHarness:
         )
         if detail is not None:
             self._violation("completion_safety", detail)
+        detail = check_residency(self.cluster.servers)
+        if detail is not None:
+            self._violation("residency_budget", detail)
 
     def _apply(self, kind: str, op: Op) -> None:
         """Run one op through the normal execute path (bootstrap use)."""
@@ -536,6 +549,18 @@ class SimulationHarness:
         self.cluster.kill_controller(instance)
         self._controllers.remove(instance)
 
+    def _op_evict_residency(self, op: Op) -> None:
+        """Memory pressure: drop one server's resident segment payloads.
+        Results must be unaffected — the next query cold-reloads from
+        the deep store (the residency-independence invariant)."""
+        instance = op.params["instance"]
+        try:
+            server = self.cluster.server(instance)
+        except ClusterError:
+            return  # killed since the op was generated
+        evicted = server.segment_cache.evict_all()
+        self._observe(f"evicted {evicted} resident segments on {instance}")
+
     _HANDLERS: dict[str, Callable[["SimulationHarness", Op], None]] = {
         "query": _op_query,
         "ingest": _op_ingest,
@@ -552,6 +577,7 @@ class SimulationHarness:
         "kill_server": _op_kill_server,
         "add_server": _op_add_server,
         "kill_controller": _op_kill_controller,
+        "evict_residency": _op_evict_residency,
     }
 
     # -- op generation (generate mode) ----------------------------------------
@@ -679,6 +705,13 @@ class SimulationHarness:
         instance = self._controllers[
             self.rng.randrange(len(self._controllers))]
         return Op("kill_controller", {"instance": instance})
+
+    def _make_evict_residency(self) -> Op | None:
+        healthy = self._healthy_servers()
+        if not healthy:
+            return None
+        return Op("evict_residency",
+                  {"instance": healthy[self.rng.randrange(len(healthy))]})
 
     def generate_and_run(self, num_steps: int) -> SimResult:
         """Generate mode: draw, record and execute ``num_steps`` ops."""

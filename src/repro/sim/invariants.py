@@ -136,6 +136,26 @@ _HEALTHY = frozenset({
 })
 
 
+def check_residency(servers) -> str | None:
+    """Invariant 4 (tiered storage, docs/STORAGE.md): between ops no
+    query is executing, so no segment is pinned and every server's
+    resident bytes must fit its segment-cache budget."""
+    for server in servers:
+        cache = server.segment_cache
+        if cache.budget_bytes is None:
+            continue
+        pinned = [entry.name for entry in cache.entries()
+                  if entry.pins > 0]
+        if pinned:
+            return (f"{server.instance_id}: segments still pinned "
+                    f"between ops: {pinned}")
+        if cache.resident_bytes > cache.budget_bytes:
+            return (f"{server.instance_id}: resident_bytes "
+                    f"{cache.resident_bytes} exceeds budget "
+                    f"{cache.budget_bytes}")
+    return None
+
+
 def check_convergence(helix: HelixManager) -> str | None:
     """Invariant 3: with no faults outstanding, every resource's
     external view matches its ideal state on live instances, and every

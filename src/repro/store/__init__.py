@@ -1,0 +1,27 @@
+"""Tiered segment storage: a byte-budgeted local cache over the deep
+store (docs/STORAGE.md).
+
+Production Pinot hosts hundreds of gigabytes per server, so server-local
+storage is a *cache* over the durable object store (§3.2, §3.4), not the
+authoritative copy. This package makes that literal: each server fronts
+the object store with a :class:`SegmentCache` holding committed segments
+as sized refs, loading them lazily over the cluster transport on first
+query, pinning them while executing, and evicting under a configurable
+byte budget with pluggable policies (LRU, SIEVE).
+"""
+
+from repro.store.cache import SegmentCache, SegmentEntry
+from repro.store.policy import EvictionPolicy, LruPolicy, SievePolicy, \
+    make_policy
+from repro.store.remote import DEEPSTORE_ADDRESS, DeepStoreService
+
+__all__ = [
+    "DEEPSTORE_ADDRESS",
+    "DeepStoreService",
+    "EvictionPolicy",
+    "LruPolicy",
+    "SegmentCache",
+    "SegmentEntry",
+    "SievePolicy",
+    "make_policy",
+]

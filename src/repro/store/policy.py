@@ -1,0 +1,144 @@
+"""Pluggable eviction policies for the segment cache.
+
+Two policies ship with the cache:
+
+* :class:`LruPolicy` — the classic baseline: evict the least recently
+  used segment first. Simple, but a single scan over many cold segments
+  (a full-table query against a mostly-remote table) flushes the whole
+  hot set.
+* :class:`SievePolicy` — a scan-resistant policy after SIEVE
+  (Zhang et al., NSDI'24; in the 2Q/CLOCK family): entries keep a
+  *visited* bit set on access, and a *hand* sweeps from the oldest
+  entry toward the newest, clearing visited bits and evicting the
+  first unvisited entry it meets. One-shot entries (touched only at
+  admission) are evicted before the established hot set, so a scan
+  cannot displace it.
+
+Policies only track *order*; the cache owns sizes, pins and residency.
+The cache never asks a policy to evict a pinned entry — ``victim``
+takes an ``evictable`` predicate and skips entries failing it without
+disturbing their position.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+
+class EvictionPolicy:
+    """Interface: access-order bookkeeping for one cache instance."""
+
+    name = "none"
+
+    def on_admit(self, key: Hashable) -> None:
+        """``key`` became resident."""
+        raise NotImplementedError
+
+    def on_access(self, key: Hashable) -> None:
+        """``key`` was read while resident."""
+        raise NotImplementedError
+
+    def on_remove(self, key: Hashable) -> None:
+        """``key`` left the cache (evicted or dropped)."""
+        raise NotImplementedError
+
+    def victim(self, evictable: Callable[[Hashable], bool]) -> Hashable | None:
+        """The next key to evict among those passing ``evictable``, or
+        None when no tracked entry qualifies."""
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used resident segment first."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def on_admit(self, key: Hashable) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self, evictable: Callable[[Hashable], bool]) -> Hashable | None:
+        for key in self._order:  # oldest first
+            if evictable(key):
+                return key
+        return None
+
+
+class SievePolicy(EvictionPolicy):
+    """Scan-resistant eviction: FIFO order + visited bits + a moving
+    hand (SIEVE). Admission inserts at the head; the hand survives
+    evictions by continuing from the evicted entry's neighbor toward
+    older entries, wrapping to the newest."""
+
+    name = "sieve"
+
+    def __init__(self) -> None:
+        #: Insertion order, oldest first. Values are the visited bits.
+        self._entries: OrderedDict[Hashable, bool] = OrderedDict()
+        #: The hand: the key examined next, or None for "start at the
+        #: oldest entry".
+        self._hand: Hashable | None = None
+
+    def on_admit(self, key: Hashable) -> None:
+        # Re-admission after eviction counts as a fresh insertion.
+        self._entries.pop(key, None)
+        self._entries[key] = False
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._entries:
+            self._entries[key] = True
+
+    def on_remove(self, key: Hashable) -> None:
+        if key not in self._entries:
+            return
+        if self._hand == key:
+            self._hand = self._neighbor_after(key)
+        del self._entries[key]
+
+    def _neighbor_after(self, key: Hashable) -> Hashable | None:
+        """The next-newer key after ``key``, or None to wrap around."""
+        keys = list(self._entries)
+        index = keys.index(key)
+        return keys[index + 1] if index + 1 < len(keys) else None
+
+    def victim(self, evictable: Callable[[Hashable], bool]) -> Hashable | None:
+        if not self._entries:
+            return None
+        keys = list(self._entries)
+        start = 0
+        if self._hand is not None and self._hand in self._entries:
+            start = keys.index(self._hand)
+        # Up to two passes: the first may only clear visited bits.
+        order = keys[start:] + keys[:start]
+        for key in order + order:
+            if not evictable(key):
+                continue
+            if self._entries[key]:
+                self._entries[key] = False
+                continue
+            self._hand = self._neighbor_after(key)
+            return key
+        return None
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Build a policy by configuration name (``lru`` or ``sieve``)."""
+    policies = {LruPolicy.name: LruPolicy, SievePolicy.name: SievePolicy}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown segment-cache policy {name!r}; "
+            f"expected one of {sorted(policies)}"
+        ) from None

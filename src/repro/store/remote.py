@@ -1,0 +1,41 @@
+"""The deep store as a transport endpoint.
+
+Cold segment loads are real RPCs: the server calls the ``deepstore``
+endpoint over the cluster :class:`~repro.net.transport.Transport`, so
+the configured link models (latency, jitter, bandwidth against the
+segment's blob size, drops) shape every miss on the shared virtual
+timeline. The fetched segment rides the codec's blob side channel —
+the same path a committed segment takes on upload — so bandwidth
+accounting uses :meth:`ImmutableSegment.estimated_size_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — avoids repro.cluster import cycle
+    from repro.cluster.objectstore import ObjectStore
+    from repro.segment.segment import ImmutableSegment
+
+#: Well-known transport address of the cluster's deep store front end.
+DEEPSTORE_ADDRESS = "deepstore"
+
+#: The deep store serves many servers' cold loads at once; give it a
+#: deeper inbound queue than a single server's default.
+DEEPSTORE_QUEUE_CAPACITY = 512
+
+
+class DeepStoreService:
+    """Transport handler fronting the durable object store."""
+
+    def __init__(self, store: "ObjectStore"):
+        self._store = store
+        self.fetches = 0
+
+    def fetch(self, table: str, segment_name: str) -> ImmutableSegment:
+        """Download one segment (raises ClusterError when absent)."""
+        self.fetches += 1
+        return self._store.get(table, segment_name)
+
+    def exists(self, table: str, segment_name: str) -> bool:
+        return self._store.exists(table, segment_name)

@@ -274,3 +274,62 @@ class TestRebalanceConvergenceWindow:
         cluster.leader_controller().rebalance_table("events_OFFLINE")
         assert cluster.execute(
             "SELECT count(*) FROM events").rows[0][0] == 30
+
+
+class TestAllConsumingReplicasKilled:
+    """Sim seed 23 under the memory-budget sweep (shrunk to two kills +
+    rebalance): with every CONSUMING replica of a partition dead, the
+    segment sat replica-less in the ideal state — and rebalance
+    defaulted it to ONLINE, so fresh servers tried to pull a
+    never-committed segment from the deep store, failed, parked in
+    ERROR, and the next convergence crashed parsing the ERROR view
+    entry."""
+
+    def make_cluster(self):
+        cluster = PinotCluster(num_servers=4)
+        cluster.create_kafka_topic("events-topic", 1)
+        cluster.create_table(TableConfig.realtime(
+            "events", schema(),
+            StreamConfig("events-topic", flush_threshold_rows=100,
+                         records_per_poll=50),
+            replication=2,
+        ))
+        # 120 rows: sequence 0 commits at the 100-row flush threshold,
+        # sequence 1 stays consuming with a 20-row tail.
+        cluster.ingest("events-topic",
+                       realtime_records([17000, 17001, 17002], per_day=40),
+                       key_column="memberId")
+        cluster.drain_realtime()
+        return cluster
+
+    def kill_consuming_holders(self, cluster, segment):
+        ideal = cluster.helix.ideal_state("events_REALTIME")
+        holders = sorted(server for server, state in ideal[segment].items()
+                         if state == "CONSUMING")
+        assert holders
+        for server in holders:
+            cluster.kill_server(server)
+        assert not cluster.helix.ideal_state("events_REALTIME")[segment]
+
+    def test_rebalance_reseats_consuming_not_online(self):
+        cluster = self.make_cluster()
+        segment = "events_REALTIME__0__1"
+        self.kill_consuming_holders(cluster, segment)
+        # Crashed before the fix (ValueError parsing 'ERROR').
+        cluster.leader_controller().rebalance_table("events_REALTIME")
+        after = cluster.helix.ideal_state("events_REALTIME")[segment]
+        assert after
+        # The segment was never committed: it must come back CONSUMING
+        # (re-consume from its start offset), never ONLINE.
+        assert set(after.values()) == {"CONSUMING"}
+
+    def test_tail_rows_recovered_after_reseat(self):
+        cluster = self.make_cluster()
+        self.kill_consuming_holders(cluster, "events_REALTIME__0__1")
+        cluster.leader_controller().rebalance_table("events_REALTIME")
+        # The re-seated consumers replay the stream tail from the
+        # segment's start offset.
+        cluster.drain_realtime()
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert not response.is_partial
+        assert response.rows[0][0] == 120

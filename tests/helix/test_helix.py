@@ -114,6 +114,32 @@ class TestConvergence:
         helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
         assert helix.external_view("tableA")["seg1"]["s1"] == "ERROR"
 
+    def test_error_replica_retries_from_offline(self, helix):
+        # A replica parked in ERROR must not crash later convergence
+        # (the seed-23 sim crash); once the participant heals, the
+        # retry restarts its lifecycle from OFFLINE.
+        participant = RecordingParticipant("s1", fail=True)
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        assert helix.external_view("tableA")["seg1"]["s1"] == "ERROR"
+        helix.converge("tableA")  # still failing: parked, no crash
+        assert helix.external_view("tableA")["seg1"]["s1"] == "ERROR"
+        participant.fail = False
+        helix.converge("tableA")
+        assert helix.external_view("tableA") == {"seg1": {"s1": "ONLINE"}}
+        assert participant.transitions == [
+            ("tableA", "seg1", "OFFLINE", "ONLINE")
+        ]
+
+    def test_error_replica_dropped_when_leaving_ideal(self, helix):
+        participant = RecordingParticipant("s1", fail=True)
+        helix.register_participant(participant)
+        helix.set_ideal_state("tableA", {"seg1": {"s1": "ONLINE"}})
+        participant.fail = False
+        helix.set_ideal_state("tableA", {})
+        assert helix.external_view("tableA") == {}
+        assert participant.transitions[-1][3] == "DROPPED"
+
     def test_dead_instance_skipped(self, helix):
         helix.set_ideal_state("tableA", {"seg1": {"ghost": "ONLINE"}})
         assert helix.external_view("tableA") == {}

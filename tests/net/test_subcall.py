@@ -1,0 +1,87 @@
+"""Nested RPCs (Transport.subcall): a handler that calls another
+endpoint mid-request must bill the nested round trip into its own
+service time on the virtual timeline — the mechanism behind cold
+segment loads extending a query's visible latency."""
+
+import pytest
+
+from repro.errors import ServerUnreachableError
+from repro.net import LinkModel, SimClock, Transport
+
+pytestmark = pytest.mark.net
+
+
+class Store:
+    def fetch(self, name):
+        return {"payload": name}
+
+
+class Server:
+    """Handler that performs a nested fetch while serving a request."""
+
+    def __init__(self, transport):
+        self._transport = transport
+        self.nested = []
+
+    def serve(self, name):
+        result = self._transport.subcall("server", "store", "fetch", name)
+        self.nested.append(result)
+        return result.unwrap()
+
+    def serve_twice(self, name):
+        first = self._transport.subcall("server", "store", "fetch", name)
+        second = self._transport.subcall("server", "store", "fetch", name)
+        self.nested.extend([first, second])
+        return [first.unwrap(), second.unwrap()]
+
+
+@pytest.fixture
+def clock():
+    return SimClock(auto_advance=False)
+
+
+@pytest.fixture
+def transport(clock):
+    t = Transport(clock, seed=3)
+    t.register("store", Store())
+    t.register("server", Server(t))
+    return t
+
+
+class TestSubcallInsideHandler:
+    def test_nested_round_trip_extends_outer_service(self, transport):
+        transport.set_link(None, "store", LinkModel(latency_s=0.040))
+        outer = transport.request("client", "server", "serve", "seg-1")
+        assert outer.unwrap() == {"payload": "seg-1"}
+        (nested,) = transport.endpoint("server").handler.nested
+        # The nested call departs when the outer handler starts, not at
+        # the current (unadvanced) clock.
+        assert nested.departed >= outer.started
+        assert nested.duration_s >= 0.080  # two 40ms crossings
+        # The outer completion includes the nested round trip.
+        assert outer.completed >= nested.completed
+
+    def test_sequential_subcalls_accumulate(self, transport):
+        transport.set_link(None, "store", LinkModel(latency_s=0.025))
+        outer = transport.request("client", "server", "serve_twice", "s")
+        assert outer.unwrap() == [{"payload": "s"}, {"payload": "s"}]
+        first, second = transport.endpoint("server").handler.nested
+        # The second nested call departs only after the first completes.
+        assert second.departed >= first.completed
+        assert outer.completed >= second.completed
+        assert outer.duration_s >= 0.100  # four 25ms crossings
+
+    def test_nested_failure_propagates_as_result_error(self, transport):
+        transport.set_link(None, "store", LinkModel(drop_rate=1.0))
+        outer = transport.request("client", "server", "serve", "seg-1")
+        # The handler called unwrap() on the failed nested result; the
+        # error surfaces as the outer request's error.
+        assert isinstance(outer.error, ServerUnreachableError)
+
+
+class TestSubcallOutsideHandler:
+    def test_acts_like_call_and_advances_clock(self, transport, clock):
+        transport.set_link(None, "store", LinkModel(latency_s=0.030))
+        result = transport.subcall("client", "store", "fetch", "x")
+        assert result.unwrap() == {"payload": "x"}
+        assert clock.now() == pytest.approx(result.completed)

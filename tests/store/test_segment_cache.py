@@ -1,0 +1,195 @@
+"""SegmentCache unit tests: lazy refs, pins, the byte budget, eviction
+callbacks, transient residency (over-budget and remote-only), and the
+store_* metrics."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import dimension, metric, time_column
+from repro.errors import ClusterError
+from repro.obs.metrics import Metrics
+from repro.segment.builder import SegmentBuilder
+from repro.store import SegmentCache
+
+TABLE = "events_OFFLINE"
+
+
+def build_segment(name: str, rows: int = 8):
+    schema = Schema("events", [
+        dimension("country"), metric("views"), time_column("day"),
+    ])
+    builder = SegmentBuilder(name, TABLE, schema)
+    builder.add_all(
+        {"country": "de" if i % 2 else "us", "views": i, "day": 100 + i}
+        for i in range(rows)
+    )
+    return builder.build()
+
+
+def make_cache(budget=None, policy="lru", evictions=None, metrics=None):
+    on_evict = None
+    if evictions is not None:
+        on_evict = lambda table, name: evictions.append((table, name))  # noqa: E731
+    return SegmentCache(budget_bytes=budget, policy=policy,
+                        on_evict=on_evict, metrics=metrics)
+
+
+def register_loaded(cache, segment):
+    return cache.register(TABLE, segment.name,
+                          size_bytes=segment.estimated_size_bytes(),
+                          num_docs=segment.num_docs, segment=segment)
+
+
+class TestHosting:
+    def test_lazy_ref_counts_docs_without_residency(self):
+        cache = make_cache()
+        cache.register(TABLE, "seg-0", size_bytes=4096, num_docs=17)
+        assert (TABLE, "seg-0") in cache
+        assert cache.num_docs(TABLE) == 17
+        assert cache.resident_bytes == 0
+        assert cache.resident(TABLE, "seg-0") is None
+
+    def test_pin_miss_fetches_then_hit_does_not(self):
+        cache = make_cache()
+        segment = build_segment("seg-0")
+        cache.register(TABLE, "seg-0", size_bytes=1, num_docs=0)
+        calls = []
+
+        def fetch(table, name):
+            calls.append((table, name))
+            return segment
+
+        assert cache.pin(TABLE, "seg-0", fetch) is segment
+        assert cache.pin(TABLE, "seg-0", fetch) is segment
+        assert calls == [(TABLE, "seg-0")]
+        # The fetch corrected the placeholder ref's sizing.
+        entry = cache.entry(TABLE, "seg-0")
+        assert entry.size_bytes == segment.estimated_size_bytes()
+        assert entry.num_docs == segment.num_docs
+        cache.unpin(TABLE, "seg-0")
+        cache.unpin(TABLE, "seg-0")
+        assert cache.entry(TABLE, "seg-0").pins == 0
+
+    def test_pin_unhosted_raises(self):
+        cache = make_cache()
+        with pytest.raises(ClusterError):
+            cache.pin(TABLE, "ghost", lambda t, n: None)
+
+    def test_drop_does_not_fire_evict_callback(self):
+        evictions = []
+        cache = make_cache(evictions=evictions)
+        register_loaded(cache, build_segment("seg-0"))
+        assert cache.drop(TABLE, "seg-0")
+        assert not cache.drop(TABLE, "seg-0")
+        assert evictions == []
+        assert cache.resident_bytes == 0
+
+
+class TestBudget:
+    def test_budget_evicts_oldest_resident(self):
+        segments = [build_segment(f"seg-{i}") for i in range(3)]
+        size = segments[0].estimated_size_bytes()
+        evictions = []
+        cache = make_cache(budget=2 * size + size // 2,
+                           evictions=evictions)
+        for segment in segments:
+            register_loaded(cache, segment)
+        assert evictions == [(TABLE, "seg-0")]
+        assert cache.resident(TABLE, "seg-0") is None
+        assert cache.resident(TABLE, "seg-1") is not None
+        assert cache.resident_bytes <= cache.budget_bytes
+        # The evicted segment is still hosted — just not resident.
+        assert (TABLE, "seg-0") in cache
+
+    def test_pinned_segments_are_never_evicted(self):
+        segments = [build_segment(f"seg-{i}") for i in range(2)]
+        size = segments[0].estimated_size_bytes()
+        evictions = []
+        cache = make_cache(budget=size, evictions=evictions)
+        register_loaded(cache, segments[0])
+        cache.pin(TABLE, "seg-0", lambda t, n: segments[0])
+        register_loaded(cache, segments[1])
+        # seg-0 is pinned, seg-1 just arrived: the budget goes soft
+        # rather than evicting the pinned entry.
+        assert (TABLE, "seg-0") not in [
+            (t, n) for t, n in evictions
+        ]
+        assert cache.resident(TABLE, "seg-0") is not None
+        cache.unpin(TABLE, "seg-0")
+
+    def test_over_budget_segment_is_transient(self):
+        segment = build_segment("big", rows=64)
+        cache = make_cache(budget=segment.estimated_size_bytes() // 2)
+        cache.register(TABLE, "big", size_bytes=1, num_docs=0)
+        loaded = cache.pin(TABLE, "big", lambda t, n: segment)
+        assert loaded is segment  # served while pinned...
+        cache.unpin(TABLE, "big")
+        assert cache.resident(TABLE, "big") is None  # ...gone after
+
+    def test_evict_all(self):
+        cache = make_cache(budget=None)
+        for i in range(3):
+            register_loaded(cache, build_segment(f"seg-{i}"))
+        cache.pin(TABLE, "seg-1", lambda t, n: None)
+        assert cache.evict_all() == 2  # pinned seg-1 stays
+        assert cache.resident(TABLE, "seg-1") is not None
+        cache.unpin(TABLE, "seg-1")
+
+
+class TestRemoteOnly:
+    def test_set_remote_only_evicts_and_stays_transient(self):
+        segment = build_segment("aged")
+        evictions = []
+        cache = make_cache(evictions=evictions)
+        register_loaded(cache, segment)
+        assert cache.set_remote_only(TABLE, "aged")
+        assert evictions == [(TABLE, "aged")]
+        assert cache.resident(TABLE, "aged") is None
+        # Still hosted and queryable — but only transiently resident.
+        loaded = cache.pin(TABLE, "aged", lambda t, n: segment)
+        assert loaded is segment
+        cache.unpin(TABLE, "aged")
+        assert cache.resident(TABLE, "aged") is None
+
+    def test_set_remote_only_unhosted(self):
+        cache = make_cache()
+        assert not cache.set_remote_only(TABLE, "ghost")
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        metrics = Metrics()
+        segment = build_segment("seg-0")
+        cache = make_cache(budget=10 * segment.estimated_size_bytes(),
+                           metrics=metrics)
+        cache.register(TABLE, "seg-0", size_bytes=1, num_docs=0)
+        cache.pin(TABLE, "seg-0", lambda t, n: segment)   # miss
+        cache.unpin(TABLE, "seg-0")
+        cache.pin(TABLE, "seg-0", lambda t, n: segment)   # hit
+        cache.unpin(TABLE, "seg-0")
+        cache.evict_all()
+        assert metrics.count("store_misses") == 1
+        assert metrics.count("store_hits") == 1
+        assert metrics.count("store_pins") == 2
+        assert metrics.count("store_evictions") == 1
+        assert metrics.gauge_value("store_resident_bytes") == 0
+        assert metrics.gauge_value("store_budget_bytes") == cache.budget_bytes
+
+    def test_unbounded_budget_gauge_is_minus_one(self):
+        metrics = Metrics()
+        make_cache(metrics=metrics)
+        assert metrics.gauge_value("store_budget_bytes") == -1
+
+
+def test_sieve_policy_by_name():
+    segments = [build_segment(f"seg-{i}") for i in range(3)]
+    size = segments[0].estimated_size_bytes()
+    cache = make_cache(budget=2 * size + size // 2, policy="sieve")
+    register_loaded(cache, segments[0])
+    cache.pin(TABLE, "seg-0", lambda t, n: segments[0])  # visited
+    cache.unpin(TABLE, "seg-0")
+    register_loaded(cache, segments[1])
+    register_loaded(cache, segments[2])
+    # SIEVE spares the re-referenced seg-0; LRU would have evicted it.
+    assert cache.resident(TABLE, "seg-0") is not None
+    assert cache.resident(TABLE, "seg-1") is None
