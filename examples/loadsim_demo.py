@@ -1,0 +1,106 @@
+"""Production-shape load simulation: the failure detector at work.
+
+Run with::
+
+    python examples/loadsim_demo.py
+
+Drives the diurnal, Zipf-tenant load generator (`repro.bench.loadsim`)
+against a 4-server cluster where server-0 falls sick mid-run (8x
+slower, 90% errors), three ways:
+
+1. detector **off** — the broker keeps routing to the sick server and
+   every query that touches it pays the tax;
+2. detector **on** — per-server health EWMAs eject server-0, probe it
+   back with trickle traffic, and heal it once its window closes;
+3. a healthy baseline for reference.
+
+The demo is self-checking: it asserts the detector-on tail beats
+detector-off, that ejected servers saw only probe traffic, and that
+the healed server returned to rotation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.loadsim import (
+    Degradation,
+    ProductionConfig,
+    build_quotas,
+    simulate_production,
+)
+from repro.cluster.health import HealthPolicy
+
+QPS = 1500.0
+CONFIG = ProductionConfig(
+    num_servers=4,
+    workers_per_server=4,
+    duration_s=8.0,
+    warmup_s=1.0,
+    seed=3,
+    degradations=(
+        Degradation(server=0, start_s=2.0, end_s=6.0,
+                    slow_factor=8.0, error_rate=0.9),
+    ),
+)
+POLICY = HealthPolicy(min_samples=8, probe_interval_s=0.25,
+                      probe_successes_to_heal=2)
+
+
+def run_cell(label: str, detector: HealthPolicy | None,
+             degraded: bool = True) -> object:
+    config = (CONFIG if degraded
+              else ProductionConfig(
+                  num_servers=CONFIG.num_servers,
+                  workers_per_server=CONFIG.workers_per_server,
+                  duration_s=CONFIG.duration_s,
+                  warmup_s=CONFIG.warmup_s,
+                  seed=CONFIG.seed))
+    cell = simulate_production(QPS, config, detector_policy=detector,
+                               quotas=build_quotas(config))
+    stats = cell.stats
+    print(f"  {label:<14} p50 {stats.p50_ms:8.2f} ms   "
+          f"p99 {stats.p99_ms:9.2f} ms   "
+          f"completed {stats.completion_ratio:6.1%}   "
+          f"ejections {cell.ejections}  heals {cell.heals}  "
+          f"probes {cell.probes}")
+    return cell
+
+
+def main() -> None:
+    print(f"Offered load: {QPS:.0f} qps with a diurnal swing; "
+          f"server-0 sick from t=2s to t=6s (8x slow, 90% errors)\n")
+
+    off = run_cell("detector off", None)
+    on = run_cell("detector on", POLICY)
+    healthy = run_cell("healthy", POLICY, degraded=False)
+
+    print()
+    for when, server, event in on.events:
+        print(f"  t={when:5.2f}s  {server}  {event}")
+
+    # -- self checks --------------------------------------------------
+    assert on.stats.p99_ms < off.stats.p99_ms, (
+        "detector-on tail should beat detector-off on a degraded "
+        "cluster")
+    assert on.stats.completion_ratio > off.stats.completion_ratio, (
+        "detector-on should complete more of the offered load")
+    assert on.ejections > 0, "the sick server never got ejected"
+    assert on.heals >= on.ejections, "the sick server never healed"
+    assert on.discipline_violations == 0, (
+        "ejected servers must receive only probe traffic")
+    assert on.post_recovery_subrequests.get("server-0", 0) > 0, (
+        "the healed server never returned to rotation")
+    assert healthy.ejections == 0, (
+        "a healthy cluster should never eject")
+
+    improvement = off.stats.p99_ms / on.stats.p99_ms
+    print(f"\nDetector-on p99 is {improvement:.1f}x better than "
+          f"detector-off under degradation and completes "
+          f"{on.stats.completion_ratio:.0%} of offered load vs "
+          f"{off.stats.completion_ratio:.0%}; server-0 took "
+          f"{on.probe_subrequests.get('server-0', 0)} probes while "
+          f"ejected and {on.post_recovery_subrequests.get('server-0', 0)} "
+          f"real sub-requests after healing. All checks passed.")
+
+
+if __name__ == "__main__":
+    main()

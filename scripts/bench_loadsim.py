@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Benchmark the production-shape load trajectory: latency vs offered
+QPS with and without the broker failure detector.
+
+Two sweeps over the same diurnal, Zipf-tenant, mixed-shape workload
+(``repro.bench.loadsim.simulate_production``), with one server degraded
+(8x slow, 25% errors) for half the run:
+
+* ``detector_off`` — the broker keeps routing to the sick server and
+  retries around it forever (the pre-failure-detector behavior);
+* ``detector_on``  — the real :class:`repro.cluster.health.\
+FailureDetector` scores every sub-request, ejects the sick server,
+  keeps it on probe-only trickle traffic, and returns it to rotation
+  once it heals.
+
+A third ``healthy`` sweep (no degradation, detector on) anchors the
+saturation point so re-anchors can track capacity drift.
+
+A machine-readable summary is written to ``BENCH_loadsim.json``. CI
+gates: with the degraded server, detector-on p99 must be strictly
+better than detector-off at every swept QPS (and by at least
+``--min-p99-improvement`` at the gate QPS); ejected servers must
+receive only probe traffic (``discipline_violations == 0``); the
+healed server must return to rotation after the degradation window;
+and the healthy saturation QPS must land within tolerance of the
+cluster's theoretical capacity. Deliberately no timestamps in the
+output: the committed file should only churn when the numbers move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.loadsim import (  # noqa: E402
+    Degradation, ProductionConfig, ProductionStats, build_quotas,
+    production_sweep)
+from repro.cluster.health import HealthPolicy  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+QPS_GRID = [500.0, 1000.0, 1500.0, 2000.0, 3000.0, 4500.0, 6000.0]
+
+
+def theoretical_capacity_qps(config: ProductionConfig) -> float:
+    """Worker-seconds available per second divided by the weighted mean
+    worker-seconds one query costs (service work + per-sub-request
+    overhead)."""
+    weights = sum(shape.weight for shape in config.shapes)
+    work = sum(
+        shape.weight / weights
+        * (shape.service_s
+           + min(shape.fanout, config.num_servers) * config.overhead_s)
+        for shape in config.shapes
+    )
+    return config.num_servers * config.workers_per_server / work
+
+
+def cell_summary(cell: ProductionStats) -> dict:
+    stats = cell.stats
+    return {
+        "offered_qps": stats.offered_qps,
+        "completed": stats.completed,
+        "completion_ratio": round(stats.completion_ratio, 4),
+        "p50_ms": round(stats.p50_ms, 2),
+        "p95_ms": round(stats.p95_ms, 2),
+        "p99_ms": round(stats.p99_ms, 2),
+        "mean_ms": round(stats.mean_ms, 2),
+        "failed_queries": cell.failed_queries,
+        "ejections": cell.ejections,
+        "heals": cell.heals,
+        "probes": cell.probes,
+        "discipline_violations": cell.discipline_violations,
+        "shed_total": sum(cell.shed.values()),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_loadsim.json"),
+                        help="output path for the JSON report")
+    parser.add_argument("--gate-qps", type=float, default=1500.0,
+                        help="QPS cell where the p99 improvement factor "
+                             "is enforced")
+    parser.add_argument("--min-p99-improvement", type=float, default=2.0,
+                        help="fail unless detector-on p99 beats "
+                             "detector-off by this factor at the gate "
+                             "QPS")
+    parser.add_argument("--sat-tolerance", type=float, default=0.4,
+                        help="healthy saturation must reach this "
+                             "fraction of theoretical capacity")
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    degraded = ProductionConfig(
+        duration_s=args.duration, warmup_s=2.0, seed=args.seed,
+        degradations=(
+            Degradation(server=0, start_s=args.duration * 0.2,
+                        end_s=args.duration * 0.7,
+                        slow_factor=8.0, error_rate=0.25),
+        ),
+    )
+    healthy = ProductionConfig(duration_s=args.duration, warmup_s=2.0,
+                               seed=args.seed)
+    policy = HealthPolicy()
+    grid = [qps for qps in QPS_GRID]
+    if args.gate_qps not in grid:
+        grid = sorted(grid + [args.gate_qps])
+
+    curves: dict[str, list[dict]] = {}
+    raw: dict[str, list[ProductionStats]] = {}
+    for name, config, detector in (
+        ("detector_off", degraded, None),
+        ("detector_on", degraded, policy),
+        ("healthy", healthy, policy),
+    ):
+        print(f"[{name}] sweeping {len(grid)} QPS cells ...", flush=True)
+        cells = production_sweep(
+            grid, config, detector,
+            quotas_factory=lambda c=config: build_quotas(c),
+        )
+        raw[name] = cells
+        curves[name] = [cell_summary(cell) for cell in cells]
+        for summary in curves[name]:
+            print(f"[{name}] qps={summary['offered_qps']:.0f} "
+                  f"p50={summary['p50_ms']}ms p99={summary['p99_ms']}ms "
+                  f"ejections={summary['ejections']} "
+                  f"shed={summary['shed_total']}", flush=True)
+
+    # Gate 1: detector-on p99 strictly better at every swept QPS, and
+    # by the required factor at the gate cell.
+    p99_strictly_better = all(
+        on["p99_ms"] < off["p99_ms"]
+        for on, off in zip(curves["detector_on"], curves["detector_off"])
+    )
+    gate_on = next(c for c in curves["detector_on"]
+                   if c["offered_qps"] == args.gate_qps)
+    gate_off = next(c for c in curves["detector_off"]
+                    if c["offered_qps"] == args.gate_qps)
+    improvement = round(gate_off["p99_ms"] / max(1e-9, gate_on["p99_ms"]),
+                        2)
+
+    # Gate 2: probe-only discipline — ejected servers saw zero
+    # non-probe sub-requests in every detector-on cell.
+    probe_only = all(
+        cell.discipline_violations == 0
+        for cell in raw["detector_on"] + raw["healthy"]
+    )
+
+    # Gate 3: the degraded server returned to rotation after its
+    # window closed (non-probe traffic post-recovery) wherever the
+    # detector ejected it.
+    returned = all(
+        cell.post_recovery_subrequests.get("server-0", 0) > 0
+        for cell in raw["detector_on"] if cell.ejections > 0
+    )
+    detector_exercised = any(cell.ejections > 0
+                             for cell in raw["detector_on"])
+
+    # Gate 4: healthy saturation within tolerance of theoretical
+    # capacity (tracks capacity drift across re-anchors).
+    capacity = theoretical_capacity_qps(healthy)
+    saturation = 0.0
+    for summary in curves["healthy"]:
+        if (summary["p99_ms"] <= 100.0
+                and summary["completion_ratio"] >= 0.99):
+            saturation = max(saturation, summary["offered_qps"])
+    sat_floor = round(args.sat_tolerance * capacity, 1)
+    sat_ok = sat_floor <= saturation <= capacity * 1.05
+
+    gate_pass = (p99_strictly_better
+                 and improvement >= args.min_p99_improvement
+                 and probe_only and returned and detector_exercised
+                 and sat_ok)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "qps_grid": grid,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "degradation": {
+                "server": "server-0",
+                "window_s": [args.duration * 0.2, args.duration * 0.7],
+                "slow_factor": 8.0,
+                "error_rate": 0.25,
+            },
+        },
+        "curves": curves,
+        "gate": {
+            "gate_qps": args.gate_qps,
+            "p99_on_ms": gate_on["p99_ms"],
+            "p99_off_ms": gate_off["p99_ms"],
+            "p99_improvement": improvement,
+            "min_p99_improvement": args.min_p99_improvement,
+            "p99_strictly_better_everywhere": p99_strictly_better,
+            "probe_only_discipline": probe_only,
+            "healed_server_returned": returned,
+            "detector_exercised": detector_exercised,
+            "theoretical_capacity_qps": round(capacity, 1),
+            "healthy_saturation_qps": saturation,
+            "saturation_floor_qps": sat_floor,
+            "saturation_ok": sat_ok,
+            "pass": gate_pass,
+        },
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) +
+                        "\n")
+    print(f"wrote {out_path}")
+    if not gate_pass:
+        print(f"GATE FAILED: improvement {improvement}x "
+              f"(min {args.min_p99_improvement}x), strictly better "
+              f"everywhere={p99_strictly_better}, probe_only="
+              f"{probe_only}, returned={returned}, exercised="
+              f"{detector_exercised}, saturation {saturation} "
+              f"(floor {sat_floor}, capacity {round(capacity, 1)})",
+              file=sys.stderr)
+        return 1
+    print(f"gate OK: p99 {gate_off['p99_ms']}ms -> {gate_on['p99_ms']}ms "
+          f"({improvement}x) at {args.gate_qps:.0f} qps; probe-only "
+          f"discipline held; healthy saturation {saturation:.0f} qps "
+          f"(capacity {capacity:.0f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,7 +84,8 @@ def main() -> int:
     parser.add_argument("--store-policy", choices=("lru", "sieve"),
                         default="lru",
                         help="eviction policy when --memory-budget is set")
-    parser.add_argument("--workload", choices=("default", "upsert", "dedup"),
+    parser.add_argument("--workload",
+                        choices=("default", "upsert", "dedup", "production"),
                         default="default",
                         help="scenario shape for generated runs: the "
                              "hybrid table (default) or a realtime-only "

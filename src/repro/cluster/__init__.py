@@ -14,6 +14,11 @@ from repro.cluster.completion import (
     SegmentCompletionManager,
 )
 from repro.cluster.controller import Controller
+from repro.cluster.health import (
+    FailureDetector,
+    HealthPolicy,
+    QueuePressure,
+)
 from repro.cluster.metrics import BrokerMetrics, StageTiming
 from repro.cluster.minion import MinionInstance
 from repro.cluster.objectstore import (
@@ -29,7 +34,11 @@ from repro.cluster.table import (
     TableConfig,
     TableType,
 )
-from repro.cluster.tenant import TenantQuotaManager, TokenBucket
+from repro.cluster.tenant import (
+    TenantClass,
+    TenantQuotaManager,
+    TokenBucket,
+)
 
 __all__ = [
     "AutoIndexAnalyzer",
@@ -40,7 +49,11 @@ __all__ = [
     "CompletionResponse",
     "StageTiming",
     "Controller",
+    "FailureDetector",
     "FileObjectStore",
+    "HealthPolicy",
+    "QueuePressure",
+    "TenantClass",
     "Instruction",
     "MemoryObjectStore",
     "MinionInstance",

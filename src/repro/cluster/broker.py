@@ -17,13 +17,25 @@ from dataclasses import dataclass, field, replace
 from repro.cache.bus import TableEpochs
 from repro.cache.pruner import equality_constraints as _equality_constraints
 from repro.cache.result_cache import BrokerResultCache, CachedResult
+from repro.cluster.health import (
+    EVENT_EJECTED,
+    EVENT_HEALED,
+    FailureDetector,
+    HealthPolicy,
+    QueuePressure,
+)
 from repro.cluster.metrics import BrokerMetrics
 from repro.cluster.table import TableConfig, TableType
 from repro.cluster.tenant import TenantQuotaManager
 from repro.common.timeutils import time_boundary
 from repro.engine.merge import reduce_server_results
 from repro.engine.results import BrokerResponse, ServerResult
-from repro.errors import ClusterError, RoutingError, ServerBusyError
+from repro.errors import (
+    ClusterError,
+    RoutingError,
+    ServerBusyError,
+    ThrottledError,
+)
 from repro.helix.manager import HelixManager
 from repro.helix.statemachine import SegmentState
 from repro.net import CallResult, HedgePolicy, LatencyTracker, SimClock
@@ -123,7 +135,8 @@ class BrokerInstance:
                  quotas: TenantQuotaManager | None = None,
                  seed: int = 0, clock: SimClock | None = None,
                  hedging: HedgePolicy | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 health: HealthPolicy | FailureDetector | None = None):
         self.instance_id = instance_id
         self._helix = helix
         #: All sub-requests travel over the cluster transport; deadline
@@ -136,6 +149,18 @@ class BrokerInstance:
             else None
         self._latency = (LatencyTracker(self._hedging)
                          if self._hedging is not None else None)
+        #: Failure detector (off unless configured, matching real
+        #: Pinot's opt-in broker module): scores every sub-request
+        #: outcome, ejects sick servers from routing, probes them back.
+        if isinstance(health, FailureDetector):
+            self.health: FailureDetector | None = health
+        elif isinstance(health, HealthPolicy):
+            self.health = FailureDetector(health)
+        else:
+            self.health = None
+        #: Smoothed inbound-queue utilization across contacted servers;
+        #: drives adaptive admission (tenant-priority load shedding).
+        self.pressure = QueuePressure()
         self._quotas = quotas
         self._rng = random.Random(seed)
         self._strategies: dict[str, RoutingStrategy] = {}
@@ -248,7 +273,14 @@ class BrokerInstance:
         tenant = tenant or first_config.tenant
         if self._quotas is not None:
             clock = now if now is not None else self._clock.now()
-            self._quotas.admit(tenant, clock)
+            try:
+                self._quotas.admit(tenant, clock,
+                                   pressure=self.pressure.value)
+            except ThrottledError as exc:
+                self.metrics.incr("admission_shed"
+                                  if exc.reason == "overload"
+                                  else "throttled")
+                raise
 
         self.metrics.incr("queries")
         timeout_ms = query.options.get("timeoutMs")
@@ -549,6 +581,10 @@ class BrokerInstance:
         routing_table, bloom_pruned = self._prune_by_bloom(query,
                                                            routing_table)
         outcome.pruned = pruned + bloom_pruned
+        #: Instances whose dispatch this query is probe traffic (the
+        #: capped trickle sent to ejected servers).
+        probes: set[str] = set()
+        routing_table = self._apply_health(strategy, routing_table, probes)
         route_ended = self._clock.now()
         self._record_stage(
             "route", (route_ended - route_started) * 1e3, stage_times)
@@ -580,17 +616,23 @@ class BrokerInstance:
             result, call, span = self._dispatch(
                 instance, query, segments, deadline, outcome,
                 depart_at=t0, trace=trace, parent=scatter_span,
+                probe=instance in probes,
             )
             in_flight.append((instance, segments, result, call, span))
 
         barrier = t0
         for instance, segments, result, call, span in in_flight:
             winner_call = call
-            if result.error is None and call is not None:
+            #: Every replica this sub-request touched (primary plus any
+            #: hedge) — a failure is enqueued with ALL of them so the
+            #: gather reselect can never re-pick a replica that just
+            #: failed (hedge losers included).
+            attempted = {instance}
+            if call is not None:
                 result, winner_call = self._maybe_hedge(
                     strategy, query, instance, segments, result, call,
-                    t0, deadline, outcome, trace=trace,
-                    parent=scatter_span, primary_span=span,
+                    t0, deadline, outcome, attempted, probes,
+                    trace=trace, parent=scatter_span, primary_span=span,
                 )
             if winner_call is not None:
                 barrier = max(barrier, winner_call.completed)
@@ -608,7 +650,7 @@ class BrokerInstance:
                 outcome.responded.add(result.server)
             else:
                 failures.append(_FailedSubRequest(
-                    instance, segments, result, tried={instance}
+                    instance, segments, result, tried=attempted
                 ))
         # The broker's gather barrier: it has now waited for every
         # primary (and winning hedge) response on the virtual timeline.
@@ -642,16 +684,33 @@ class BrokerInstance:
                 if not within_deadline:
                     self.metrics.incr("deadline_exhausted")
                     outcome.deadline_exhausted = True
-                outcome.results.append(failed.result)
+                    reason = "deadline exhausted"
+                else:
+                    reason = f"retry attempts exhausted ({attempt})"
+                # Attribute the give-up to the server that actually
+                # produced the last error (failed.result.server), with
+                # the replicas already tried spelled out.
+                outcome.results.append(replace(
+                    failed.result,
+                    error=(f"{failed.result.error} [gave up: {reason}; "
+                           f"tried {sorted(failed.tried)}]"),
+                ))
                 continue
-            reroute, unroutable = strategy.reselect(failed.segments,
-                                                    failed.tried)
+            reroute, unroutable = self._reselect(
+                strategy, failed.segments, failed.tried, probes)
             if unroutable:
-                # No replica left for these segments: keep the error so
-                # the merged response degrades to partial=True.
+                # No replica left for *these* segments: report exactly
+                # which segments are stuck and which replicas failed,
+                # attributed to the server of the last real error —
+                # not blanket-blamed on the primary when only a subset
+                # of its segments is unroutable.
                 self.metrics.incr("segments_unroutable", len(unroutable))
                 outcome.results.append(ServerResult(
-                    server=failed.instance, error=failed.result.error
+                    server=failed.result.server,
+                    error=(f"segments {sorted(unroutable)} have no "
+                           f"untried replica (tried "
+                           f"{sorted(failed.tried)}); last error: "
+                           f"{failed.result.error}"),
                 ))
             for instance, segments in reroute.items():
                 self.metrics.incr("retries")
@@ -660,6 +719,7 @@ class BrokerInstance:
                 result, call, retry_span = self._dispatch(
                     instance, query, segments, deadline, outcome,
                     trace=trace, parent=gather_span,
+                    probe=instance in probes,
                 )
                 if retry_span is not None:
                     retry_span.attributes["retry_attempt"] = attempt
@@ -695,38 +755,73 @@ class BrokerInstance:
                      instance: str, segments: list[str],
                      result: ServerResult, call: CallResult, t0: float,
                      deadline: float | None, outcome: _ScatterOutcome,
+                     attempted: set[str], probes: set[str],
                      trace: Trace | None = None,
                      parent: Span | None = None,
                      primary_span: Span | None = None,
                      ) -> tuple[ServerResult, CallResult]:
         """Re-issue a straggling sub-request to another replica once its
-        latency exceeds the percentile budget; first response wins.
+        latency exceeds the percentile budget; first response wins. A
+        sub-request that *failed* outright is the ultimate straggler:
+        it is hedged immediately (departing when the failure is known)
+        instead of waiting for the gather loop's backoff.
 
         Returns the winning (result, call) pair. The loser is cancelled:
         its response is discarded and it never reaches the merge. In a
         trace, the hedge appears as a sibling rpc span of the primary,
         and the loser's span is marked ``cancelled``.
+
+        Every replica contacted here is added to ``attempted`` so that
+        when the sub-request still ends up failing, the gather loop's
+        reselect excludes the losing hedge replica too — without this,
+        reselect could immediately re-pick the very server whose hedge
+        just failed.
         """
         if self._latency is None:
             return result, call
         assert self._hedging is not None
+        failed_primary = result.error is not None
         budget = self._latency.budget_s(query.table)
-        if call.completed - t0 <= budget:
+        if not failed_primary and call.completed - t0 <= budget:
             return result, call
         if outcome.hedges >= self._hedging.max_hedges_per_query:
             return result, call
-        reroute, unroutable = strategy.reselect(segments, {instance})
+        reroute, unroutable = self._reselect(strategy, segments,
+                                             set(attempted), probes)
         if unroutable or len(reroute) != 1:
             # No single alternate replica hosts the whole segment set;
             # hedging a split would multiply fan-out, so don't.
             return result, call
         (alternate, alt_segments), = reroute.items()
         outcome.hedges += 1
+        attempted.add(alternate)
         self.metrics.incr("hedges")
+        depart = call.completed if failed_primary else t0 + budget
         hedge_result, hedge_call, hedge_span = self._dispatch(
             alternate, query, alt_segments, deadline, outcome,
-            depart_at=t0 + budget, hedge=True, trace=trace, parent=parent,
+            depart_at=depart, hedge=True, trace=trace, parent=parent,
+            probe=alternate in probes,
         )
+        if failed_primary:
+            if hedge_call is not None and hedge_result.error is None:
+                # The hedge repaired the failure before the gather loop
+                # ever saw it.
+                self.metrics.incr("hedge_wins")
+                self.metrics.incr("segments_failed_over",
+                                  len(alt_segments))
+                outcome.segments_failed_over += len(alt_segments)
+                outcome.recovered_errors.append(
+                    f"{instance}: {result.error} "
+                    f"(recovered on {alternate} via hedge)"
+                )
+                if primary_span is not None:
+                    primary_span.attributes["hedge_loser"] = True
+                if hedge_span is not None:
+                    hedge_span.attributes["hedge_winner"] = True
+                return hedge_result, hedge_call
+            # Hedge failed too: keep the primary's error; ``attempted``
+            # now carries both replicas for the gather reselect.
+            return result, call
         if (hedge_call is not None and hedge_result.error is None
                 and hedge_call.completed < call.completed):
             # The hedge beat the straggler: first response wins, the
@@ -749,6 +844,7 @@ class BrokerInstance:
                   deadline: float | None, outcome: _ScatterOutcome,
                   depart_at: float | None = None, hedge: bool = False,
                   trace: Trace | None = None, parent: Span | None = None,
+                  probe: bool = False,
                   ) -> tuple[ServerResult, CallResult | None, Span | None]:
         """Send one sub-request over the transport, mapping transport
         failures (unreachable, overloaded) and an exhausted deadline
@@ -776,6 +872,8 @@ class BrokerInstance:
                                error_type="DeadlineExceeded")
             return ServerResult(server=instance,
                                 error="broker deadline exceeded"), None, None
+        if self.health is not None:
+            self.health.record_dispatch(instance, now=depart, probe=probe)
         ctx = None
         execute_span_id = None
         if trace is not None:
@@ -827,11 +925,16 @@ class BrokerInstance:
                     rejected=True,
                 )
                 rejection.status = STATUS_ERROR
+        self._observe_pressure(instance, call)
         if call.error is not None:
             if isinstance(call.error, ServerBusyError):
                 self.metrics.incr("server_busy_rejections")
+                # A full queue is overload, not sickness: it feeds the
+                # admission pressure signal, never the health score.
             else:
                 self.metrics.incr("servers_unreachable")
+                self._observe_health(instance, failure=True,
+                                     now=call.completed)
             if span is not None:
                 span.set_error(str(call.error),
                                error_type=type(call.error).__name__,
@@ -841,9 +944,109 @@ class BrokerInstance:
         result = call.value
         if result.error is not None:
             self.metrics.incr("server_errors")
+            self._observe_health(instance, failure=True,
+                                 now=call.completed)
             if span is not None:
                 span.set_error(result.error, error_type="ServerError")
+        else:
+            # Injected/simulated latency lives in elapsed_ms, not the
+            # transport timing, so score the larger of the two.
+            self._observe_health(
+                instance, failure=False,
+                latency_s=max(call.duration_s, result.elapsed_ms / 1e3),
+                now=call.completed,
+            )
         return result, call, span
+
+    def _observe_pressure(self, instance: str, call: CallResult) -> None:
+        """Feed the admission-control pressure signal from this call's
+        observed inbound-queue utilization (1.0 on outright rejection)."""
+        endpoint = self._transport.endpoint(instance)
+        if endpoint is None or endpoint.queue_capacity <= 0:
+            return
+        utilization = (1.0 if call.rejected
+                       else call.queue_depth / endpoint.queue_capacity)
+        self.pressure.observe(utilization)
+
+    def _observe_health(self, instance: str, failure: bool,
+                        latency_s: float = 0.0,
+                        now: float | None = None) -> None:
+        """Feed the failure detector; mirror transitions into metrics."""
+        if self.health is None:
+            return
+        at = now if now is not None else self._clock.now()
+        if failure:
+            event = self.health.observe_failure(instance, at)
+        else:
+            event = self.health.observe_success(instance, latency_s, at)
+        if event == EVENT_EJECTED:
+            self.metrics.incr("health_ejections")
+        elif event == EVENT_HEALED:
+            self.metrics.incr("health_heals")
+
+    def _apply_health(self, strategy: RoutingStrategy, routing_table,
+                      probes: set[str]):
+        """Route-time health filter: segments routed to ejected servers
+        move to healthy replicas; each ejected server instead receives
+        its segments as a cadence-capped probe when the trickle budget
+        allows, and as a *forced* probe when it is the last replica
+        standing (correctness beats ejection hygiene)."""
+        detector = self.health
+        if detector is None:
+            return routing_table
+        ejected = detector.ejected_set()
+        if not ejected:
+            return routing_table
+        now = self._clock.now()
+        healthy: dict[str, list[str]] = {}
+        for instance, segments in routing_table.items():
+            if instance not in ejected:
+                healthy.setdefault(instance, []).extend(segments)
+                continue
+            if detector.try_probe(instance, now):
+                probes.add(instance)
+                self.metrics.incr("health_probes")
+                healthy.setdefault(instance, []).extend(segments)
+                continue
+            reroute, unroutable = strategy.reselect(segments, ejected)
+            if reroute:
+                self.metrics.incr(
+                    "health_reroutes",
+                    sum(len(s) for s in reroute.values()))
+            for alt, alt_segments in reroute.items():
+                healthy.setdefault(alt, []).extend(alt_segments)
+            if unroutable:
+                # Only ejected replicas host these segments: probe the
+                # original holder out of cadence rather than return an
+                # unroutable partial answer.
+                detector.try_probe(instance, now, force=True)
+                probes.add(instance)
+                self.metrics.incr("health_probes")
+                healthy.setdefault(instance, []).extend(unroutable)
+        return healthy
+
+    def _reselect(self, strategy: RoutingStrategy, segments: list[str],
+                  tried: set[str], probes: set[str]
+                  ) -> tuple[dict[str, list[str]], list[str]]:
+        """``strategy.reselect`` that also avoids ejected servers,
+        falling back to them (as forced probes) when they hold the only
+        remaining replica for some segments."""
+        if self.health is None:
+            return strategy.reselect(segments, tried)
+        ejected = self.health.ejected_set()
+        if not ejected:
+            return strategy.reselect(segments, tried)
+        reroute, unroutable = strategy.reselect(segments, tried | ejected)
+        if unroutable:
+            fallback, unroutable = strategy.reselect(unroutable, tried)
+            now = self._clock.now()
+            for instance, fsegs in fallback.items():
+                if self.health.is_ejected(instance):
+                    self.health.try_probe(instance, now, force=True)
+                    probes.add(instance)
+                    self.metrics.incr("health_probes")
+                reroute.setdefault(instance, []).extend(fsegs)
+        return reroute, unroutable
 
     def _prune_by_time(self, query: Query, routing_table):
         """Drop segments whose time range cannot match the query before

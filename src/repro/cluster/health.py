@@ -1,0 +1,301 @@
+"""Broker-side failure detection (the 0.4.0 Failure Detector).
+
+Real Pinot added a broker module that takes failed servers out of
+rotation instead of retrying/hedging around them forever; this is the
+reproduction of that loop. Each broker keeps a per-server health score
+fed by its own scatter outcomes:
+
+* an **error EWMA** over sub-request outcomes (1.0 = failed, 0.0 = ok),
+* a **latency EWMA** over successful sub-request service times,
+
+and ejects a server from routing when either signal breaches policy —
+the error EWMA crosses ``error_threshold``, or the server's latency
+EWMA exceeds ``latency_multiplier`` x the median of its healthy peers
+(and an absolute floor, so quiet clusters never eject on noise).
+
+Ejected servers receive **only probe traffic**: at most one trickle
+query per ``probe_interval_s`` (plus forced probes when an ejected
+server is the last replica standing for some segment — correctness
+beats hygiene). ``probe_successes_to_heal`` consecutive successful
+probes return the server to rotation with a fresh score. Flap guards:
+a minimum sample count before any ejection, consecutive-success
+healing (a flaky server keeps failing probes and stays out), and a cap
+on the fraction of the fleet that may be ejected at once (a broker
+that thinks *everyone* is sick is itself the problem).
+
+Everything takes an explicit ``now`` — the detector never reads a
+clock, so it slots into the simulation's virtual timeline and the
+loadsim's synthetic one alike (CI forbids wall-clock reads outside
+``net/clock.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+#: Dispatch-time observation fed back by the detector's owner.
+EVENT_EJECTED = "ejected"
+EVENT_HEALED = "healed"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Tunables for the failure detector state machine."""
+
+    #: EWMA smoothing factor for both signals (higher = reacts faster).
+    ewma_alpha: float = 0.3
+    #: Observations required before a server may be ejected — a single
+    #: unlucky request must never eject.
+    min_samples: int = 5
+    #: Error-EWMA level that ejects (0.5 ~ "most recent requests fail").
+    error_threshold: float = 0.5
+    #: Latency-outlier ejection: server EWMA > multiplier x healthy-peer
+    #: median, and above the absolute floor.
+    latency_multiplier: float = 4.0
+    latency_floor_s: float = 0.05
+    #: Minimum spacing between probe dispatches to one ejected server.
+    probe_interval_s: float = 1.0
+    #: Consecutive successful probes required to return to rotation.
+    probe_successes_to_heal: int = 3
+    #: At most this fraction of known servers may be ejected at once.
+    max_ejected_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < self.error_threshold <= 1.0:
+            raise ValueError("error_threshold must be in (0, 1]")
+        if self.probe_successes_to_heal < 1:
+            raise ValueError("probe_successes_to_heal must be >= 1")
+        if not 0.0 < self.max_ejected_fraction <= 1.0:
+            raise ValueError("max_ejected_fraction must be in (0, 1]")
+
+
+@dataclass
+class _ServerHealth:
+    """Mutable per-server score and probe bookkeeping."""
+
+    error_ewma: float = 0.0
+    latency_ewma_s: float | None = None
+    samples: int = 0
+    ejected: bool = False
+    ejected_at: float = 0.0
+    eject_reason: str = ""
+    last_probe_at: float | None = None
+    probe_successes: int = 0
+
+
+class FailureDetector:
+    """Per-broker server health scores with eject / probe-back.
+
+    The owner feeds it three things per sub-request: a dispatch-time
+    :meth:`record_dispatch` (which audits the probe-only discipline),
+    then exactly one of :meth:`observe_success` /
+    :meth:`observe_failure` when the outcome is known. Observations on
+    an ejected server *are* its probe results — three consecutive
+    successes heal it; any failure re-arms the probe timer.
+    """
+
+    def __init__(self, policy: HealthPolicy | None = None):
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._servers: dict[str, _ServerHealth] = {}
+        self._ejected: set[str] = set()
+        #: Monotone counters, mirrored into broker metrics by the owner.
+        self.counters: dict[str, int] = {
+            "ejections": 0,
+            "heals": 0,
+            "probes": 0,
+            "probe_failures": 0,
+            "forced_probes": 0,
+            #: Non-probe dispatches to an ejected server — the
+            #: "ejected servers receive only probe traffic" invariant
+            #: holds iff this stays 0.
+            "discipline_violations": 0,
+        }
+        #: (now, instance, EVENT_EJECTED/EVENT_HEALED) transition log.
+        self.events: list[tuple[float, str, str]] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def ejected_set(self) -> frozenset[str]:
+        return frozenset(self._ejected)
+
+    def is_ejected(self, instance: str) -> bool:
+        return instance in self._ejected
+
+    def score(self, instance: str) -> dict:
+        """Introspection: the raw per-server signals."""
+        state = self._servers.get(instance, _ServerHealth())
+        return {
+            "error_ewma": state.error_ewma,
+            "latency_ewma_s": state.latency_ewma_s,
+            "samples": state.samples,
+            "ejected": state.ejected,
+            "eject_reason": state.eject_reason,
+            "probe_successes": state.probe_successes,
+        }
+
+    # -- probe gating ------------------------------------------------------
+
+    def try_probe(self, instance: str, now: float,
+                  force: bool = False) -> bool:
+        """May a probe be dispatched to this (ejected) server now?
+
+        Returns True and arms the cadence timer when the trickle budget
+        allows (one probe per ``probe_interval_s``). ``force=True``
+        bypasses the cadence — used when an ejected server is the only
+        remaining replica for some segments, where refusing to probe
+        would turn a merely-slow server into an unroutable answer.
+        """
+        state = self._servers.get(instance)
+        if state is None or not state.ejected:
+            return False
+        if not force:
+            if (state.last_probe_at is not None
+                    and now - state.last_probe_at
+                    < self.policy.probe_interval_s):
+                return False
+            self.counters["probes"] += 1
+        else:
+            self.counters["probes"] += 1
+            self.counters["forced_probes"] += 1
+        state.last_probe_at = now
+        return True
+
+    def record_dispatch(self, instance: str, now: float,
+                        probe: bool = False) -> None:
+        """Audit one dispatch: non-probe traffic to an ejected server
+        is a discipline violation (the sim invariant reads this)."""
+        if instance in self._ejected and not probe:
+            self.counters["discipline_violations"] += 1
+
+    # -- observations ------------------------------------------------------
+
+    def observe_success(self, instance: str, latency_s: float,
+                        now: float) -> str | None:
+        """Feed one successful sub-request; returns a transition event
+        (``EVENT_HEALED``/``EVENT_EJECTED``) when one fired."""
+        state = self._state(instance)
+        alpha = self.policy.ewma_alpha
+        state.error_ewma *= (1.0 - alpha)
+        state.latency_ewma_s = (
+            latency_s if state.latency_ewma_s is None
+            else alpha * latency_s + (1.0 - alpha) * state.latency_ewma_s
+        )
+        state.samples += 1
+        if state.ejected:
+            state.probe_successes += 1
+            if state.probe_successes >= self.policy.probe_successes_to_heal:
+                self._heal(instance, state, now)
+                return EVENT_HEALED
+            return None
+        return self._maybe_eject(instance, state, now)
+
+    def observe_failure(self, instance: str, now: float) -> str | None:
+        """Feed one failed/timed-out sub-request."""
+        state = self._state(instance)
+        alpha = self.policy.ewma_alpha
+        state.error_ewma = alpha + (1.0 - alpha) * state.error_ewma
+        state.samples += 1
+        if state.ejected:
+            # A failed probe: start the consecutive count over and
+            # re-arm the cadence timer from the failure, not the
+            # dispatch, so a sick server is retried at full spacing.
+            state.probe_successes = 0
+            state.last_probe_at = now
+            self.counters["probe_failures"] += 1
+            return None
+        return self._maybe_eject(instance, state, now)
+
+    # -- internals ---------------------------------------------------------
+
+    def _state(self, instance: str) -> _ServerHealth:
+        if instance not in self._servers:
+            self._servers[instance] = _ServerHealth()
+        return self._servers[instance]
+
+    def _maybe_eject(self, instance: str, state: _ServerHealth,
+                     now: float) -> str | None:
+        if state.samples < self.policy.min_samples:
+            return None
+        reason = None
+        if state.error_ewma >= self.policy.error_threshold:
+            reason = (f"error ewma {state.error_ewma:.2f} >= "
+                      f"{self.policy.error_threshold}")
+        else:
+            outlier = self._latency_outlier(instance, state)
+            if outlier is not None:
+                reason = outlier
+        if reason is None:
+            return None
+        # Fleet-fraction guard: a broker that would eject more than
+        # max_ejected_fraction of the servers it knows is more likely
+        # sick itself (or the network is) — keep routing.
+        known = len(self._servers)
+        if (len(self._ejected) + 1) > self.policy.max_ejected_fraction * known:
+            return None
+        state.ejected = True
+        state.ejected_at = now
+        state.eject_reason = reason
+        state.probe_successes = 0
+        state.last_probe_at = None  # first probe may go immediately
+        self._ejected.add(instance)
+        self.counters["ejections"] += 1
+        self.events.append((now, instance, EVENT_EJECTED))
+        return EVENT_EJECTED
+
+    def _latency_outlier(self, instance: str,
+                         state: _ServerHealth) -> str | None:
+        mine = state.latency_ewma_s
+        if mine is None or mine < self.policy.latency_floor_s:
+            return None
+        peers = [
+            s.latency_ewma_s for name, s in self._servers.items()
+            if name != instance and not s.ejected
+            and s.latency_ewma_s is not None
+            and s.samples >= self.policy.min_samples
+        ]
+        if not peers:
+            return None
+        median = statistics.median(peers)
+        if mine > self.policy.latency_multiplier * max(median, 1e-9):
+            return (f"latency ewma {mine * 1e3:.1f}ms > "
+                    f"{self.policy.latency_multiplier}x peer median "
+                    f"{median * 1e3:.1f}ms")
+        return None
+
+    def _heal(self, instance: str, state: _ServerHealth,
+              now: float) -> None:
+        # Fresh start: the pre-ejection score must not linger, or the
+        # first post-heal hiccup would re-eject below min_samples.
+        self._servers[instance] = _ServerHealth()
+        self._ejected.discard(instance)
+        self.counters["heals"] += 1
+        self.events.append((now, instance, EVENT_HEALED))
+
+
+class QueuePressure:
+    """EWMA of observed server inbound-queue utilization, 0..1.
+
+    The broker feeds it one sample per sub-request: the call's observed
+    queue depth over the endpoint's capacity (1.0 when the queue
+    rejected the request outright). Admission control reads
+    :attr:`value` to decide when to start shedding low-priority
+    tenants; the EWMA smooths per-call noise into a load signal.
+    """
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self.value = 0.0
+        self.samples = 0
+
+    def observe(self, utilization: float) -> None:
+        utilization = min(1.0, max(0.0, utilization))
+        self.value = (self._alpha * utilization
+                      + (1.0 - self._alpha) * self.value)
+        self.samples += 1

@@ -21,6 +21,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.cluster.broker import BrokerInstance
 from repro.cluster.controller import SERVER_TAG, Controller
+from repro.cluster.health import HealthPolicy
 from repro.cluster.minion import MinionInstance
 from repro.cluster.objectstore import MemoryObjectStore, ObjectStore
 from repro.cluster.server import ServerInstance
@@ -55,7 +56,8 @@ class PinotCluster:
                  trace_sample_rate: float = 0.0,
                  default_vectorized: bool = True,
                  store_budget_bytes: int | None = None,
-                 store_policy: str = "lru"):
+                 store_policy: str = "lru",
+                 failure_detector: HealthPolicy | None = None):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
         #: Per-server segment-cache byte budget and eviction policy
@@ -115,6 +117,7 @@ class PinotCluster:
             BrokerInstance(f"broker-{i}", self.helix, self.quotas,
                            seed=seed + i, clock=self.clock,
                            hedging=hedging,
+                           health=failure_detector,
                            tracer=Tracer(clock=self.clock,
                                          sample_rate=trace_sample_rate,
                                          seed=seed + i,

@@ -6,10 +6,20 @@ query deducts tokens proportional to its execution time; an empty
 bucket enqueues (or, here, rejects with a retry-after) further queries
 until the bucket refills. The bucket refills slowly over time, so short
 bursts pass but sustained abuse is throttled.
+
+Adaptive admission (the failure-detector follow-up): each tenant also
+carries a ``priority`` in [0, 1]. When the broker observes server
+inbound queues building (a :class:`repro.cluster.health.QueuePressure`
+signal in [0, 1]), :meth:`TenantQuotaManager.admit` starts shedding
+the lowest-priority tenants first — pressure at ``shed_start`` sheds
+nobody, pressure 1.0 sheds everyone below priority 1.0. Shedding is
+upstream of the token bucket: a shed query is rejected without
+consuming tokens, so the tenant's burst budget survives the overload.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ThrottledError
@@ -60,26 +70,74 @@ class TokenBucket:
         self.tokens -= amount
 
     def seconds_until(self, amount: float, now: float) -> float:
-        """Virtual seconds until ``amount`` tokens will be available."""
+        """Virtual seconds until ``amount`` tokens will be available.
+
+        The advertised wait is an *underestimate-free* bound for any
+        ``amount <= capacity``: a retry at exactly
+        ``now + seconds_until(...)`` is guaranteed to find the tokens
+        there (absent further consumption). The naive
+        ``deficit / refill_rate`` can round **down** in floating point,
+        and the caller's own arithmetic rounds again — the retry
+        arrives at ``now + wait`` and the refill sees
+        ``(now + wait) - now`` elapsed seconds, which can land short of
+        ``wait`` itself — so the quotient is nudged up until a replay
+        of exactly that arithmetic clears the bar. Stepping by the
+        larger of the two ulps keeps the loop to a handful of
+        iterations even when ``now`` dwarfs ``wait``.
+        """
         self._refill(now)
         deficit = amount - self.tokens
         if deficit <= 0:
             return 0.0
-        return deficit / self.refill_rate
+        wait = deficit / self.refill_rate
+        while (self.tokens + ((now + wait) - now) * self.refill_rate
+               < amount):
+            wait += max(math.ulp(wait), math.ulp(now))
+        return wait
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant's quota configuration."""
+
+    capacity: float
+    refill_rate: float
+    #: Shedding priority in [0, 1]: higher survives overload longer.
+    priority: float = 0.5
 
 
 class TenantQuotaManager:
-    """Admission control for queries, one bucket per tenant."""
+    """Admission control for queries, one bucket per tenant.
+
+    ``shed_start`` is the queue-pressure level where load shedding
+    begins; between ``shed_start`` and 1.0 the shed bar rises linearly
+    from priority 0 to priority 1, so the lowest-priority tenants are
+    rejected first and the highest-priority tenants are only refused
+    when the cluster is fully saturated.
+    """
 
     def __init__(self, default_capacity: float = 100.0,
-                 default_refill_rate: float = 50.0):
+                 default_refill_rate: float = 50.0,
+                 default_priority: float = 0.5,
+                 shed_start: float = 0.5):
+        if not 0.0 <= shed_start < 1.0:
+            raise ValueError("shed_start must be in [0, 1)")
         self._buckets: dict[str, TokenBucket] = {}
+        self._priorities: dict[str, float] = {}
         self._default_capacity = default_capacity
         self._default_refill_rate = default_refill_rate
+        self._default_priority = default_priority
+        self.shed_start = shed_start
+        #: Monotone counters: admitted / throttled / shed per tenant.
+        self.shed_counts: dict[str, int] = {}
 
     def configure(self, tenant: str, capacity: float,
-                  refill_rate: float) -> None:
+                  refill_rate: float, priority: float | None = None) -> None:
         self._buckets[tenant] = TokenBucket(capacity, refill_rate)
+        if priority is not None:
+            if not 0.0 <= priority <= 1.0:
+                raise ValueError("priority must be in [0, 1]")
+            self._priorities[tenant] = priority
 
     def bucket(self, tenant: str) -> TokenBucket:
         if tenant not in self._buckets:
@@ -88,10 +146,34 @@ class TenantQuotaManager:
             )
         return self._buckets[tenant]
 
+    def priority(self, tenant: str) -> float:
+        return self._priorities.get(tenant, self._default_priority)
+
+    def shed_bar(self, pressure: float) -> float:
+        """The priority below which tenants are shed at ``pressure``."""
+        if pressure <= self.shed_start:
+            return 0.0
+        span = 1.0 - self.shed_start
+        return min(1.0, (pressure - self.shed_start) / span)
+
     def admit(self, tenant: str, now: float,
-              admission_cost: float = 1.0) -> None:
-        """Gate a query; raises :class:`ThrottledError` when exhausted."""
+              admission_cost: float = 1.0,
+              pressure: float = 0.0) -> None:
+        """Gate a query; raises :class:`ThrottledError` when refused.
+
+        Two independent gates: queue-pressure shedding (overload — the
+        caller should back off for roughly a refill period) and the
+        tenant's own token bucket (quota exhaustion with an exact
+        retry-after).
+        """
         bucket = self.bucket(tenant)
+        bar = self.shed_bar(pressure)
+        if bar > 0.0 and self.priority(tenant) < bar:
+            self.shed_counts[tenant] = self.shed_counts.get(tenant, 0) + 1
+            raise ThrottledError(
+                tenant, bucket.seconds_until(admission_cost, now),
+                reason="overload",
+            )
         if not bucket.try_consume(admission_cost, now):
             raise ThrottledError(
                 tenant, bucket.seconds_until(admission_cost, now)

@@ -77,12 +77,18 @@ class IngestionError(PinotError):
 
 
 class ThrottledError(PinotError):
-    """A tenant's token bucket is exhausted and the query was rejected."""
+    """A tenant's query was rejected at admission: its token bucket is
+    exhausted (``reason="quota"``) or the cluster is shedding load by
+    tenant priority under queue pressure (``reason="overload"``)."""
 
-    def __init__(self, tenant: str, retry_after_s: float):
+    def __init__(self, tenant: str, retry_after_s: float,
+                 reason: str = "quota"):
+        detail = ("is out of query tokens" if reason == "quota"
+                  else "was shed under cluster overload")
         super().__init__(
-            f"tenant {tenant!r} is out of query tokens; retry after "
+            f"tenant {tenant!r} {detail}; retry after "
             f"{retry_after_s:.3f}s"
         )
         self.tenant = tenant
         self.retry_after_s = retry_after_s
+        self.reason = reason

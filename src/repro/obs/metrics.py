@@ -100,7 +100,10 @@ class BrokerMetrics(Metrics):
     servers_unreachable, retries, failovers, segments_failed_over,
     segments_unroutable, partial_responses, deadline_exhausted,
     retry_backoff_ms, cache_hits, cache_misses, cache_bypass, hedges,
-    hedge_wins, hedges_cancelled, traces, slow_queries.
+    hedge_wins, hedges_cancelled, traces, slow_queries; the failure
+    detector's health_ejections, health_heals, health_probes,
+    health_reroutes; and admission control's throttled (tenant quota
+    exhausted) vs admission_shed (priority shed under queue pressure).
     """
 
 

@@ -33,6 +33,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.cluster.health import HealthPolicy
 from repro.cluster.pinot import PinotCluster
 from repro.cluster.server import parse_realtime_segment_name
 from repro.cluster.table import StreamConfig, TableConfig, TableType
@@ -45,7 +46,9 @@ from repro.pql.parser import parse
 from repro.segment.builder import SegmentBuilder
 from repro.sim import workload
 from repro.sim.invariants import (Violation, check_completion_safety,
-                                  check_convergence, check_residency)
+                                  check_convergence,
+                                  check_ejection_discipline,
+                                  check_residency)
 from repro.sim.oracle import diff_summary, expected_rows, rows_match
 from repro.sim.schedule import Op, Schedule
 
@@ -70,7 +73,11 @@ DEFAULT_CONFIG: dict[str, Any] = {
     #: Scenario shape: ``default`` is the hybrid offline+realtime table;
     #: ``upsert`` and ``dedup`` are realtime-only tables keyed on
     #: memberId, whose oracle reduces the visible stream prefix to the
-    #: latest (upsert) or first (dedup) row per key.
+    #: latest (upsert) or first (dedup) row per key. ``production``
+    #: keeps the hybrid table but enables the broker failure detector
+    #: and skews the op mix toward query traffic with servers
+    #: degrading and recovering mid-run (docs/RESILIENCE.md); the
+    #: ejection-discipline invariant then runs after every op.
     "workload": "default",
     #: Per-server segment-cache byte budget (repro.store); None keeps
     #: every hosted segment resident. A finite budget turns every run
@@ -112,6 +119,42 @@ OP_WEIGHTS: list[tuple[str, float]] = [
 _NON_UPSERT_OPS = frozenset({
     "upload_segment", "replace_segment", "delete_segment", "kill_server",
 })
+
+#: The production workload's op mix: query-heavy traffic with servers
+#: degrading and recovering mid-run — the failure detector's natural
+#: habitat.
+PRODUCTION_OP_WEIGHTS: list[tuple[str, float]] = [
+    ("query", 42.0),
+    ("ingest", 14.0),
+    ("consume", 16.0),
+    ("advance_time", 8.0),
+    ("upload_segment", 3.0),
+    ("crash_server", 3.0),
+    ("recover_server", 8.0),
+    ("degrade_server", 8.0),
+    ("rebalance", 2.0),
+    ("cache_invalidate", 2.0),
+    ("replace_segment", 1.5),
+    ("delete_segment", 1.0),
+    ("kill_server", 0.5),
+    ("add_server", 1.0),
+    ("kill_controller", 0.5),
+    ("evict_residency", 1.5),
+]
+
+#: Broker failure-detector tuning for the production workload: small
+#: sample bounds so a 60-op schedule can reach eject -> probe -> heal,
+#: and a latency floor well above healthy sub-request times so only
+#: injected degradation trips the outlier check.
+SIM_HEALTH_POLICY = HealthPolicy(
+    min_samples=4,
+    error_threshold=0.5,
+    latency_multiplier=6.0,
+    latency_floor_s=0.05,
+    probe_interval_s=0.5,
+    probe_successes_to_heal=2,
+    max_ejected_fraction=0.5,
+)
 
 
 @dataclass
@@ -185,6 +228,10 @@ class SimulationHarness:
         cfg = self.config
         clock = SimClock(auto_advance=False)
         transport = Transport(clock, seed=self.schedule.seed)
+        self.workload = cfg["workload"]
+        if self.workload not in ("default", "upsert", "dedup",
+                                 "production"):
+            raise ValueError(f"unknown workload {self.workload!r}")
         self.cluster = PinotCluster(
             num_servers=cfg["num_servers"],
             num_brokers=cfg["num_brokers"],
@@ -195,11 +242,10 @@ class SimulationHarness:
             default_vectorized=bool(cfg["engine_vectorized"]),
             store_budget_bytes=cfg["store_budget_bytes"],
             store_policy=cfg["store_policy"],
+            failure_detector=(SIM_HEALTH_POLICY
+                              if self.workload == "production" else None),
         )
         self.model = _Model(cfg["num_partitions"])
-        self.workload = cfg["workload"]
-        if self.workload not in ("default", "upsert", "dedup"):
-            raise ValueError(f"unknown workload {self.workload!r}")
         schema = workload.schema()
         self.cluster.create_kafka_topic(TOPIC, cfg["num_partitions"])
         stream = StreamConfig(
@@ -208,7 +254,7 @@ class SimulationHarness:
             flush_threshold_ticks=cfg["flush_threshold_ticks"],
             records_per_poll=cfg["records_per_poll"],
         )
-        if self.workload == "default":
+        if self.workload in ("default", "production"):
             self.cluster.create_table(TableConfig.offline(
                 LOGICAL_TABLE, schema, replication=cfg["replication"],
             ))
@@ -231,7 +277,7 @@ class SimulationHarness:
         self.offline_table = f"{LOGICAL_TABLE}_{TableType.OFFLINE.value}"
         self.realtime_table = f"{LOGICAL_TABLE}_{TableType.REALTIME.value}"
 
-        if self.workload == "default":
+        if self.workload in ("default", "production"):
             # A founding offline segment so the hybrid time boundary is
             # always defined (days [BASE_DAY, BASE_DAY + 4]).
             bootstrap = Op("upload_segment", {
@@ -316,6 +362,9 @@ class SimulationHarness:
         detail = check_residency(self.cluster.servers)
         if detail is not None:
             self._violation("residency_budget", detail)
+        detail = check_ejection_discipline(self.cluster.brokers)
+        if detail is not None:
+            self._violation("ejection_discipline", detail)
 
     def _apply(self, kind: str, op: Op) -> None:
         """Run one op through the normal execute path (bootstrap use)."""
@@ -387,7 +436,7 @@ class SimulationHarness:
             if not determinate:
                 return False, []
             prefix = produced[:offset]
-            if self.workload == "default":
+            if self.workload in ("default", "production"):
                 realtime.extend(prefix)
                 continue
             per_key: dict[Any, dict] = {}
@@ -584,7 +633,9 @@ class SimulationHarness:
 
     def _draw_op(self) -> Op | None:
         mix = OP_WEIGHTS
-        if self.workload != "default":
+        if self.workload == "production":
+            mix = PRODUCTION_OP_WEIGHTS
+        elif self.workload != "default":
             mix = [(kind, weight) for kind, weight in OP_WEIGHTS
                    if kind not in _NON_UPSERT_OPS]
         kinds = [kind for kind, __ in mix]
@@ -646,14 +697,14 @@ class SimulationHarness:
         return Op("delete_segment", {"name": self._pick_offline_segment()})
 
     def _make_rebalance(self) -> Op:
-        if self.workload != "default":
+        if self.workload in ("upsert", "dedup"):
             return Op("rebalance", {"table": self.realtime_table})
         table = (self.offline_table if self.rng.random() < 0.6
                  else self.realtime_table)
         return Op("rebalance", {"table": table})
 
     def _make_cache_invalidate(self) -> Op:
-        if self.workload != "default":
+        if self.workload in ("upsert", "dedup"):
             return Op("cache_invalidate", {"table": self.realtime_table})
         table = (self.offline_table if self.rng.random() < 0.5
                  else self.realtime_table)
@@ -681,6 +732,14 @@ class SimulationHarness:
         healthy = self._healthy_servers()
         if len(healthy) < 2:
             return None
+        if self.workload == "production":
+            # Harsh enough to trip the failure detector's EWMA/outlier
+            # thresholds (SIM_HEALTH_POLICY) within a few queries.
+            return Op("degrade_server", {
+                "instance": healthy[self.rng.randrange(len(healthy))],
+                "latency_ms": self.rng.choice([100, 250]),
+                "error_rate": self.rng.choice([0.0, 0.6, 0.9]),
+            })
         return Op("degrade_server", {
             "instance": healthy[self.rng.randrange(len(healthy))],
             "latency_ms": self.rng.choice([5, 20, 80]),
@@ -780,6 +839,11 @@ class SimulationHarness:
         if self.violations:
             return
 
+        if self.workload == "production":
+            self._pump_heal_return()
+            if self.violations:
+                return
+
         # Final oracle battery over a healthy cluster.
         for index in range(8):
             battery = Op("query", {
@@ -797,6 +861,59 @@ class SimulationHarness:
             self._op = None
             if self.violations:
                 return
+
+    def _pump_heal_return(self) -> None:
+        """Production epilogue: healed servers must return to rotation.
+
+        All faults were healed above, so probes now succeed and every
+        broker's failure detector has to heal its ejections within a
+        bounded number of probe cadences. Pump seeded query traffic
+        (advancing the clock past the probe interval each round) until
+        no live server remains ejected; flag ``heal_return`` if any is
+        still out after the bound.
+        """
+        live = set(self._live_servers)
+
+        def still_ejected() -> dict[str, list[str]]:
+            remaining: dict[str, list[str]] = {}
+            for broker in self.cluster.brokers:
+                if broker.health is None:
+                    continue
+                stuck = sorted(broker.health.ejected_set() & live)
+                if stuck:
+                    remaining[broker.instance_id] = stuck
+            return remaining
+
+        for attempt in range(200):
+            if not still_ejected():
+                break
+            self.cluster.clock.advance(SIM_HEALTH_POLICY.probe_interval_s)
+            pql = workload.random_query(
+                random.Random(
+                    (self.schedule.seed * 7_368_787 + attempt) % 2 ** 32
+                ),
+                LOGICAL_TABLE,
+            )
+            try:
+                self.cluster.execute(pql + " OPTION(skipCache=true)")
+            except Exception:
+                self._violation(
+                    "harness_crash",
+                    f"heal-return pump raised:\n"
+                    f"{traceback.format_exc(limit=8)}",
+                )
+                return
+        remaining = still_ejected()
+        self._observe(f"epilogue: heal-return remaining={remaining}")
+        if remaining:
+            self._violation(
+                "heal_return",
+                f"servers still ejected after heal + probe pumping: "
+                f"{remaining}",
+            )
+        detail = check_ejection_discipline(self.cluster.brokers)
+        if detail is not None:
+            self._violation("ejection_discipline", detail)
 
 
 def run_seed(seed: int, num_steps: int = 60,

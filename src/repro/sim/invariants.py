@@ -156,6 +156,24 @@ def check_residency(servers) -> str | None:
     return None
 
 
+def check_ejection_discipline(brokers) -> str | None:
+    """Probe-only invariant (docs/RESILIENCE.md): an ejected server
+    receives no traffic except cadence-gated (or forced last-replica)
+    probes. The broker's :class:`repro.cluster.health.FailureDetector`
+    counts every non-probe dispatch to an ejected instance; between ops
+    that counter must be zero on every broker."""
+    for broker in brokers:
+        detector = broker.health
+        if detector is None:
+            continue
+        violations = detector.counters.get("discipline_violations", 0)
+        if violations:
+            return (f"{broker.instance_id}: {violations} non-probe "
+                    f"dispatch(es) to ejected servers "
+                    f"(ejected={sorted(detector.ejected_set())})")
+    return None
+
+
 def check_convergence(helix: HelixManager) -> str | None:
     """Invariant 3: with no faults outstanding, every resource's
     external view matches its ideal state on live instances, and every

@@ -4,11 +4,18 @@ import numpy as np
 import pytest
 
 from repro.bench.loadsim import (
+    Degradation,
     LoadSimConfig,
+    ProductionConfig,
+    build_quotas,
+    production_sweep,
     qps_sweep,
     saturation_qps,
     simulate_open_loop,
+    simulate_production,
+    zipf_tenants,
 )
+from repro.cluster.health import HealthPolicy
 from repro.bench.report import (
     render_histogram,
     render_sweep,
@@ -77,6 +84,111 @@ class TestSimulator:
         a = simulate_open_loop(service, fanouts, 100, config(seed=7))
         b = simulate_open_loop(service, fanouts, 100, config(seed=7))
         assert a.row() == b.row()
+
+
+def production_config(**kwargs):
+    defaults = dict(num_servers=4, workers_per_server=4,
+                    duration_s=8.0, warmup_s=1.0, seed=3)
+    defaults.update(kwargs)
+    return ProductionConfig(**defaults)
+
+
+DEGRADED = (Degradation(server=0, start_s=2.0, end_s=6.0,
+                        slow_factor=8.0, error_rate=0.3),)
+
+
+class TestZipfTenants:
+    def test_weights_follow_zipf(self):
+        tenants = zipf_tenants(n=5, exponent=1.0)
+        assert len(tenants) == 5
+        assert tenants[0].weight == pytest.approx(1.0)
+        assert tenants[1].weight == pytest.approx(0.5)
+        assert tenants[4].weight == pytest.approx(0.2)
+
+    def test_priorities_descend_with_rank(self):
+        tenants = zipf_tenants(n=8)
+        priorities = [t.priority for t in tenants]
+        assert priorities == sorted(priorities, reverse=True)
+        assert all(0.0 <= p <= 1.0 for p in priorities)
+
+
+class TestProductionSim:
+    def test_deterministic_by_seed(self):
+        a = simulate_production(300, production_config())
+        b = simulate_production(300, production_config())
+        assert a.stats.row() == b.stats.row()
+        assert a.server_subrequests == b.server_subrequests
+
+    def test_diurnal_peak_carries_more_arrivals(self):
+        """The sin(-pi/2) phase puts the trough at the window edges and
+        the peak mid-window."""
+        import numpy as np
+
+        from repro.bench.loadsim import _diurnal_arrivals
+        config = production_config(duration_s=20.0,
+                                   diurnal_amplitude=0.8)
+        rng = np.random.default_rng(0)
+        times = _diurnal_arrivals(500, config, rng)
+        third = config.duration_s / 3.0
+        edge = np.sum(times < third)
+        middle = np.sum((times >= third) & (times < 2 * third))
+        assert middle > edge * 1.3
+
+    def test_degraded_server_hurts_tail_without_detector(self):
+        clean = simulate_production(300, production_config())
+        sick = simulate_production(
+            300, production_config(degradations=DEGRADED))
+        assert sick.stats.p99_ms > clean.stats.p99_ms * 3
+
+    def test_detector_protects_tail_and_keeps_discipline(self):
+        off = simulate_production(
+            300, production_config(degradations=DEGRADED))
+        on = simulate_production(
+            300, production_config(degradations=DEGRADED),
+            detector_policy=HealthPolicy(min_samples=4,
+                                         probe_interval_s=0.5,
+                                         probe_successes_to_heal=2))
+        assert on.ejections > 0
+        assert on.stats.p99_ms < off.stats.p99_ms
+        # Probe-only invariant: zero non-probe dispatches while ejected.
+        assert on.discipline_violations == 0
+        assert on.probes > 0
+
+    def test_healed_server_returns_to_rotation(self):
+        on = simulate_production(
+            300, production_config(degradations=DEGRADED),
+            detector_policy=HealthPolicy(min_samples=4,
+                                         probe_interval_s=0.5,
+                                         probe_successes_to_heal=2))
+        assert on.heals > 0
+        assert on.post_recovery_subrequests.get("server-0", 0) > 0
+
+    def test_overload_sheds_lowest_priority_first(self):
+        config = production_config()
+        stats = simulate_production(4000, config,
+                                    quotas=build_quotas(config))
+        assert sum(stats.shed.values()) > 0
+        by_name = {t.name: t for t in config.tenants}
+        shed_rate = {
+            tenant: stats.shed.get(tenant, 0)
+            / max(1, stats.shed.get(tenant, 0)
+                  + stats.admitted.get(tenant, 0))
+            for tenant in by_name
+        }
+        top = max(by_name.values(), key=lambda t: t.priority).name
+        bottom = min(by_name.values(), key=lambda t: t.priority).name
+        assert shed_rate[top] <= shed_rate[bottom]
+
+    def test_no_shedding_when_unloaded(self):
+        config = production_config()
+        stats = simulate_production(50, config,
+                                    quotas=build_quotas(config))
+        assert sum(stats.shed.values()) == 0
+
+    def test_sweep_shapes(self):
+        cells = production_sweep([100, 300], production_config())
+        assert [c.stats.offered_qps for c in cells] == [100, 300]
+        assert all(not c.detector_enabled for c in cells)
 
 
 class TestReporting:

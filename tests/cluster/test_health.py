@@ -1,0 +1,327 @@
+"""Tests for the broker-side failure detector: health scoring,
+ejection, probe-back, and the broker integration (ejected servers get
+only probe traffic; healed servers return to rotation)."""
+
+import pytest
+
+from repro.cluster.health import (
+    EVENT_EJECTED,
+    EVENT_HEALED,
+    FailureDetector,
+    HealthPolicy,
+    QueuePressure,
+)
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+
+POLICY = HealthPolicy(min_samples=4, probe_interval_s=1.0,
+                      probe_successes_to_heal=2)
+
+
+def feed_failures(detector, instance, n, now=0.0):
+    event = None
+    for __ in range(n):
+        event = detector.observe_failure(instance, now=now) or event
+    return event
+
+
+def seed_peers(detector, peers=("s1", "s2", "s3"), n=10, latency_s=0.01):
+    """Give the detector healthy peers so the fleet-fraction cap
+    (at most half the known fleet ejected) permits ejections."""
+    for index in range(n):
+        for peer in peers:
+            detector.observe_success(peer, latency_s=latency_s,
+                                     now=float(index))
+
+
+class TestHealthScoring:
+    def test_error_ewma_ejects_after_min_samples(self):
+        detector = FailureDetector(POLICY)
+        seed_peers(detector)
+        for index in range(POLICY.min_samples - 1):
+            assert detector.observe_failure("s0", now=float(index)) is None
+        assert detector.observe_failure("s0", now=5.0) == EVENT_EJECTED
+        assert detector.is_ejected("s0")
+        assert detector.counters["ejections"] == 1
+
+    def test_successes_keep_server_healthy(self):
+        detector = FailureDetector(POLICY)
+        for index in range(50):
+            detector.observe_success("s0", latency_s=0.01,
+                                     now=float(index))
+        assert not detector.is_ejected("s0")
+        assert detector.score("s0")["error_ewma"] < 0.01
+
+    def test_mixed_traffic_below_threshold_stays_in(self):
+        """A 20% error rate keeps the EWMA under the 50% bar."""
+        detector = FailureDetector(POLICY)
+        seed_peers(detector)
+        for index in range(50):
+            if index % 5 == 0:
+                detector.observe_failure("s0", now=float(index))
+            else:
+                detector.observe_success("s0", latency_s=0.01,
+                                         now=float(index))
+        assert not detector.is_ejected("s0")
+
+    def test_latency_outlier_ejected_against_peer_median(self):
+        """A server 4x slower than the healthy-peer median is ejected
+        even though it never errors."""
+        detector = FailureDetector(POLICY)
+        event = None
+        for index in range(12):
+            for peer in ("s1", "s2", "s3"):
+                detector.observe_success(peer, latency_s=0.05,
+                                         now=float(index))
+            event = detector.observe_success("s0", latency_s=0.50,
+                                             now=float(index))
+            if event is not None:
+                break
+        assert event == EVENT_EJECTED
+        assert detector.is_ejected("s0")
+        assert "latency ewma" in detector.score("s0")["eject_reason"]
+
+    def test_latency_floor_suppresses_microsecond_outliers(self):
+        """4x of a sub-floor median is still fast — no ejection."""
+        detector = FailureDetector(POLICY)
+        for index in range(12):
+            for peer in ("s1", "s2", "s3"):
+                detector.observe_success(peer, latency_s=0.001,
+                                         now=float(index))
+            detector.observe_success("s0", latency_s=0.008,
+                                     now=float(index))
+        assert not detector.is_ejected("s0")
+
+    def test_fleet_fraction_cap(self):
+        """With max_ejected_fraction=0.5 and two servers, the second
+        breach is not ejected — someone must serve traffic."""
+        detector = FailureDetector(POLICY)
+        for index in range(10):
+            detector.observe_success("s0", latency_s=0.01,
+                                     now=float(index))
+            detector.observe_success("s1", latency_s=0.01,
+                                     now=float(index))
+        feed_failures(detector, "s0", 10, now=20.0)
+        assert detector.is_ejected("s0")
+        feed_failures(detector, "s1", 10, now=20.0)
+        assert not detector.is_ejected("s1")
+
+
+class TestProbeBack:
+    def eject(self, detector, instance="s0", now=0.0):
+        seed_peers(detector)
+        feed_failures(detector, instance, 10, now=now)
+        assert detector.is_ejected(instance)
+
+    def test_probe_cadence_gated(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        # The post-ejection probe failures above re-armed the timer at
+        # t=0, so the next probe is due one full interval later.
+        assert not detector.try_probe("s0", now=0.5)
+        assert detector.try_probe("s0", now=1.5)
+        assert not detector.try_probe("s0", now=2.0)  # within interval
+        assert detector.try_probe("s0", now=2.6)
+
+    def test_forced_probe_ignores_cadence(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        assert detector.try_probe("s0", now=1.5)
+        assert detector.try_probe("s0", now=1.6, force=True)
+        assert detector.counters["forced_probes"] == 1
+
+    def test_heals_after_consecutive_probe_successes(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        assert detector.observe_success("s0", 0.01, now=1.0) is None
+        assert detector.observe_success("s0", 0.01,
+                                        now=2.0) == EVENT_HEALED
+        assert not detector.is_ejected("s0")
+        assert detector.counters["heals"] == 1
+        # Healed state is fresh: old EWMAs don't linger.
+        assert detector.score("s0")["error_ewma"] == 0.0
+        assert detector.score("s0")["samples"] == 0
+
+    def test_probe_failure_resets_heal_progress(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        detector.observe_success("s0", 0.01, now=1.0)
+        detector.observe_failure("s0", now=2.0)
+        assert detector.observe_success("s0", 0.01, now=3.0) is None
+        assert detector.observe_success("s0", 0.01,
+                                        now=4.0) == EVENT_HEALED
+
+    def test_no_flap_under_flaky_probes(self):
+        """A server whose probes alternate success/failure never heals
+        (and never double-ejects)."""
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        for index in range(20):
+            if index % 2 == 0:
+                detector.observe_success("s0", 0.01, now=float(index + 1))
+            else:
+                detector.observe_failure("s0", now=float(index + 1))
+        assert detector.is_ejected("s0")
+        assert detector.counters["ejections"] == 1
+        assert detector.counters["heals"] == 0
+
+    def test_discipline_counter_flags_non_probe_dispatch(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        detector.record_dispatch("s0", now=1.0, probe=True)
+        assert detector.counters["discipline_violations"] == 0
+        detector.record_dispatch("s0", now=1.1, probe=False)
+        assert detector.counters["discipline_violations"] == 1
+
+    def test_events_log_transitions(self):
+        detector = FailureDetector(POLICY)
+        self.eject(detector, now=0.0)
+        detector.observe_success("s0", 0.01, now=1.0)
+        detector.observe_success("s0", 0.01, now=2.0)
+        kinds = [(instance, kind) for __, instance, kind
+                 in detector.events]
+        assert kinds == [("s0", EVENT_EJECTED), ("s0", EVENT_HEALED)]
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(ewma_alpha=0.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(error_threshold=1.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(max_ejected_fraction=-0.1)
+
+
+class TestQueuePressure:
+    def test_starts_at_zero(self):
+        assert QueuePressure().value == 0.0
+
+    def test_tracks_utilization(self):
+        pressure = QueuePressure(alpha=0.5)
+        for __ in range(20):
+            pressure.observe(0.8)
+        assert pressure.value == pytest.approx(0.8, abs=0.01)
+
+    def test_clips_out_of_range(self):
+        pressure = QueuePressure(alpha=1.0)
+        pressure.observe(7.0)
+        assert pressure.value == 1.0
+        pressure.observe(-3.0)
+        assert pressure.value == 0.0
+
+
+# -- broker integration -------------------------------------------------------
+
+
+@pytest.fixture
+def schema():
+    return Schema("events", [
+        dimension("country"), metric("views", DataType.LONG),
+        time_column("day", DataType.INT),
+    ])
+
+
+def make_cluster(schema, policy=POLICY, num_servers=3, replication=3):
+    cluster = PinotCluster(num_servers=num_servers,
+                          failure_detector=policy)
+    cluster.create_table(TableConfig.offline("events", schema,
+                                             replication=replication))
+    rows = [{"country": "us", "views": 1, "day": day}
+            for day in (17000, 17001, 17002) for __ in range(10)]
+    cluster.upload_records("events", rows, rows_per_segment=10)
+    return cluster
+
+
+def endpoint_calls(cluster, instance):
+    return cluster.net.endpoint(instance).stats.calls
+
+
+class TestBrokerIntegration:
+    def eject_server_zero(self, cluster):
+        """Drive queries until the broker's detector ejects server-0."""
+        broker = cluster.brokers[0]
+        cluster.server("server-0").faults.error_rate = 1.0
+        for index in range(20):
+            cluster.execute(
+                "SELECT count(*) FROM events OPTION (skipCache = true)")
+            if broker.health.is_ejected("server-0"):
+                return index + 1
+        raise AssertionError("server-0 never ejected")
+
+    def test_sick_server_ejected_and_queries_stay_whole(self, schema):
+        cluster = make_cluster(schema)
+        self.eject_server_zero(cluster)
+        broker = cluster.brokers[0]
+        assert broker.metrics.count("health_ejections") == 1
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (skipCache = true)")
+        assert not response.partial
+        assert response.rows[0][0] == 30
+
+    def test_ejected_server_receives_only_probe_traffic(self, schema):
+        cluster = make_cluster(schema)
+        self.eject_server_zero(cluster)
+        broker = cluster.brokers[0]
+        baseline = endpoint_calls(cluster, "server-0")
+        for __ in range(30):
+            cluster.execute(
+                "SELECT count(*) FROM events OPTION (skipCache = true)")
+            cluster.clock.advance(0.01)
+        probed = endpoint_calls(cluster, "server-0") - baseline
+        # Only cadence-gated probes reached the ejected server; the
+        # detector observed no non-probe dispatches at all.
+        assert probed <= broker.health.counters["probes"]
+        assert broker.health.counters["discipline_violations"] == 0
+        assert broker.metrics.count("health_reroutes") > 0
+
+    def test_healed_server_returns_to_rotation(self, schema):
+        cluster = make_cluster(schema)
+        self.eject_server_zero(cluster)
+        broker = cluster.brokers[0]
+        cluster.server("server-0").faults.recover()
+        for __ in range(40):
+            cluster.clock.advance(POLICY.probe_interval_s)
+            cluster.execute(
+                "SELECT count(*) FROM events OPTION (skipCache = true)")
+            if not broker.health.is_ejected("server-0"):
+                break
+        assert not broker.health.is_ejected("server-0")
+        assert broker.metrics.count("health_heals") == 1
+        baseline = endpoint_calls(cluster, "server-0")
+        for __ in range(10):
+            cluster.execute(
+                "SELECT count(*) FROM events OPTION (skipCache = true)")
+        assert endpoint_calls(cluster, "server-0") > baseline
+
+    def test_last_replica_forces_probe_instead_of_unroutable(self, schema):
+        """When the ejected server is the only replica, correctness
+        beats ejection hygiene: the broker probes it out-of-cadence
+        rather than reporting the segments unroutable."""
+        cluster = make_cluster(schema, num_servers=1, replication=1,
+                               policy=HealthPolicy(
+                                   min_samples=4,
+                                   max_ejected_fraction=1.0))
+        broker = cluster.brokers[0]
+        cluster.server("server-0").faults.error_rate = 1.0
+        for __ in range(10):
+            cluster.execute(
+                "SELECT count(*) FROM events OPTION (skipCache = true)")
+        assert broker.health.is_ejected("server-0")
+        cluster.server("server-0").faults.recover()
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (skipCache = true)")
+        assert not response.partial
+        assert response.rows[0][0] == 30
+        assert broker.health.counters["forced_probes"] > 0
+        assert broker.health.counters["discipline_violations"] == 0
+
+    def test_detector_off_by_default(self, schema):
+        cluster = PinotCluster(num_servers=2)
+        assert all(b.health is None for b in cluster.brokers)

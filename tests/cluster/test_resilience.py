@@ -7,6 +7,7 @@ from repro.cluster.pinot import PinotCluster
 from repro.cluster.table import TableConfig
 from repro.common.schema import Schema
 from repro.common.types import DataType, dimension, metric, time_column
+from repro.net import HedgePolicy
 from repro.routing.base import TableRoutingSnapshot
 from repro.routing.balanced import BalancedRouting
 
@@ -176,6 +177,133 @@ class TestBrokerMetrics:
         assert response.num_retries == 0
         assert response.recovered_exceptions == []
         assert cluster.brokers[0].metrics.count("retries") == 0
+
+
+class TestHedgeLoserExclusion:
+    """Regression: a sub-request whose hedge also failed used to be
+    enqueued with ``tried={primary}`` only, so the gather reselect
+    could immediately re-pick the replica whose hedge just failed."""
+
+    def one_segment_cluster(self, schema, seed=0):
+        cluster = PinotCluster(num_servers=3, seed=seed,
+                              hedging=HedgePolicy())
+        cluster.create_table(TableConfig.offline("events", schema,
+                                                 replication=3))
+        cluster.upload_records("events",
+                               records([17000, 17001, 17002]),
+                               rows_per_segment=30)
+        return cluster
+
+    def calls(self, cluster):
+        return {f"server-{i}": cluster.net.endpoint(f"server-{i}")
+                .stats.calls for i in range(3)}
+
+    QUERY = "SELECT count(*) FROM events OPTION (skipCache = true)"
+
+    def query_calls(self, cluster):
+        """Per-server transport calls made by one query (excluding
+        upload/management traffic)."""
+        before = self.calls(cluster)
+        response = cluster.execute(self.QUERY)
+        after = self.calls(cluster)
+        return response, {server: after[server] - before[server]
+                          for server in after}
+
+    def test_gather_reselect_excludes_failed_hedge_replica(self, schema):
+        # Learn the deterministic routing: primary replica first, then
+        # the replica a failed primary's hedge re-routes to.
+        probe = self.one_segment_cluster(schema)
+        __, calls = self.query_calls(probe)
+        primary = max(calls, key=calls.get)
+
+        probe2 = self.one_segment_cluster(schema)
+        probe2.server(primary).faults.error_rate = 1.0
+        response = probe2.execute(self.QUERY)
+        assert not response.partial
+        recovered = [e for e in response.recovered_exceptions
+                     if "via hedge" in e]
+        assert recovered, "hedge-on-failure did not fire"
+        loser = recovered[0].split("recovered on ")[1].split(" ")[0]
+        assert loser != primary
+
+        # Now fail the hedge target too: the gather loop must go to
+        # the third replica, never back to the loser.
+        cluster = self.one_segment_cluster(schema)
+        cluster.server(primary).faults.error_rate = 1.0
+        cluster.server(loser).faults.error_rate = 1.0
+        response, calls = self.query_calls(cluster)
+        broker = cluster.brokers[0]
+        assert broker.metrics.count("hedges") >= 1
+        assert broker.metrics.count("hedge_wins") == 0
+        assert not response.partial
+        assert response.rows[0][0] == 30
+        # One call each: primary scatter, its hedge, and the gather
+        # failover to the survivor. A second call on the loser means
+        # reselect re-picked the replica that just failed.
+        assert calls[primary] == 1
+        assert calls[loser] == 1, (
+            f"hedge loser {loser} was re-picked: {calls}")
+        assert sum(calls.values()) == 3
+
+
+class TestGiveUpAttribution:
+    """Regression: give-up and unroutable errors blamed the original
+    primary even when a different replica produced the last failure or
+    only a subset of segments was stuck."""
+
+    def test_retry_exhaustion_lists_all_tried_replicas(self, schema):
+        cluster = make_cluster(schema, replication=3)
+        for instance in ("server-0", "server-1", "server-2"):
+            cluster.crash_server(instance)
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.partial
+        give_ups = [e for e in response.exceptions if "gave up" in e]
+        assert give_ups
+        for error in give_ups:
+            assert "retry attempts exhausted" in error
+            assert ("tried ['server-0', 'server-1', 'server-2']"
+                    in error)
+
+    def test_give_up_attributed_to_last_failing_server(self, schema):
+        """The exception line leads with the server that produced the
+        final error, not a blanket blame on the primary."""
+        cluster = make_cluster(schema, replication=3)
+        for instance in ("server-0", "server-1", "server-2"):
+            cluster.crash_server(instance)
+        response = cluster.execute("SELECT count(*) FROM events")
+        for error in response.exceptions:
+            if "gave up" not in error:
+                continue
+            blamed = error.split(":")[0]
+            # The blamed server must be among the tried replicas and
+            # its own failure text precedes the give-up annotation.
+            assert blamed in ("server-0", "server-1", "server-2")
+            assert error.index("unreachable") < error.index("gave up")
+
+    def test_unroutable_names_stuck_segments_and_tried(self, schema):
+        cluster = make_cluster(schema, replication=1)
+        cluster.crash_server("server-0")
+        response = cluster.execute("SELECT count(*) FROM events")
+        assert response.partial
+        unroutable = [e for e in response.exceptions
+                      if "no untried replica" in e]
+        assert unroutable
+        for error in unroutable:
+            assert "segments [" in error
+            assert "tried ['server-0']" in error
+            assert "last error:" in error
+
+    def test_deadline_exhaustion_attributed(self, schema):
+        """Slow servers burn the deadline before retries can exhaust:
+        the give-up says so and still lists what was tried."""
+        cluster = make_cluster(schema, replication=3)
+        for instance in ("server-0", "server-1", "server-2"):
+            cluster.server(instance).faults.busy_work_s = 0.5
+        response = cluster.execute(
+            "SELECT count(*) FROM events OPTION (timeoutMs = 300)")
+        assert response.partial
+        assert any("gave up: deadline exhausted" in e and "tried" in e
+                   for e in response.exceptions)
 
 
 class TestReselect:

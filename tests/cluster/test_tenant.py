@@ -1,8 +1,14 @@
-"""Tests for token-bucket multitenancy."""
+"""Tests for token-bucket multitenancy and adaptive admission."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.cluster.tenant import TenantQuotaManager, TokenBucket
+from repro.cluster.pinot import PinotCluster
+from repro.cluster.table import TableConfig
+from repro.cluster.tenant import TenantClass, TenantQuotaManager, TokenBucket
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
 from repro.errors import ThrottledError
 
 
@@ -87,3 +93,149 @@ class TestQuotaManager:
         with pytest.raises(ThrottledError):
             quotas.admit("bursty", now=0.0)
         quotas.admit("bursty", now=1.5)  # refilled
+
+
+class TestRetryAfterBound:
+    """`seconds_until` must be underestimate-free: the bucket never
+    refuses a retry at exactly its own advertised retry-after (absent
+    further consumption)."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        capacity=st.floats(min_value=0.1, max_value=1e6),
+        refill_rate=st.floats(min_value=1e-3, max_value=1e6),
+        drains=st.lists(st.floats(min_value=0.0, max_value=1e5),
+                        max_size=8),
+        amount=st.floats(min_value=1e-6, max_value=1e5),
+        now=st.floats(min_value=0.0, max_value=1e7),
+    )
+    def test_bucket_admits_at_advertised_retry_after(
+            self, capacity, refill_rate, drains, amount, now):
+        bucket = TokenBucket(capacity=capacity, refill_rate=refill_rate)
+        for drain in drains:
+            bucket.consume_debt(drain, now=now)
+        amount = min(amount, capacity)  # larger can never be admitted
+        wait = bucket.seconds_until(amount, now=now)
+        assert wait >= 0.0
+        assert bucket.try_consume(amount, now=now + wait)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        capacity=st.floats(min_value=1.0, max_value=1e4),
+        refill_rate=st.floats(min_value=1e-2, max_value=1e4),
+        debt=st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_throttled_error_retry_after_is_sufficient(
+            self, capacity, refill_rate, debt):
+        quotas = TenantQuotaManager(default_capacity=capacity,
+                                    default_refill_rate=refill_rate)
+        quotas.bucket("t").consume_debt(capacity + debt, now=0.0)
+        with pytest.raises(ThrottledError) as excinfo:
+            quotas.admit("t", now=0.0)
+        quotas.admit("t", now=excinfo.value.retry_after_s)
+
+
+class TestAdaptiveAdmission:
+    def manager(self, shed_start=0.5):
+        quotas = TenantQuotaManager(shed_start=shed_start)
+        quotas.configure("vip", capacity=100, refill_rate=50,
+                         priority=0.9)
+        quotas.configure("batch", capacity=100, refill_rate=50,
+                         priority=0.1)
+        return quotas
+
+    def test_shed_bar_rises_linearly(self):
+        quotas = self.manager()
+        assert quotas.shed_bar(0.0) == 0.0
+        assert quotas.shed_bar(0.5) == 0.0
+        assert quotas.shed_bar(0.75) == pytest.approx(0.5)
+        assert quotas.shed_bar(1.0) == 1.0
+
+    def test_no_pressure_sheds_nobody(self):
+        quotas = self.manager()
+        quotas.admit("batch", now=0.0, pressure=0.4)
+        quotas.admit("vip", now=0.0, pressure=0.4)
+
+    def test_low_priority_shed_first(self):
+        quotas = self.manager()
+        with pytest.raises(ThrottledError) as excinfo:
+            quotas.admit("batch", now=0.0, pressure=0.8)
+        assert excinfo.value.reason == "overload"
+        quotas.admit("vip", now=0.0, pressure=0.8)  # above the bar
+
+    def test_full_pressure_sheds_everyone_below_one(self):
+        quotas = self.manager()
+        for tenant in ("batch", "vip"):
+            with pytest.raises(ThrottledError):
+                quotas.admit(tenant, now=0.0, pressure=1.0)
+
+    def test_shed_does_not_consume_tokens(self):
+        """Shedding is upstream of the bucket: the tenant's burst
+        budget survives the overload episode."""
+        quotas = self.manager()
+        before = quotas.bucket("batch").tokens
+        with pytest.raises(ThrottledError):
+            quotas.admit("batch", now=0.0, pressure=1.0)
+        assert quotas.bucket("batch").tokens == before
+        assert quotas.shed_counts["batch"] == 1
+
+    def test_priority_validated(self):
+        quotas = TenantQuotaManager()
+        with pytest.raises(ValueError):
+            quotas.configure("bad", capacity=1, refill_rate=1,
+                             priority=1.5)
+        with pytest.raises(ValueError):
+            TenantQuotaManager(shed_start=1.0)
+
+    def test_tenant_class_carries_priority(self):
+        tier = TenantClass(capacity=10, refill_rate=5, priority=0.8)
+        assert tier.priority == 0.8
+
+
+class TestBrokerAdmission:
+    """The broker wires queue pressure into admit() and tags the
+    rejection metric by reason."""
+
+    def make_cluster(self):
+        schema = Schema("events", [
+            dimension("country"), metric("views", DataType.LONG),
+            time_column("day", DataType.INT),
+        ])
+        cluster = PinotCluster(num_servers=2)
+        cluster.create_table(TableConfig.offline("events", schema))
+        cluster.upload_records("events", [
+            {"country": "us", "views": 1, "day": 17000}
+            for __ in range(10)
+        ])
+        cluster.quotas.configure("vip", capacity=1000, refill_rate=1000,
+                                 priority=0.9)
+        cluster.quotas.configure("batch", capacity=1000,
+                                 refill_rate=1000, priority=0.1)
+        return cluster
+
+    def test_pressure_sheds_low_priority_tenant(self):
+        cluster = self.make_cluster()
+        broker = cluster.brokers[0]
+        # Pressure ~0.8 puts the shed bar at ~0.6: above batch's 0.1,
+        # below vip's 0.9.
+        for __ in range(60):
+            broker.pressure.observe(0.8)
+        with pytest.raises(ThrottledError) as excinfo:
+            broker.execute("SELECT count(*) FROM events",
+                           tenant="batch")
+        assert excinfo.value.reason == "overload"
+        assert broker.metrics.count("admission_shed") == 1
+        response = broker.execute("SELECT count(*) FROM events",
+                                  tenant="vip")
+        assert response.rows[0][0] == 10
+
+    def test_quota_exhaustion_still_reason_quota(self):
+        cluster = self.make_cluster()
+        broker = cluster.brokers[0]
+        cluster.quotas.bucket("batch").consume_debt(10_000, now=0.0)
+        with pytest.raises(ThrottledError) as excinfo:
+            broker.execute("SELECT count(*) FROM events",
+                           tenant="batch")
+        assert excinfo.value.reason == "quota"
+        assert broker.metrics.count("throttled") == 1
+        assert broker.metrics.count("admission_shed") == 0
