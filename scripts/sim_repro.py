@@ -85,12 +85,17 @@ def main() -> int:
                         default="lru",
                         help="eviction policy when --memory-budget is set")
     parser.add_argument("--workload",
-                        choices=("default", "upsert", "dedup", "production"),
+                        choices=("default", "upsert", "dedup", "production",
+                                 "approx"),
                         default="default",
                         help="scenario shape for generated runs: the "
-                             "hybrid table (default) or a realtime-only "
+                             "hybrid table (default), a realtime-only "
                              "upsert/dedup table whose oracle keeps the "
-                             "latest/first row per primary key")
+                             "latest/first row per primary key, the "
+                             "production failure-detector mix, or the "
+                             "approx mix (timestamp index + sketch "
+                             "queries bound-checked against the exact "
+                             "oracle)")
     args = parser.parse_args()
 
     modes = [m for m in (args.seed is not None, args.sweep, args.schedule)

@@ -48,7 +48,13 @@ from repro.obs.trace import (
     Trace,
     Tracer,
 )
-from repro.pql.ast_nodes import Query
+from repro.pql.ast_nodes import (
+    AggFunc,
+    Aggregation,
+    HavingCondition,
+    OrderBy,
+    Query,
+)
 from repro.pql.parser import parse
 from repro.pql.rewriter import optimize, split_hybrid
 from repro.routing.balanced import BalancedRouting
@@ -59,6 +65,23 @@ from repro.routing.partition_aware import PartitionAwareRouting
 _QUERYABLE_STATES = frozenset(
     {SegmentState.ONLINE.value, SegmentState.CONSUMING.value}
 )
+
+#: Smart-approximation rewrites (§4.3 follow-up work): exact functions
+#: whose partial state grows with the data, and the bounded-state sketch
+#: function the broker swaps in when the estimated input size crosses
+#: the configured threshold.
+_APPROX_REWRITES = {
+    AggFunc.DISTINCTCOUNT: AggFunc.DISTINCTCOUNTHLL,
+    AggFunc.PERCENTILE50: AggFunc.PERCENTILEEST50,
+    AggFunc.PERCENTILE90: AggFunc.PERCENTILEEST90,
+    AggFunc.PERCENTILE95: AggFunc.PERCENTILEEST95,
+    AggFunc.PERCENTILE99: AggFunc.PERCENTILEEST99,
+}
+
+#: Rewrites gated on the target column's distinct-value count (the
+#: exact state is a value set); the rest gate on total row count (the
+#: exact state is the raw sample).
+_CARDINALITY_GATED = frozenset({AggFunc.DISTINCTCOUNT})
 
 
 def _make_strategy(config: TableConfig,
@@ -136,9 +159,19 @@ class BrokerInstance:
                  seed: int = 0, clock: SimClock | None = None,
                  hedging: HedgePolicy | None = None,
                  tracer: Tracer | None = None,
-                 health: HealthPolicy | FailureDetector | None = None):
+                 health: HealthPolicy | FailureDetector | None = None,
+                 use_approximate_function: bool = False,
+                 approx_threshold: int = 10_000):
         self.instance_id = instance_id
         self._helix = helix
+        #: Smart approximations (off by default): when enabled — per
+        #: cluster here, or per query via
+        #: ``OPTION(useApproximateFunction=...)`` — the broker rewrites
+        #: exact DISTINCTCOUNT/PERCENTILE aggregations to their
+        #: bounded-state sketch variants once the estimated input
+        #: (distinct values / total rows) reaches ``approx_threshold``.
+        self.use_approximate_function = use_approximate_function
+        self.approx_threshold = approx_threshold
         #: All sub-requests travel over the cluster transport; deadline
         #: math, backoff accounting, and quota refill read its clock.
         self._transport = helix.transport
@@ -269,6 +302,8 @@ class BrokerInstance:
         query = optimize(query)
 
         physical = self._resolve_physical_queries(query)
+        query, physical, rewrites = self._maybe_rewrite_approx(query,
+                                                               physical)
         first_config = self._table_config(physical[0].table)
         tenant = tenant or first_config.tenant
         if self._quotas is not None:
@@ -376,6 +411,7 @@ class BrokerInstance:
         response.num_retries = retries
         response.num_segments_failed_over = failed_over
         response.stage_times_ms = stage_times
+        response.rewrites = rewrites
         if response.is_partial:
             # Partial answers must never be cached: a retry after the
             # failure heals would keep returning the degraded result.
@@ -484,6 +520,106 @@ class BrokerInstance:
             time_used_ms=elapsed_ms,
             stage_times_ms=dict(stage_times),
             trace=trace_dict,
+        )
+
+    # -- smart approximations ------------------------------------------------
+
+    def _maybe_rewrite_approx(
+        self, query: Query, physical: list[Query],
+    ) -> tuple[Query, list[Query], tuple[str, ...]]:
+        """Swap exact DISTINCTCOUNT/PERCENTILE for sketch variants when
+        enabled and the estimated input crosses the threshold.
+
+        Runs *before* the cache key is computed, and the rewritten
+        select list is part of the physical plan text the key embeds —
+        so exact and approximate answers can never collide in the
+        result cache.
+        """
+        option = query.options.get("useApproximateFunction")
+        enabled = (bool(option) if option is not None
+                   else self.use_approximate_function)
+        if not enabled:
+            return query, physical, ()
+        targets = [a for a in query.aggregations
+                   if a.func in _APPROX_REWRITES]
+        if not targets:
+            return query, physical, ()
+        total_docs, cardinalities = self._approx_estimates(
+            physical, {a.column for a in targets
+                       if a.func in _CARDINALITY_GATED})
+        mapping: dict[Aggregation, Aggregation] = {}
+        rewrites: list[str] = []
+        for aggregation in targets:
+            if aggregation.func in _CARDINALITY_GATED:
+                estimate = cardinalities.get(aggregation.column, 0)
+            else:
+                estimate = total_docs
+            if estimate < self.approx_threshold:
+                continue
+            rewritten = Aggregation(_APPROX_REWRITES[aggregation.func],
+                                    aggregation.column)
+            mapping[aggregation] = rewritten
+            rewrites.append(f"{aggregation} -> {rewritten}")
+        if not mapping:
+            return query, physical, ()
+        query = self._apply_rewrites(query, mapping)
+        self.metrics.incr("approx_rewrites")
+        return query, self._resolve_physical_queries(query), tuple(rewrites)
+
+    def _approx_estimates(
+        self, physical: list[Query], columns: set[str],
+    ) -> tuple[int, dict[str, int]]:
+        """Summed segment-metadata estimates across every physical
+        table: total stored docs, and per-column distinct-value counts
+        (falling back to the segment's doc count when a segment predates
+        cardinality publishing)."""
+        total_docs = 0
+        cardinalities: dict[str, int] = {}
+        for physical_query in physical:
+            table = physical_query.table
+            for segment in self._helix.external_view(table):
+                meta = (
+                    self._helix.get_property(f"segments/{table}/{segment}")
+                    or self._helix.get_property(f"realtime/{table}/{segment}")
+                    or {}
+                )
+                num_docs = meta.get("num_docs") or 0
+                total_docs += num_docs
+                cards = meta.get("cardinalities") or {}
+                for column in columns:
+                    cardinalities[column] = (
+                        cardinalities.get(column, 0)
+                        + cards.get(column, num_docs)
+                    )
+        return total_docs, cardinalities
+
+    @staticmethod
+    def _apply_rewrites(query: Query,
+                        mapping: dict[Aggregation, Aggregation]) -> Query:
+        """Rebuild the query with every mapped aggregation replaced —
+        consistently across select, ORDER BY and HAVING, which all
+        reference aggregations by value."""
+        select = tuple(
+            mapping.get(item, item) if isinstance(item, Aggregation)
+            else item
+            for item in query.select
+        )
+        order_by = tuple(
+            OrderBy(mapping[o.expression], o.descending)
+            if isinstance(o.expression, Aggregation)
+            and o.expression in mapping else o
+            for o in query.order_by
+        )
+        having = tuple(
+            HavingCondition(mapping.get(h.aggregation, h.aggregation),
+                            h.op, h.value)
+            for h in query.having
+        )
+        return Query(
+            table=query.table, select=select, where=query.where,
+            group_by=query.group_by, having=having, order_by=order_by,
+            limit=query.limit, offset=query.offset,
+            select_star=query.select_star, options=dict(query.options),
         )
 
     def _record_stage(self, stage: str, elapsed_ms: float,

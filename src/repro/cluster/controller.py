@@ -208,6 +208,13 @@ class Controller:
                 "push_time_ms": push_time_ms,
                 "partition_id": segment.metadata.partition_id,
                 "blooms": blooms,
+                # Per-column cardinalities: the broker's smart-
+                # approximation rewrite sums these to decide whether an
+                # exact DISTINCTCOUNT/PERCENTILE is worth sketching.
+                "cardinalities": {
+                    name: meta.cardinality
+                    for name, meta in segment.metadata.columns.items()
+                },
             },
         )
 
@@ -751,6 +758,10 @@ class Controller:
             max_time=sealed.metadata.max_time,
             num_docs=sealed.num_docs,
             size_bytes=sealed.estimated_size_bytes(),
+            cardinalities={
+                name: meta.cardinality
+                for name, meta in sealed.metadata.columns.items()
+            },
         )
         self._helix.set_property(f"realtime/{table}/{segment}", meta)
 

@@ -57,7 +57,9 @@ class PinotCluster:
                  default_vectorized: bool = True,
                  store_budget_bytes: int | None = None,
                  store_policy: str = "lru",
-                 failure_detector: HealthPolicy | None = None):
+                 failure_detector: HealthPolicy | None = None,
+                 use_approximate_function: bool = False,
+                 approx_threshold: int = 10_000):
         if num_servers < 1 or num_brokers < 1 or num_controllers < 1:
             raise ClusterError("need at least one of each component")
         #: Per-server segment-cache byte budget and eviction policy
@@ -118,6 +120,8 @@ class PinotCluster:
                            seed=seed + i, clock=self.clock,
                            hedging=hedging,
                            health=failure_detector,
+                           use_approximate_function=use_approximate_function,
+                           approx_threshold=approx_threshold,
                            tracer=Tracer(clock=self.clock,
                                          sample_rate=trace_sample_rate,
                                          seed=seed + i,

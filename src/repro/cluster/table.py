@@ -129,6 +129,11 @@ class TableConfig:
                 "upsert/dedup tables cannot use a star-tree index "
                 "(pre-aggregation ignores valid-docId masks)"
             )
+        if self.segment_config.timestamp_index:
+            raise ClusterError(
+                "upsert/dedup tables cannot use a timestamp index "
+                "(rollups pre-aggregate rows the valid-docId mask hides)"
+            )
 
     @property
     def name(self) -> str:
@@ -172,6 +177,7 @@ class TableConfig:
             "sorted_column": self.segment_config.sorted_column,
             "inverted_columns": list(self.segment_config.inverted_columns),
             "bloom_columns": list(self.segment_config.bloom_columns),
+            "timestamp_index": list(self.segment_config.timestamp_index),
             "partition": (
                 {"column": self.partition.column,
                  "num_partitions": self.partition.num_partitions}
@@ -218,6 +224,7 @@ class TableConfig:
                 sorted_column=payload.get("sorted_column"),
                 inverted_columns=tuple(payload.get("inverted_columns", ())),
                 bloom_columns=tuple(payload.get("bloom_columns", ())),
+                timestamp_index=tuple(payload.get("timestamp_index", ())),
             ),
             partition=partition,
             stream=stream,

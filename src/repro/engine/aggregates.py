@@ -238,14 +238,20 @@ class DistinctCountHllFunction(AggregateFunction):
 
     def aggregate(self, values: np.ndarray):
         sketch = self._new()
-        sketch.add_many(values.tolist())
+        sketch.add_many(values)
         return sketch
 
     def aggregate_grouped(self, values, codes, num_groups):
-        sorted_values, bounds = _group_slices(values, codes, num_groups)
+        # Hash every value once with the vectorized bulk path, then
+        # slice the *hashes* per group — register-identical to hashing
+        # group by group, but one numpy pass instead of a Python loop.
+        from repro.engine.sketches import hash64_array
+
+        hashed = hash64_array(np.asarray(values))
+        sorted_hashes, bounds = _group_slices(hashed, codes, num_groups)
         sketches = [self._new() for _ in range(num_groups)]
         for g, sketch in enumerate(sketches):
-            sketch.add_many(sorted_values[bounds[g]:bounds[g + 1]].tolist())
+            sketch.add_hashes(sorted_hashes[bounds[g]:bounds[g + 1]])
         return sketches
 
     def merge(self, a, b):
@@ -282,10 +288,52 @@ class PercentileFunction(AggregateFunction):
     def merge(self, a: tuple, b: tuple) -> tuple:
         return a + b
 
-    def finalize(self, state: tuple) -> float:
+    def finalize(self, state: tuple) -> float | None:
         if not state:
-            return 0.0
+            # Null marker: a percentile of no rows is not 0.0 (a real
+            # p99 can be 0.0) — match how empty groups report elsewhere.
+            return None
         return float(np.percentile(np.asarray(state), self.quantile))
+
+
+class PercentileEstFunction(AggregateFunction):
+    """Approximate percentile over a mergeable quantile sketch.
+
+    The partial state is a :class:`~repro.engine.approx.QuantileSketch`
+    — bounded size regardless of row count, deterministic, and exact
+    below ``k`` values. Both engines build states by feeding values in
+    document order, so partial states are identical across the
+    vectorized and scalar paths.
+    """
+
+    def __init__(self, quantile: float):
+        self.quantile = quantile
+
+    def _new(self):
+        from repro.engine.approx import QuantileSketch
+
+        return QuantileSketch()
+
+    def init_empty(self):
+        return self._new()
+
+    def aggregate(self, values: np.ndarray):
+        sketch = self._new()
+        sketch.add_many(values)
+        return sketch
+
+    def aggregate_grouped(self, values, codes, num_groups):
+        sorted_values, bounds = _group_slices(values, codes, num_groups)
+        sketches = [self._new() for _ in range(num_groups)]
+        for g, sketch in enumerate(sketches):
+            sketch.add_many(sorted_values[bounds[g]:bounds[g + 1]])
+        return sketches
+
+    def merge(self, a, b):
+        return a.merge(b)
+
+    def finalize(self, state) -> float | None:
+        return state.quantile(self.quantile)
 
 
 _FUNCTIONS: dict[AggFunc, AggregateFunction] = {
@@ -301,6 +349,10 @@ _FUNCTIONS: dict[AggFunc, AggregateFunction] = {
     AggFunc.PERCENTILE90: PercentileFunction(90.0),
     AggFunc.PERCENTILE95: PercentileFunction(95.0),
     AggFunc.PERCENTILE99: PercentileFunction(99.0),
+    AggFunc.PERCENTILEEST50: PercentileEstFunction(50.0),
+    AggFunc.PERCENTILEEST90: PercentileEstFunction(90.0),
+    AggFunc.PERCENTILEEST95: PercentileEstFunction(95.0),
+    AggFunc.PERCENTILEEST99: PercentileEstFunction(99.0),
 }
 
 #: Functions a star-tree's pre-aggregated metrics can serve directly.

@@ -53,7 +53,8 @@ def execute_segment(segment: ImmutableSegment, query: Query,
         return execute_segment_scalar(segment, query, valid_docs=valid_docs)
     plan = plan_segment(segment, query, use_cost_ordering,
                         allow_star_tree and valid_docs is None,
-                        allow_metadata_only=valid_docs is None)
+                        allow_metadata_only=valid_docs is None,
+                        allow_time_index=valid_docs is None)
     return execute_plan(plan, valid_docs=valid_docs)
 
 
@@ -77,6 +78,13 @@ def execute_plan(plan: SegmentPlan,
         stats.metadata_only = True
         stats.num_segments_matched = 1
         return _execute_metadata(segment, query, stats)
+
+    if plan.kind is PlanKind.TIME_INDEX:
+        assert valid_docs is None, (
+            "timestamp-index rollups pre-aggregate every stored doc; "
+            "planner must not pick them under a partial valid-docId mask"
+        )
+        return _execute_time_index(plan, stats)
 
     if plan.kind is PlanKind.STAR_TREE:
         from repro.startree.query import execute_on_star_tree
@@ -151,6 +159,114 @@ def _empty_result(query: Query, stats: ExecutionStats) -> SegmentResult:
     else:
         result.selection = SelectionPartial(_selection_columns(query))
     return result
+
+
+# -- timestamp-index plans ---------------------------------------------------
+
+
+def _execute_time_index(plan: SegmentPlan,
+                        stats: ExecutionStats) -> SegmentResult:
+    """Aggregate pre-aggregated rollup buckets instead of raw rows.
+
+    The partial states produced here have the exact shapes the scan
+    path emits (COUNT=int, SUM=float, MIN/MAX=float, AVG=(sum, count),
+    MINMAXRANGE=(min, max)), so broker/server merges cannot tell the
+    two plans apart.
+    """
+    query = plan.query
+    rollup = plan.time_rollup
+    assert rollup is not None
+    window = rollup.slice_range(plan.time_low, plan.time_high)
+    buckets = rollup.buckets[window]
+    counts = rollup.counts[window]
+    stats.time_index_used = True
+    stats.time_index_buckets_scanned = len(buckets)
+    if len(buckets):
+        stats.num_segments_matched = 1
+
+    result = SegmentResult(stats=stats)
+    if not query.group_by:
+        result.aggregation = AggregationPartial([
+            _rollup_total_state(a, rollup, window, counts)
+            for a in query.aggregations
+        ])
+        return result
+
+    size = plan.time_bucket_size or 1
+    keys = (buckets // size) * size if size > 1 else buckets
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    num_groups = len(uniq)
+    per_agg = [
+        _rollup_grouped_states(a, rollup, window, counts, inverse, num_groups)
+        for a in query.aggregations
+    ]
+    from repro.engine.results import GroupByPartial
+
+    result.group_by = GroupByPartial({
+        (int(uniq[g]),): [states[g] for states in per_agg]
+        for g in range(num_groups)
+    })
+    return result
+
+
+def _rollup_total_state(aggregation, rollup, window: slice,
+                        counts: np.ndarray):
+    func = aggregation.func
+    if func is AggFunc.COUNT:
+        return int(counts.sum())
+    sums = rollup.sums[aggregation.column][window]
+    mins = rollup.mins[aggregation.column][window]
+    maxs = rollup.maxs[aggregation.column][window]
+    empty = len(counts) == 0
+    if func is AggFunc.SUM:
+        return float(sums.sum()) if not empty else 0.0
+    if func is AggFunc.MIN:
+        return float(mins.min()) if not empty else float("inf")
+    if func is AggFunc.MAX:
+        return float(maxs.max()) if not empty else float("-inf")
+    if func is AggFunc.AVG:
+        return (float(sums.sum()), int(counts.sum())) if not empty else (0.0, 0)
+    if func is AggFunc.MINMAXRANGE:
+        if empty:
+            return (float("inf"), float("-inf"))
+        return (float(mins.min()), float(maxs.max()))
+    raise ExecutionError(  # pragma: no cover - planner guarantees
+        f"{func} is not answerable from the timestamp index"
+    )
+
+
+def _rollup_grouped_states(aggregation, rollup, window: slice,
+                           counts: np.ndarray, inverse: np.ndarray,
+                           num_groups: int) -> list:
+    func = aggregation.func
+    group_counts = np.zeros(num_groups, dtype=np.int64)
+    np.add.at(group_counts, inverse, counts)
+    if func is AggFunc.COUNT:
+        return [int(c) for c in group_counts]
+    sums = rollup.sums[aggregation.column][window]
+    mins = rollup.mins[aggregation.column][window]
+    maxs = rollup.maxs[aggregation.column][window]
+    if func in (AggFunc.SUM, AggFunc.AVG):
+        group_sums = np.zeros(num_groups)
+        np.add.at(group_sums, inverse, sums)
+        if func is AggFunc.SUM:
+            return [float(s) for s in group_sums]
+        return [(float(s), int(c))
+                for s, c in zip(group_sums, group_counts)]
+    group_mins = np.full(num_groups, np.inf)
+    group_maxs = np.full(num_groups, -np.inf)
+    np.minimum.at(group_mins, inverse, mins)
+    np.maximum.at(group_maxs, inverse, maxs)
+    if func is AggFunc.MIN:
+        return [float(v) for v in group_mins]
+    if func is AggFunc.MAX:
+        return [float(v) for v in group_maxs]
+    if func is AggFunc.MINMAXRANGE:
+        return [(float(lo), float(hi))
+                for lo, hi in zip(group_mins, group_maxs)]
+    raise ExecutionError(  # pragma: no cover - planner guarantees
+        f"{func} is not answerable from the timestamp index"
+    )
 
 
 # -- metadata-only plans -----------------------------------------------------

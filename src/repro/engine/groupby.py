@@ -19,7 +19,7 @@ from repro.engine.aggregates import function_for
 from repro.engine.operators import DocSelection
 from repro.engine.results import GroupByPartial
 from repro.errors import ExecutionError
-from repro.pql.ast_nodes import Query
+from repro.pql.ast_nodes import Query, TimeBucket, group_by_column
 from repro.segment.segment import ImmutableSegment
 
 
@@ -31,7 +31,8 @@ def execute_group_by(segment: ImmutableSegment, query: Query,
         return partial
 
     docs = selection.doc_array()
-    group_columns = [segment.column(name) for name in query.group_by]
+    group_columns = [segment.column(group_by_column(g))
+                     for g in query.group_by]
     multi_value = [c for c in group_columns if c.is_multi_value]
     if len(multi_value) > 1:
         raise ExecutionError(
@@ -48,7 +49,36 @@ def execute_group_by(segment: ImmutableSegment, query: Query,
     if len(docs) == 0:
         return partial
 
-    codes, unique_key_ids = _combine_codes(group_columns, id_columns)
+    # A TIMEBUCKET entry re-keys its column in *bucket* space: map each
+    # dictionary id to its bucket once (cardinality-many floors, not
+    # row-many), renumber the buckets densely, and decode group keys
+    # from the bucket values instead of the dictionary.
+    cards: list[int] = []
+    decoders: list = []
+    for i, (expr, column) in enumerate(zip(query.group_by, group_columns)):
+        if isinstance(expr, TimeBucket):
+            if column.is_multi_value:
+                raise ExecutionError(
+                    "timebucket requires a single-value column"
+                )
+            dict_values = column.dictionary.values_of(
+                np.arange(column.dictionary.cardinality)
+            ).astype(np.int64)
+            bucket_of_id = (dict_values // expr.size) * expr.size
+            buckets, inverse = np.unique(bucket_of_id, return_inverse=True)
+            id_columns[i] = inverse[np.asarray(id_columns[i],
+                                               dtype=np.int64)]
+            cards.append(len(buckets))
+            decoders.append(
+                lambda key_id, b=buckets: int(b[int(key_id)])
+            )
+        else:
+            cards.append(column.dictionary.cardinality)
+            decoders.append(
+                lambda key_id, c=column: c.dictionary.value_of(int(key_id))
+            )
+
+    codes, unique_key_ids = _combine_codes(cards, id_columns)
     num_groups = len(unique_key_ids[0]) if unique_key_ids else 0
 
     # Aggregate each function over all groups at once.
@@ -66,8 +96,8 @@ def execute_group_by(segment: ImmutableSegment, query: Query,
     # Decode group keys back to values.
     for group_index in range(num_groups):
         key = tuple(
-            column.dictionary.value_of(int(unique_key_ids[i][group_index]))
-            for i, column in enumerate(group_columns)
+            decoders[i](unique_key_ids[i][group_index])
+            for i in range(len(decoders))
         )
         partial.groups[key] = [
             states[group_index] for states in per_agg_states
@@ -95,10 +125,9 @@ def _expand_multi_value(group_columns, docs: np.ndarray, mv_column):
     return expanded_docs, id_columns
 
 
-def _combine_codes(group_columns, id_columns):
-    """Pack per-column dictionary ids into one group key per row;
-    returns (compact codes per row, per-column unique key ids per
-    group).
+def _combine_codes(cards, id_columns):
+    """Pack per-column key ids into one group key per row; returns
+    (compact codes per row, per-column unique key ids per group).
 
     The fast path packs ids mixed-radix into a single int64 — one
     vectorized multiply-add per column and one ``np.unique`` to number
@@ -106,7 +135,6 @@ def _combine_codes(group_columns, id_columns):
     (many wide group columns), fall back to a row-wise ``np.unique``
     over the stacked id matrix, which needs no packed representation.
     """
-    cards = [column.dictionary.cardinality for column in group_columns]
     key_space = 1
     for card in cards:
         key_space *= card  # python int: no silent overflow

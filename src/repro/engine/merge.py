@@ -135,7 +135,7 @@ def _finalize_aggregation(query: Query,
 
 
 def _finalize_group_by(query: Query, partial: GroupByPartial) -> ResultTable:
-    columns = tuple(query.group_by) + tuple(
+    columns = tuple(str(g) for g in query.group_by) + tuple(
         str(a) for a in query.aggregations
     )
     having_specs = [

@@ -37,17 +37,20 @@ from repro.pql.ast_nodes import (
     AggFunc,
     And,
     Between,
+    CompareOp,
     Comparison,
     Not,
     Or,
     Predicate,
     Query,
+    TimeBucket,
 )
 from repro.segment.segment import ImmutableSegment
 
 
 class PlanKind(enum.Enum):
     METADATA = "METADATA"
+    TIME_INDEX = "TIME_INDEX"
     STAR_TREE = "STAR_TREE"
     SCAN = "SCAN"
     EMPTY = "EMPTY"  # segment provably contributes nothing
@@ -63,6 +66,13 @@ class SegmentPlan:
     filter_plan: FilterPlan | None = None
     use_cost_ordering: bool = True
     notes: list[str] = field(default_factory=list)
+    #: TIME_INDEX plans: the rollup to aggregate plus the normalized
+    #: inclusive time bounds to slice it with (None = unbounded), and
+    #: the query's bucket size (None when there is no GROUP BY).
+    time_rollup: "object | None" = None
+    time_low: int | None = None
+    time_high: int | None = None
+    time_bucket_size: int | None = None
 
     def describe(self) -> str:
         parts = [self.kind.value]
@@ -75,11 +85,19 @@ class SegmentPlan:
 _METADATA_FUNCS = frozenset({AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX,
                              AggFunc.MINMAXRANGE})
 
+#: Functions the timestamp-index rollups can serve with partial states
+#: byte-identical to the scan path's (COUNT/SUM/MIN/MAX plus the two
+#: derived from them).
+_TIME_INDEX_FUNCS = frozenset({AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN,
+                               AggFunc.MAX, AggFunc.AVG,
+                               AggFunc.MINMAXRANGE})
+
 
 def plan_segment(segment: ImmutableSegment, query: Query,
                  use_cost_ordering: bool = True,
                  allow_star_tree: bool = True,
-                 allow_metadata_only: bool = True) -> SegmentPlan:
+                 allow_metadata_only: bool = True,
+                 allow_time_index: bool = True) -> SegmentPlan:
     """Build the physical plan for ``query`` on ``segment``.
 
     ``use_cost_ordering`` and ``allow_star_tree`` exist for the ablation
@@ -88,6 +106,8 @@ def plan_segment(segment: ImmutableSegment, query: Query,
     metadata-answerable queries — required when the caller will mask the
     scan with a partial valid-docId selection (upsert tables), since
     metadata answers describe *every* stored doc.
+    ``allow_time_index=False`` likewise disables the timestamp-index
+    rollup path (rollups pre-aggregate every stored doc).
     """
     _validate_columns(segment, query)
 
@@ -98,6 +118,11 @@ def plan_segment(segment: ImmutableSegment, query: Query,
     if allow_metadata_only and _is_metadata_only(segment, query):
         return SegmentPlan(PlanKind.METADATA, segment, query,
                            notes=["answered from segment metadata"])
+
+    if allow_time_index and segment.time_index is not None:
+        plan = _plan_time_index(segment, query)
+        if plan is not None:
+            return plan
 
     if allow_star_tree and segment.star_tree is not None:
         from repro.startree.query import supports_query
@@ -163,8 +188,6 @@ def _time_bounds(predicate: Predicate,
                 high = child_high if high is None else min(high, child_high)
         return low, high
     if isinstance(predicate, Comparison) and predicate.column == time_column:
-        from repro.pql.ast_nodes import CompareOp
-
         value = predicate.value
         if not isinstance(value, (int, float)):
             return None, None
@@ -200,6 +223,95 @@ def _is_metadata_only(segment: ImmutableSegment, query: Query) -> bool:
         if column.is_multi_value:
             return False
     return True
+
+
+# -- timestamp-index plans ---------------------------------------------------
+
+
+def _plan_time_index(segment: ImmutableSegment,
+                     query: Query) -> SegmentPlan | None:
+    """A TIME_INDEX plan when a rollup can answer the query exactly.
+
+    Qualifying shape: an aggregation-only query whose group-by is empty
+    or a single entry on the time column (raw, or ``timebucket(...)``),
+    whose aggregations are all rollup-covered, and whose predicate — if
+    any — is a pure time-range conjunction whose bounds, after
+    normalizing against the segment's own [min_time, max_time], land on
+    bucket edges of some configured granularity. Normalizing first is
+    what lets a hybrid-split boundary predicate (``day <= boundary``)
+    still qualify on segments wholly inside the boundary.
+    """
+    index = segment.time_index
+    assert index is not None
+    time_column = index.time_column
+
+    if not query.is_aggregation or query.projections:
+        return None
+    bucket_size: int | None = None
+    if query.group_by:
+        if len(query.group_by) != 1:
+            return None
+        entry = query.group_by[0]
+        if isinstance(entry, TimeBucket):
+            if entry.column != time_column:
+                return None
+            bucket_size = entry.size
+        elif entry == time_column:
+            bucket_size = 1
+        else:
+            return None
+    for aggregation in query.aggregations:
+        if aggregation.func not in _TIME_INDEX_FUNCS:
+            return None
+        if aggregation.func is AggFunc.COUNT:
+            continue
+        if not index.covers_column(aggregation.column):
+            return None
+
+    low: int | None = None
+    high: int | None = None
+    if query.where is not None:
+        if not _time_exact_range(query.where, time_column):
+            return None
+        low, high = _time_bounds(query.where, time_column)
+        time_range = segment.time_range()
+        if time_range is not None:
+            min_time, max_time = time_range
+            if low is not None and low <= min_time:
+                low = None  # bound does not cut into this segment
+            if high is not None and high >= max_time:
+                high = None
+
+    rollup = index.rollup_for(bucket_size, low, high)
+    if rollup is None:
+        return None
+    return SegmentPlan(
+        PlanKind.TIME_INDEX, segment, query,
+        notes=[f"timestamp-index rollup g={rollup.granularity}"],
+        time_rollup=rollup, time_low=low, time_high=high,
+        time_bucket_size=bucket_size,
+    )
+
+
+def _time_exact_range(predicate: Predicate, time_column: str) -> bool:
+    """Whether ``predicate`` is *exactly* the [low, high] interval that
+    :func:`time_bounds` derives — i.e. a conjunction of integer range
+    comparisons on the time column only. Anything else (other columns,
+    OR/NOT, NEQ/IN, non-integer bounds) needs the raw rows."""
+    if isinstance(predicate, And):
+        return all(_time_exact_range(child, time_column)
+                   for child in predicate.children)
+    if isinstance(predicate, Comparison):
+        return (predicate.column == time_column
+                and type(predicate.value) is int
+                and predicate.op in (CompareOp.EQ, CompareOp.GT,
+                                     CompareOp.GTE, CompareOp.LT,
+                                     CompareOp.LTE))
+    if isinstance(predicate, Between):
+        return (predicate.column == time_column
+                and type(predicate.low) is int
+                and type(predicate.high) is int)
+    return False
 
 
 # -- filter compilation -------------------------------------------------------

@@ -35,6 +35,10 @@ class ExecutionStats:
     startree_docs_scanned: int = 0
     raw_docs_matched: int = 0
     metadata_only: bool = False
+    #: True when a timestamp-index rollup answered the query for at
+    #: least one segment (no raw rows were scanned there).
+    time_index_used: bool = False
+    time_index_buckets_scanned: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         self.num_segments_queried += other.num_segments_queried
@@ -55,6 +59,9 @@ class ExecutionStats:
         self.startree_docs_scanned += other.startree_docs_scanned
         self.raw_docs_matched += other.raw_docs_matched
         self.metadata_only = self.metadata_only and other.metadata_only
+        self.time_index_used = (self.time_index_used
+                                or other.time_index_used)
+        self.time_index_buckets_scanned += other.time_index_buckets_scanned
 
 
 @dataclass
@@ -182,6 +189,10 @@ class BrokerResponse:
     #: The query's span tree (``repro.obs``), present when the query
     #: was traced (sampled, or forced via ``OPTION(trace=true)``).
     trace: dict | None = None
+    #: Smart-approximation rewrites the broker applied at plan time,
+    #: as ``"old -> new"`` strings (e.g. ``"distinctcount(memberId) ->
+    #: distinctcounthll(memberId)"``). Empty when no rewrite happened.
+    rewrites: tuple[str, ...] = ()
 
     @property
     def partial(self) -> bool:

@@ -46,8 +46,19 @@ from repro.pql.ast_nodes import (
     Or,
     Predicate,
     Query,
+    TimeBucket,
+    group_by_column,
 )
 from repro.segment.segment import Column, ImmutableSegment
+
+_PERCENTILE_FUNCS = frozenset({
+    AggFunc.PERCENTILE50, AggFunc.PERCENTILE90,
+    AggFunc.PERCENTILE95, AggFunc.PERCENTILE99,
+})
+_PERCENTILE_EST_FUNCS = frozenset({
+    AggFunc.PERCENTILEEST50, AggFunc.PERCENTILEEST90,
+    AggFunc.PERCENTILEEST95, AggFunc.PERCENTILEEST99,
+})
 
 #: (value getter, per-row truth test). The getter returns the row's
 #: value — a list for multi-value columns, where a leaf matches when
@@ -270,8 +281,7 @@ class _Accumulator:
             self.distinct.add(value)
         elif func is AggFunc.DISTINCTCOUNTHLL:
             self.hll.add(value)
-        elif func in (AggFunc.PERCENTILE50, AggFunc.PERCENTILE90,
-                      AggFunc.PERCENTILE95, AggFunc.PERCENTILE99):
+        elif func in _PERCENTILE_FUNCS or func in _PERCENTILE_EST_FUNCS:
             self.values.append(value)
         else:
             raise ExecutionError(f"unsupported aggregation {func}")
@@ -294,6 +304,13 @@ class _Accumulator:
             return frozenset(self.distinct)
         if func is AggFunc.DISTINCTCOUNTHLL:
             return self.hll
+        if func in _PERCENTILE_EST_FUNCS:
+            # Build the sketch from values in document order — the same
+            # insertion sequence as the vectorized aggregate, so the
+            # partial states are identical (not just close).
+            from repro.engine.approx import sketch_of
+
+            return sketch_of(self.values)
         return tuple(self.values)
 
 
@@ -331,7 +348,8 @@ def _execute_aggregation(segment: ImmutableSegment, query: Query,
 def _execute_group_by(segment: ImmutableSegment, query: Query,
                       test: _RowTest,
                       stats: ExecutionStats) -> GroupByPartial:
-    group_columns = [segment.column(name) for name in query.group_by]
+    group_columns = [segment.column(group_by_column(g))
+                     for g in query.group_by]
     multi_value = [c for c in group_columns if c.is_multi_value]
     if len(multi_value) > 1:
         raise ExecutionError(
@@ -351,9 +369,15 @@ def _execute_group_by(segment: ImmutableSegment, query: Query,
         # document (duplicate entries count twice — matching the
         # vectorized engine's np.repeat expansion).
         keys: list[tuple] = [()]
-        for column in group_columns:
+        for expr, column in zip(query.group_by, group_columns):
             value = column.value_of_doc(doc)
-            if column.is_multi_value:
+            if isinstance(expr, TimeBucket):
+                if column.is_multi_value:
+                    raise ExecutionError(
+                        "timebucket requires a single-value column"
+                    )
+                keys = [key + (expr.bucket_of(value),) for key in keys]
+            elif column.is_multi_value:
                 keys = [key + (entry,) for key in keys for entry in value]
             else:
                 keys = [key + (value,) for key in keys]

@@ -121,6 +121,10 @@ def encode(obj: Any, blobs: list[Any] | None = None) -> Any:
     if isinstance(obj, hll):
         return {"~": "hll", "p": obj.precision,
                 "r": obj.registers.tolist()}
+    qsk = _quantile_sketch_class()
+    if isinstance(obj, qsk):
+        return {"~": "qsk", "k": obj.k, "n": obj.count,
+                "l": obj.canonical_levels(), "o": list(obj.offsets)}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {"~": "dc", "c": _class_path(type(obj)),
                 "v": {f.name: encode(getattr(obj, f.name), blobs)
@@ -165,6 +169,12 @@ def decode(tree: Any, blobs: list[Any] | None = None) -> Any:
         return _hll_class()(
             tree["p"], np.asarray(tree["r"], dtype=np.uint8)
         )
+    if tag == "qsk":
+        return _quantile_sketch_class()(
+            tree["k"], tree["n"],
+            [[float(v) for v in level] for level in tree["l"]],
+            [int(o) for o in tree["o"]],
+        )
     if tag == "dc":
         cls = _resolve_class(tree["c"])
         return cls(**{k: decode(v, blobs) for k, v in tree["v"].items()})
@@ -177,6 +187,12 @@ def _hll_class() -> type:
     from repro.engine.sketches import HyperLogLog
 
     return HyperLogLog
+
+
+def _quantile_sketch_class() -> type:
+    from repro.engine.approx import QuantileSketch
+
+    return QuantileSketch
 
 
 def encode_error(exc: BaseException) -> dict:

@@ -187,6 +187,10 @@ class AggFunc(enum.Enum):
     PERCENTILE90 = "PERCENTILE90"
     PERCENTILE95 = "PERCENTILE95"
     PERCENTILE99 = "PERCENTILE99"
+    PERCENTILEEST50 = "PERCENTILEEST50"
+    PERCENTILEEST90 = "PERCENTILEEST90"
+    PERCENTILEEST95 = "PERCENTILEEST95"
+    PERCENTILEEST99 = "PERCENTILEEST99"
 
 
 @dataclass(frozen=True)
@@ -214,6 +218,41 @@ SelectItem = Union[ColumnRef, Aggregation]
 
 
 @dataclass(frozen=True)
+class TimeBucket:
+    """``TIMEBUCKET(column, size)`` — a GROUP BY expression that floors
+    the (integer) time column to ``size``-unit buckets. The planner can
+    serve these from a segment's timestamp-index rollups instead of
+    scanning raw rows when a rollup granularity divides ``size``."""
+
+    column: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("timebucket size must be >= 1")
+
+    def bucket_of(self, value: int) -> int:
+        return (int(value) // self.size) * self.size
+
+    def __str__(self) -> str:
+        return f"timebucket({self.column}, {self.size})"
+
+
+#: One entry of a GROUP BY list: a plain column name or a time bucket.
+GroupByExpr = Union[str, TimeBucket]
+
+
+def group_by_column(entry: GroupByExpr) -> str:
+    """The underlying column a GROUP BY entry reads."""
+    return entry.column if isinstance(entry, TimeBucket) else entry
+
+
+def group_by_label(entry: GroupByExpr) -> str:
+    """The result-column label for a GROUP BY entry."""
+    return str(entry)
+
+
+@dataclass(frozen=True)
 class OrderBy:
     expression: SelectItem
     descending: bool = False
@@ -238,6 +277,10 @@ class HavingCondition:
         return f"{self.aggregation} {self.op.value} {_literal(self.value)}"
 
     def matches(self, finalized: Any) -> bool:
+        if finalized is None:
+            # Null aggregate (e.g. percentile of an empty group) never
+            # satisfies a HAVING comparison.
+            return False
         op = self.op
         if op is CompareOp.EQ:
             return finalized == self.value
@@ -259,7 +302,7 @@ class Query:
     table: str
     select: tuple[SelectItem, ...]
     where: Predicate | None = None
-    group_by: tuple[str, ...] = ()
+    group_by: tuple[GroupByExpr, ...] = ()
     having: tuple[HavingCondition, ...] = ()
     order_by: tuple[OrderBy, ...] = ()
     limit: int = 10
@@ -290,7 +333,9 @@ class Query:
 
     def referenced_columns(self) -> set[str]:
         """Every column the query touches (for pruning / planning)."""
-        cols = predicate_columns(self.where) | set(self.group_by)
+        cols = predicate_columns(self.where) | {
+            group_by_column(g) for g in self.group_by
+        }
         for item in self.select:
             if isinstance(item, ColumnRef):
                 cols.add(item.name)
@@ -320,7 +365,8 @@ class Query:
         if self.where is not None:
             parts += ["WHERE", str(self.where)]
         if self.group_by:
-            parts += ["GROUP BY", ", ".join(self.group_by)]
+            parts += ["GROUP BY",
+                      ", ".join(str(g) for g in self.group_by)]
         if self.having:
             parts += ["HAVING",
                       " AND ".join(str(h) for h in self.having)]

@@ -36,8 +36,10 @@ from repro.pql.ast_nodes import (
     Or,
     OrderBy,
     Predicate,
+    GroupByExpr,
     Query,
     SelectItem,
+    TimeBucket,
 )
 from repro.pql.lexer import Token, TokenType, tokenize
 
@@ -55,6 +57,10 @@ _KNOWN_OPTIONS: dict[str, tuple[type, ...]] = {
     #: Engine selection: false runs the row-at-a-time scalar oracle
     #: instead of the batch kernels (docs/ENGINE.md).
     "vectorized": (bool,),
+    #: Per-query override for the broker's smart-approximation rewrite
+    #: (DISTINCTCOUNT -> HLL, PERCENTILE -> quantile sketch); overrides
+    #: the broker's use_approximate_function config either way.
+    "useApproximateFunction": (bool,),
 }
 
 
@@ -114,10 +120,10 @@ class _Parser:
         if self._accept_keyword("WHERE"):
             where = self._parse_or()
 
-        group_by: tuple[str, ...] = ()
+        group_by: tuple[GroupByExpr, ...] = ()
         if self._accept_keyword("GROUP"):
             self._expect_keyword("BY")
-            group_by = self._parse_column_list()
+            group_by = self._parse_group_by_list()
 
         having: list[HavingCondition] = []
         if self._accept_keyword("HAVING"):
@@ -193,12 +199,30 @@ class _Parser:
             return Aggregation(func, column)
         return ColumnRef(name)
 
-    def _parse_column_list(self) -> tuple[str, ...]:
-        columns = [self._expect(TokenType.IDENTIFIER).value]
+    def _parse_group_by_list(self) -> tuple[GroupByExpr, ...]:
+        entries = [self._parse_group_by_entry()]
         while self._current.type is TokenType.COMMA:
             self._advance()
-            columns.append(self._expect(TokenType.IDENTIFIER).value)
-        return tuple(columns)
+            entries.append(self._parse_group_by_entry())
+        return tuple(entries)
+
+    def _parse_group_by_entry(self) -> GroupByExpr:
+        token = self._expect(TokenType.IDENTIFIER)
+        if (token.value.upper() == "TIMEBUCKET"
+                and self._current.type is TokenType.LPAREN):
+            self._advance()
+            column = self._expect(TokenType.IDENTIFIER).value
+            self._expect(TokenType.COMMA)
+            size_token = self._expect(TokenType.NUMBER)
+            self._expect(TokenType.RPAREN)
+            size = size_token.value
+            if not isinstance(size, int) or size < 1:
+                raise PQLSyntaxError(
+                    "timebucket size must be a positive integer",
+                    size_token.position,
+                )
+            return TimeBucket(column, size)
+        return token.value
 
     def _parse_having(self) -> list[HavingCondition]:
         conditions = [self._parse_having_condition()]

@@ -47,8 +47,11 @@ class BloomFilter:
         capacity = max(1, capacity)
         if not 0 < fpp < 1:
             raise ValueError("fpp must be in (0, 1)")
-        num_bits = max(8, int(-capacity * math.log(fpp)
-                              / (math.log(2) ** 2)))
+        num_bits = int(-capacity * math.log(fpp) / (math.log(2) ** 2))
+        # Round up to whole 64-bit words: costs nothing for real
+        # filters, and keeps tiny ones (a handful of values) far below
+        # their nominal false-positive rate instead of right at it.
+        num_bits = max(64, (num_bits + 63) // 64 * 64)
         num_hashes = max(1, round(num_bits / capacity * math.log(2)))
         return cls(num_bits, num_hashes)
 

@@ -44,6 +44,9 @@ class SegmentConfig:
         partition_column / num_partitions: When set, the builder records
             the partition id of the segment's data for partition-aware
             routing (§4.4); all records must map to one partition.
+        timestamp_index: Time granularities (in time-column units) to
+            pre-aggregate into rollups at build time; the planner serves
+            aligned ``GROUP BY timebucket(...)`` queries from them.
     """
 
     sorted_column: str | None = None
@@ -54,6 +57,7 @@ class SegmentConfig:
     star_tree: "StarTreeConfig | None" = None
     partition_column: str | None = None
     num_partitions: int | None = None
+    timestamp_index: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if (self.partition_column is None) != (self.num_partitions is None):
@@ -128,7 +132,17 @@ class SegmentBuilder:
             star_tree = build_star_tree(
                 self.schema, records, self.config.star_tree
             )
-        return ImmutableSegment(metadata, self.schema, columns, star_tree)
+        time_index = None
+        if self.config.timestamp_index:
+            from repro.segment.timeindex import build_time_index
+
+            time_index = build_time_index(
+                self.schema, records, self.config.timestamp_index
+            )
+            if time_index is not None:
+                metadata.time_index_bytes = time_index.nbytes
+        return ImmutableSegment(metadata, self.schema, columns, star_tree,
+                                time_index)
 
     # -- internals ---------------------------------------------------------
 

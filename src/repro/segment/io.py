@@ -226,6 +226,11 @@ def write_segment(segment: ImmutableSegment, directory: str | Path) -> Path:
 
         writer.append("startree", star_tree_to_bytes(segment.star_tree))
 
+    if segment.time_index is not None:
+        from repro.segment.timeindex import time_index_to_bytes
+
+        writer.append("timeindex", time_index_to_bytes(segment.time_index))
+
     _write_metadata(path, segment.metadata, segment.schema, block_dir)
     return path
 
@@ -280,7 +285,12 @@ def load_segment(directory: str | Path) -> ImmutableSegment:
         from repro.startree.serialize import star_tree_from_bytes
 
         star_tree = star_tree_from_bytes(reader.read("startree"))
-    return ImmutableSegment(metadata, schema, columns, star_tree)
+    time_index = None
+    if "timeindex" in reader:
+        from repro.segment.timeindex import time_index_from_bytes
+
+        time_index = time_index_from_bytes(reader.read("timeindex"))
+    return ImmutableSegment(metadata, schema, columns, star_tree, time_index)
 
 
 def append_inverted_index(directory: str | Path, column_name: str) -> None:

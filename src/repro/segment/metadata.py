@@ -75,10 +75,14 @@ class SegmentMetadata:
     has_star_tree: bool = False
     crc: int = 0
     push_time_ms: int = 0
+    has_time_index: bool = False
+    #: Serialized size of the timestamp-index rollups (store sizing).
+    time_index_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
-        return sum(c.total_bytes for c in self.columns.values())
+        return (sum(c.total_bytes for c in self.columns.values())
+                + self.time_index_bytes)
 
     def column(self, name: str) -> ColumnMetadata:
         return self.columns[name]

@@ -26,6 +26,7 @@ from repro.segment.inverted import InvertedIndex
 from repro.segment.metadata import ColumnMetadata, SegmentMetadata
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.segment.timeindex import TimeIndex
     from repro.startree.node import StarTree
 
 
@@ -109,13 +110,17 @@ class ImmutableSegment:
         schema: Schema,
         columns: dict[str, Column],
         star_tree: "StarTree | None" = None,
+        time_index: "TimeIndex | None" = None,
     ):
         self.metadata = metadata
         self.schema = schema
         self._columns = columns
         self.star_tree = star_tree
+        self.time_index = time_index
         if star_tree is not None:
             metadata.has_star_tree = True
+        if time_index is not None:
+            metadata.has_time_index = True
         for name, column in columns.items():
             if column.num_docs != metadata.num_docs:
                 raise SegmentError(

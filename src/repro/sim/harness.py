@@ -43,17 +43,25 @@ from repro.errors import ClusterError
 from repro.kafka.partitioner import kafka_partition
 from repro.net import SimClock, Transport
 from repro.pql.parser import parse
-from repro.segment.builder import SegmentBuilder
+from repro.segment.builder import SegmentBuilder, SegmentConfig
 from repro.sim import workload
 from repro.sim.invariants import (Violation, check_completion_safety,
                                   check_convergence,
                                   check_ejection_discipline,
                                   check_residency)
-from repro.sim.oracle import diff_summary, expected_rows, rows_match
+from repro.sim.oracle import (approx_check, diff_summary, expected_rows,
+                              rows_match)
 from repro.sim.schedule import Op, Schedule
 
 LOGICAL_TABLE = "events"
 TOPIC = "events-topic"
+
+
+def _with_options(pql: str, *options: str) -> str:
+    """Attach ``OPTION(...)`` to a base query (no-op without options)."""
+    if not options:
+        return pql
+    return f"{pql} OPTION({', '.join(options)})"
 
 DEFAULT_CONFIG: dict[str, Any] = {
     "num_servers": 4,
@@ -78,6 +86,11 @@ DEFAULT_CONFIG: dict[str, Any] = {
     #: and skews the op mix toward query traffic with servers
     #: degrading and recovering mid-run (docs/RESILIENCE.md); the
     #: ejection-discipline invariant then runs after every op.
+    #: ``approx`` keeps the hybrid table, builds a timestamp index on
+    #: every segment, arms the broker's smart-approximation rewrite
+    #: (threshold 0, so ``OPTION(useApproximateFunction=true)`` always
+    #: rewrites) and mixes in ``approx_query`` ops whose sketch answers
+    #: are bound-checked against the exact oracle (docs/ENGINE.md).
     "workload": "default",
     #: Per-server segment-cache byte budget (repro.store); None keeps
     #: every hosted segment resident. A finite budget turns every run
@@ -156,6 +169,11 @@ SIM_HEALTH_POLICY = HealthPolicy(
     max_ejected_fraction=0.5,
 )
 
+#: Timestamp-index granularities for the approx workload: raw days and
+#: 5-day buckets, matching the timebucket sizes the query generator
+#: draws.
+SIM_TIME_GRANULARITIES = (1, 5)
+
 
 @dataclass
 class SimResult:
@@ -230,8 +248,10 @@ class SimulationHarness:
         transport = Transport(clock, seed=self.schedule.seed)
         self.workload = cfg["workload"]
         if self.workload not in ("default", "upsert", "dedup",
-                                 "production"):
+                                 "production", "approx"):
             raise ValueError(f"unknown workload {self.workload!r}")
+        #: Hybrid offline+realtime scenarios share the visibility model.
+        self._hybrid = self.workload in ("default", "production", "approx")
         self.cluster = PinotCluster(
             num_servers=cfg["num_servers"],
             num_brokers=cfg["num_brokers"],
@@ -244,6 +264,11 @@ class SimulationHarness:
             store_policy=cfg["store_policy"],
             failure_detector=(SIM_HEALTH_POLICY
                               if self.workload == "production" else None),
+            # Threshold 0 so a per-query OPTION(useApproximateFunction)
+            # deterministically rewrites every eligible aggregate — the
+            # broker default stays off, so exact `query` ops are
+            # untouched.
+            approx_threshold=0 if self.workload == "approx" else 10_000,
         )
         self.model = _Model(cfg["num_partitions"])
         schema = workload.schema()
@@ -254,13 +279,22 @@ class SimulationHarness:
             flush_threshold_ticks=cfg["flush_threshold_ticks"],
             records_per_poll=cfg["records_per_poll"],
         )
-        if self.workload in ("default", "production"):
+        if self._hybrid:
+            # The approx workload builds per-segment time rollups so
+            # GROUP BY day / timebucket(day, 5) queries can be answered
+            # from the timestamp index on both table legs.
+            segment_config = (
+                SegmentConfig(timestamp_index=SIM_TIME_GRANULARITIES)
+                if self.workload == "approx" else SegmentConfig()
+            )
             self.cluster.create_table(TableConfig.offline(
                 LOGICAL_TABLE, schema, replication=cfg["replication"],
+                segment_config=segment_config,
             ))
             self.cluster.create_table(TableConfig.realtime(
                 LOGICAL_TABLE, schema, stream,
                 replication=cfg["replication"],
+                segment_config=segment_config,
             ))
         else:
             # Realtime-only: upsert/dedup are stream-native semantics
@@ -277,7 +311,7 @@ class SimulationHarness:
         self.offline_table = f"{LOGICAL_TABLE}_{TableType.OFFLINE.value}"
         self.realtime_table = f"{LOGICAL_TABLE}_{TableType.REALTIME.value}"
 
-        if self.workload in ("default", "production"):
+        if self._hybrid:
             # A founding offline segment so the hybrid time boundary is
             # always defined (days [BASE_DAY, BASE_DAY + 4]).
             bootstrap = Op("upload_segment", {
@@ -436,7 +470,7 @@ class SimulationHarness:
             if not determinate:
                 return False, []
             prefix = produced[:offset]
-            if self.workload in ("default", "production"):
+            if self._hybrid:
                 realtime.extend(prefix)
                 continue
             per_key: dict[Any, dict] = {}
@@ -487,6 +521,53 @@ class SimulationHarness:
                 "query_oracle",
                 f"{pql}: {diff_summary(uncached.rows, expected)}",
             )
+
+    def _op_approx_query(self, op: Op) -> None:
+        """A query over the approximation surface (invariant: bounds).
+
+        The sketches are deterministic, so cache coherence stays an
+        exact row-for-row comparison; correctness against the oracle is
+        checked by :func:`repro.sim.oracle.approx_check`, which keys by
+        group and accepts estimates within the declared error bounds.
+        """
+        base, use_rewrite = workload.random_approx_query(
+            random.Random(op.params["seed"]), LOGICAL_TABLE)
+        opts = ["useApproximateFunction=true"] if use_rewrite else []
+        pql = _with_options(base, *opts)
+        response = self.cluster.execute(pql)
+        self._observe(f"approx result partial={response.is_partial} "
+                      f"cache_hit={response.cache_hit} "
+                      f"rewrites={response.rewrites!r} "
+                      f"rows={response.rows!r}")
+        uncached = self.cluster.execute(
+            _with_options(base, *opts, "skipCache=true"))
+        self._observe(f"approx uncached partial={uncached.is_partial} "
+                      f"rows={uncached.rows!r}")
+        if response.is_partial or uncached.is_partial:
+            return
+        determinate, visible = self._visible_rows()
+        self._observe(f"visible determinate={determinate} "
+                      f"n={len(visible)}")
+        if not determinate:
+            return
+        if not rows_match(response.rows, uncached.rows):
+            self._violation(
+                "cache_coherence",
+                f"{pql}: cached {response.rows!r} != uncached "
+                f"{uncached.rows!r} (cache_hit={response.cache_hit})",
+            )
+            return
+        if use_rewrite and not uncached.rewrites:
+            self._violation(
+                "approx_rewrite",
+                f"{pql}: useApproximateFunction=true at threshold 0 "
+                f"produced no rewrite",
+            )
+            return
+        detail = approx_check(parse(base), visible, uncached.rows,
+                              rewritten=use_rewrite)
+        if detail is not None:
+            self._violation("approx_oracle", f"{pql}: {detail}")
 
     def _op_ingest(self, op: Op) -> None:
         records = workload.generate_records(
@@ -612,6 +693,7 @@ class SimulationHarness:
 
     _HANDLERS: dict[str, Callable[["SimulationHarness", Op], None]] = {
         "query": _op_query,
+        "approx_query": _op_approx_query,
         "ingest": _op_ingest,
         "consume": _op_consume,
         "advance_time": _op_advance_time,
@@ -635,6 +717,8 @@ class SimulationHarness:
         mix = OP_WEIGHTS
         if self.workload == "production":
             mix = PRODUCTION_OP_WEIGHTS
+        elif self.workload == "approx":
+            mix = OP_WEIGHTS + [("approx_query", 25.0)]
         elif self.workload != "default":
             mix = [(kind, weight) for kind, weight in OP_WEIGHTS
                    if kind not in _NON_UPSERT_OPS]
@@ -651,6 +735,9 @@ class SimulationHarness:
 
     def _make_query(self) -> Op:
         return Op("query", {"seed": self._sub_seed()})
+
+    def _make_approx_query(self) -> Op:
+        return Op("approx_query", {"seed": self._sub_seed()})
 
     def _make_ingest(self) -> Op:
         return Op("ingest", {"seed": self._sub_seed(),
@@ -844,14 +931,20 @@ class SimulationHarness:
             if self.violations:
                 return
 
-        # Final oracle battery over a healthy cluster.
-        for index in range(8):
-            battery = Op("query", {
+        # Final oracle battery over a healthy cluster. The approx
+        # workload appends bound-checked approx queries so every seed
+        # ends with the sketch surface verified against a drained,
+        # fully visible table.
+        battery_kinds = ["query"] * 8
+        if self.workload == "approx":
+            battery_kinds += ["approx_query"] * 6
+        for index, kind in enumerate(battery_kinds):
+            battery = Op(kind, {
                 "seed": (self.schedule.seed * 1_000_003 + index) % 2 ** 32,
             })
             self._op = battery
             try:
-                self._op_query(battery)
+                self._HANDLERS[kind](self, battery)
             except Exception:
                 self._violation(
                     "harness_crash",

@@ -8,11 +8,17 @@ execution engine beyond the AST, so a bug in dictionaries, forward
 indexes, pruning, routing, merging or caching cannot cancel itself out
 here.
 
-The oracle understands the aggregation surface the schedule generator
-emits: ``count/sum/min/max/avg/distinctcount/minmaxrange``, optional
-WHERE, and single-level GROUP BY with PQL's default TOP-n ordering
-(first aggregate descending, group key ascending — the same
-deterministic ordering the broker's reduce applies).
+The oracle understands the aggregation surface the schedule generators
+emit: ``count/sum/min/max/avg/distinctcount/minmaxrange`` plus exact
+percentiles, optional WHERE, and single-level GROUP BY (plain columns
+or ``timebucket(...)``) with PQL's default TOP-n ordering (first
+aggregate descending, group key ascending — the same deterministic
+ordering the broker's reduce applies).
+
+For the sketch aggregations (``distinctcounthll``, ``percentileest*``)
+the oracle computes the *exact* reference value; :func:`approx_check`
+then verifies an approximate answer sits within the sketches' declared
+error bounds of that reference instead of demanding equality.
 """
 
 from __future__ import annotations
@@ -20,12 +26,45 @@ from __future__ import annotations
 import math
 from typing import Any, Mapping, Sequence
 
-from repro.pql.ast_nodes import Aggregation, Query
+from repro.pql.ast_nodes import Aggregation, Query, TimeBucket
 from repro.sim.reference import evaluate
 
 #: Relative tolerance for float-valued aggregates (avg and float sums
 #: merge in different orders than the oracle computes them).
 _REL_TOL = 1e-9
+
+#: HLL (precision 12) acceptance bound: ~5x the sketch's standard error
+#: of 1.04/sqrt(4096) ~= 1.6%, with an absolute floor for tiny counts.
+HLL_REL_BOUND = 0.08
+HLL_ABS_BOUND = 2.0
+#: Quantile-sketch acceptance: the estimate must fall between the exact
+#: order statistics at ranks q +- RANK_EPS (as a fraction of the rows).
+#: Generous versus the sketch's own bound (compactions/(2k) with k=200
+#: stays under 2% at simulation row counts) but still a real check.
+RANK_EPS = 0.05
+
+#: Exact function -> the sketch function the broker's smart-
+#: approximation rewrite substitutes (mirrors the broker's table).
+APPROX_OF_EXACT = {
+    "distinctcount": "distinctcounthll",
+    "percentile50": "percentileest50",
+    "percentile90": "percentileest90",
+    "percentile95": "percentileest95",
+    "percentile99": "percentileest99",
+}
+
+
+def _percentile(values: Sequence[float], quantile: float) -> float | None:
+    if not values:
+        return None
+    ordered = sorted(float(v) for v in values)
+    rank = (quantile / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
 
 def _aggregate(aggregation: Aggregation,
@@ -42,11 +81,23 @@ def _aggregate(aggregation: Aggregation,
         return float(max(values)) if values else -math.inf
     if name == "avg":
         return (float(sum(values)) / len(values)) if values else 0.0
-    if name == "distinctcount":
+    if name in ("distinctcount", "distinctcounthll"):
         return len(set(values))
     if name == "minmaxrange":
         return float(max(values) - min(values)) if values else -math.inf
+    if name.startswith("percentileest"):
+        return _percentile(values, float(name[len("percentileest"):]))
+    if name.startswith("percentile"):
+        return _percentile(values, float(name[len("percentile"):]))
     raise ValueError(f"oracle does not model aggregation {name!r}")
+
+
+def _group_key(query: Query, record: Mapping[str, Any]) -> tuple:
+    return tuple(
+        g.bucket_of(record[g.column]) if isinstance(g, TimeBucket)
+        else record[g]
+        for g in query.group_by
+    )
 
 
 class _Reversed:
@@ -77,8 +128,7 @@ def expected_rows(query: Query,
 
     groups: dict[tuple, list] = {}
     for record in records:
-        key = tuple(record[column] for column in query.group_by)
-        groups.setdefault(key, []).append(record)
+        groups.setdefault(_group_key(query, record), []).append(record)
     entries = [
         (key, tuple(_aggregate(a, rows) for a in query.aggregations))
         for key, rows in groups.items()
@@ -122,3 +172,104 @@ def diff_summary(actual: Sequence[tuple],
             if len(lines) > limit:
                 break
     return "; ".join(lines)
+
+
+# -- approximate-answer validation --------------------------------------
+
+
+def approx_check(query: Query,
+                 records: Sequence[Mapping[str, Any]],
+                 actual_rows: Sequence[tuple],
+                 rewritten: bool = False) -> str | None:
+    """Validate approximate results against their declared error bounds.
+
+    Unlike :func:`expected_rows` + :func:`rows_match`, this comparison
+    is keyed by group (approximate values can reorder the TOP-n sort)
+    and accepts sketch estimates within the bound constants above.
+    Exact aggregations sharing the select list are still held to exact
+    equality. ``rewritten=True`` means the broker's smart-approximation
+    rewrite replaced the exact spellings with their sketch counterparts
+    (:data:`APPROX_OF_EXACT`), so bounds apply to those columns too.
+
+    The caller must size TOP-n to cover every group; a truncated result
+    is reported as a group-count mismatch.
+
+    Returns ``None`` when every value is in bounds, else a description
+    of the first violation.
+    """
+    if query.where is not None:
+        records = [r for r in records if evaluate(query.where, r)]
+    aggs = []
+    for aggregation in query.aggregations:
+        name = aggregation.func.value.lower()
+        if rewritten:
+            name = APPROX_OF_EXACT.get(name, name)
+        aggs.append((name, aggregation))
+
+    if not query.group_by:
+        if len(actual_rows) != 1:
+            return f"expected 1 row, got {len(actual_rows)}"
+        return _check_approx_row(aggs, records, actual_rows[0])
+
+    groups: dict[tuple, list] = {}
+    for record in records:
+        groups.setdefault(_group_key(query, record), []).append(record)
+    if len(actual_rows) != len(groups):
+        return f"expected {len(groups)} groups, got {len(actual_rows)}"
+    key_len = len(query.group_by)
+    seen: set[tuple] = set()
+    for row in actual_rows:
+        key = tuple(row[:key_len])
+        if key not in groups:
+            return f"unexpected group key {key!r}"
+        if key in seen:
+            return f"duplicate group key {key!r}"
+        seen.add(key)
+        detail = _check_approx_row(aggs, groups[key], row[key_len:])
+        if detail:
+            return f"group {key!r}: {detail}"
+    return None
+
+
+def _check_approx_row(aggs: Sequence[tuple[str, Aggregation]],
+                      rows: Sequence[Mapping[str, Any]],
+                      values: Sequence[Any]) -> str | None:
+    for (name, aggregation), actual in zip(aggs, values):
+        if name == "distinctcounthll":
+            exact = len({row[aggregation.column] for row in rows})
+            bound = max(HLL_ABS_BOUND, HLL_REL_BOUND * exact)
+            if abs(float(actual) - exact) > bound:
+                return (f"{name}({aggregation.column}): estimate "
+                        f"{actual} vs exact {exact} (bound {bound:.1f})")
+        elif name.startswith("percentileest"):
+            quantile = float(name[len("percentileest"):])
+            detail = _check_rank_window(
+                [row[aggregation.column] for row in rows], quantile, actual)
+            if detail:
+                return f"{name}({aggregation.column}): {detail}"
+        else:
+            expected = _aggregate(aggregation, rows)
+            if not _values_match(actual, expected):
+                return (f"{name}({aggregation.column}): got {actual!r}, "
+                        f"expected {expected!r}")
+    return None
+
+
+def _check_rank_window(raw_values: Sequence[Any], quantile: float,
+                       actual: Any) -> str | None:
+    if not raw_values:
+        if actual is not None:
+            return f"expected None for empty group, got {actual!r}"
+        return None
+    if actual is None:
+        return "got None for a non-empty group"
+    ordered = sorted(float(v) for v in raw_values)
+    n = len(ordered)
+    slack = max(1, math.ceil(RANK_EPS * n))
+    rank = (quantile / 100.0) * (n - 1)
+    low = ordered[max(0, math.floor(rank) - slack)]
+    high = ordered[min(n - 1, math.ceil(rank) + slack)]
+    if low - 1e-9 <= float(actual) <= high + 1e-9:
+        return None
+    return (f"estimate {actual} outside rank window [{low}, {high}] "
+            f"(q={quantile}, n={n})")

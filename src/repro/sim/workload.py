@@ -109,3 +109,67 @@ def random_query(rng: random.Random, table: str = "events") -> str:
         return (f"SELECT sum(views) FROM {table}{where_sql} "
                 f"GROUP BY {facet} TOP {top}")
     return f"SELECT {select} FROM {table}{where_sql}"
+
+
+def random_approx_query(rng: random.Random,
+                        table: str = "events") -> tuple[str, bool]:
+    """One query exercising the approximation surface.
+
+    Returns ``(pql, use_rewrite)``. When ``use_rewrite`` is True the
+    query spells *exact* functions and the harness attaches
+    ``OPTION(useApproximateFunction=true)`` so the broker's smart
+    rewrite substitutes the sketches; otherwise the sketch functions
+    are spelled directly (or the query targets the timestamp index
+    with exact aggregates).
+
+    Group-bys use ``TOP 200`` — far above every group cardinality in
+    the scenario — because :func:`repro.sim.oracle.approx_check`
+    compares by group key and needs the full group set (approximate
+    values may legally reorder a TOP-n sort, so truncation could
+    otherwise differ from the exact oracle's).
+    """
+    where = _predicate(rng)
+    where_sql = f" WHERE {where}" if where else ""
+    roll = rng.random()
+    if roll < 0.2:
+        select = rng.choice([
+            "distinctcounthll(memberId)",
+            "percentileest50(views)",
+            "percentileest90(views), count(*)",
+            "percentileest95(memberId)",
+            "percentileest99(views)",
+        ])
+        return f"SELECT {select} FROM {table}{where_sql}", False
+    if roll < 0.4:
+        select = rng.choice([
+            "distinctcount(memberId)",
+            "percentile95(views)",
+            "percentile50(memberId), count(*)",
+            "distinctcount(memberId), sum(views)",
+        ])
+        return f"SELECT {select} FROM {table}{where_sql}", True
+    if roll < 0.6:
+        facet = rng.choice(["country", "platform"])
+        select = rng.choice([
+            "distinctcounthll(memberId)",
+            "percentileest90(views)",
+            "count(*), distinctcounthll(memberId)",
+        ])
+        return (f"SELECT {select} FROM {table}{where_sql} "
+                f"GROUP BY {facet} TOP 200"), False
+    if roll < 0.85:
+        # Timestamp-index territory: exact aggregates grouped by the
+        # time column (raw or bucketed) — eligible for rollup answers.
+        size = rng.choice([1, 1, 5])
+        group = "day" if size == 1 else f"timebucket(day, {size})"
+        select = rng.choice([
+            "count(*)",
+            "sum(views), count(*)",
+            "avg(views)",
+            "min(views), max(views)",
+        ])
+        return (f"SELECT {select} FROM {table}{where_sql} "
+                f"GROUP BY {group} TOP 200"), False
+    select = "count(*), distinctcounthll(memberId), percentileest95(views)"
+    return (f"SELECT {select} FROM {table}{where_sql} "
+            f"GROUP BY country TOP 200"), False

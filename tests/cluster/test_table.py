@@ -94,3 +94,29 @@ class TestSerialization:
         assert clone.stream.flush_threshold_ticks == 9
         assert clone.stream.records_per_poll == 45
         assert clone.schema == schema
+
+
+class TestTimestampIndex:
+    def test_roundtrip_timestamp_index(self, schema):
+        config = TableConfig.offline(
+            "events", schema,
+            segment_config=SegmentConfig(timestamp_index=(1, 5, 30)),
+        )
+        clone = TableConfig.from_dict(config.to_dict())
+        assert clone.segment_config.timestamp_index == (1, 5, 30)
+
+    def test_default_has_no_timestamp_index(self, schema):
+        config = TableConfig.offline("events", schema)
+        clone = TableConfig.from_dict(config.to_dict())
+        assert clone.segment_config.timestamp_index == ()
+
+    def test_upsert_rejects_timestamp_index(self, schema):
+        from repro.upsert import UpsertConfig
+
+        with pytest.raises(ClusterError, match="timestamp index"):
+            TableConfig.realtime(
+                "events", schema, StreamConfig("events-topic"),
+                upsert=UpsertConfig(mode="upsert",
+                                    key_columns=("memberId",)),
+                segment_config=SegmentConfig(timestamp_index=(1,)),
+            )

@@ -95,8 +95,14 @@ class TestSpecificSemantics:
         assert finalize_of(AggFunc.PERCENTILE99, values.tolist()) == \
             pytest.approx(np.percentile(values, 99))
 
-    def test_percentile_empty(self):
-        assert finalize_of(AggFunc.PERCENTILE90, []) == 0.0
+    def test_percentile_empty_is_null(self):
+        # A percentile of no rows is unknowable, not 0.0 (a real p90
+        # can legitimately be 0.0) — empty states finalize to None.
+        assert finalize_of(AggFunc.PERCENTILE90, []) is None
+
+    def test_percentile_est_empty_is_null(self):
+        f = _FUNCTIONS[AggFunc.PERCENTILEEST90]
+        assert f.finalize(f.init_empty()) is None
 
     def test_function_for_unknown_raises(self):
         from types import SimpleNamespace

@@ -1,0 +1,162 @@
+"""Tests for the mergeable quantile sketch and the PERCENTILEEST path.
+
+The sketch's contract (see ``repro.engine.approx``): deterministic,
+bounded state, byte-commutative merges, exact below ``k``, and rank
+error within its own declared bound — each asserted here, with a
+hypothesis property suite covering the merge algebra and the codec
+round-trip.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import _FUNCTIONS
+from repro.engine.approx import DEFAULT_K, QuantileSketch, sketch_of
+from repro.net import codec
+from repro.pql.ast_nodes import AggFunc
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+value_lists = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, width=32),
+    min_size=0, max_size=800,
+)
+
+
+class TestBasics:
+    def test_empty_quantile_is_none(self):
+        assert QuantileSketch().quantile(50) is None
+
+    def test_exact_below_k(self):
+        values = [float(v) for v in range(DEFAULT_K - 1)]
+        sketch = sketch_of(values)
+        for q in (0, 25, 50, 90, 99, 100):
+            assert sketch.quantile(q) == pytest.approx(
+                np.percentile(values, q))
+        assert sketch.rank_error_bound() == 0.0
+
+    def test_deterministic_construction(self):
+        values = list(np.random.default_rng(4).normal(size=5000))
+        assert sketch_of(values) == sketch_of(values)
+        assert sketch_of(values).quantile(95) == \
+            sketch_of(values).quantile(95)
+
+    def test_add_many_matches_add_loop(self):
+        values = list(np.random.default_rng(5).normal(size=1500))
+        bulk = sketch_of(values)
+        scalar = QuantileSketch()
+        for value in values:
+            scalar.add(value)
+        assert bulk == scalar
+
+    def test_bounded_state(self):
+        n = 200_000
+        sketch = sketch_of(np.arange(n, dtype=np.float64))
+        # O(k log(n/k)) retained items, nowhere near n.
+        assert sketch.num_retained <= DEFAULT_K * (
+            2 + math.ceil(math.log2(n / DEFAULT_K)))
+        assert sketch.count == n
+
+    def test_merge_k_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(k=8).merge(QuantileSketch(k=16))
+
+    def test_rank_error_within_bound_large(self):
+        rng = np.random.default_rng(6)
+        values = rng.lognormal(2.0, 1.5, size=50_000)
+        sketch = sketch_of(values)
+        ordered = np.sort(values)
+        bound = sketch.rank_error_bound() + 1.0 / len(values)
+        assert 0 < bound < 0.1  # the bound itself stays meaningful
+        for q in (10, 50, 90, 95, 99):
+            estimate = sketch.quantile(q)
+            rank = np.searchsorted(ordered, estimate, side="right") \
+                / len(values)
+            assert abs(rank - q / 100.0) <= bound, q
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(value_lists, value_lists)
+    def test_merge_commutative(self, a_vals, b_vals):
+        a, b = sketch_of(a_vals), sketch_of(b_vals)
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(value_lists, value_lists, value_lists)
+    def test_merge_associative(self, a_vals, b_vals, c_vals):
+        a, b, c = (sketch_of(v) for v in (a_vals, b_vals, c_vals))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=50, deadline=None)
+    @given(value_lists)
+    def test_merge_identity(self, values):
+        sketch = sketch_of(values)
+        assert sketch.merge(QuantileSketch()) == sketch
+
+    @settings(max_examples=30, deadline=None)
+    @given(value_lists, st.integers(0, 800))
+    def test_split_rank_error_bounded(self, values, split):
+        split = min(split, len(values))
+        if not values:
+            return
+        merged = sketch_of(values[:split]).merge(sketch_of(values[split:]))
+        assert merged.count == len(values)
+        ordered = np.sort(np.asarray(values, dtype=np.float64))
+        bound = merged.rank_error_bound() + 1.0 / len(values)
+        for q in (50, 95):
+            estimate = merged.quantile(q)
+            # searchsorted rank window: the estimate interpolates
+            # between retained items, so check against both sides.
+            lo = np.searchsorted(ordered, estimate, side="left") \
+                / len(values)
+            hi = np.searchsorted(ordered, estimate, side="right") \
+                / len(values)
+            target = q / 100.0
+            assert lo - bound <= target <= hi + bound
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(value_lists)
+    def test_round_trip_preserves_state(self, values):
+        sketch = sketch_of(values)
+        tree = codec.json_roundtrip(codec.encode(sketch))
+        restored = codec.decode(tree)
+        assert restored == sketch
+        assert restored.quantile(90) == sketch.quantile(90)
+
+    def test_round_trip_then_merge_matches(self):
+        a = sketch_of(list(range(1000)))
+        b = sketch_of(list(range(500, 2000)))
+        shipped = codec.decode(codec.json_roundtrip(codec.encode(a)))
+        assert shipped.merge(b) == a.merge(b)
+
+
+class TestPercentileEstFunction:
+    def test_empty_finalizes_none(self):
+        for func in (AggFunc.PERCENTILEEST50, AggFunc.PERCENTILEEST90,
+                     AggFunc.PERCENTILEEST95, AggFunc.PERCENTILEEST99):
+            f = _FUNCTIONS[func]
+            assert f.finalize(f.init_empty()) is None
+
+    def test_small_input_matches_exact_percentile(self):
+        values = np.asarray([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        for est, exact in ((AggFunc.PERCENTILEEST50, AggFunc.PERCENTILE50),
+                           (AggFunc.PERCENTILEEST99, AggFunc.PERCENTILE99)):
+            f_est, f_exact = _FUNCTIONS[est], _FUNCTIONS[exact]
+            assert f_est.finalize(f_est.aggregate(values)) == \
+                pytest.approx(f_exact.finalize(f_exact.aggregate(values)))
+
+    def test_grouped_states_match_per_group(self):
+        rng = np.random.default_rng(9)
+        values = rng.normal(size=3000)
+        codes = rng.integers(0, 5, size=3000)
+        f = _FUNCTIONS[AggFunc.PERCENTILEEST90]
+        grouped = f.aggregate_grouped(values, codes, 5)
+        for g in range(5):
+            assert grouped[g] == f.aggregate(values[codes == g]), g

@@ -1,7 +1,9 @@
 """Tests for the HyperLogLog sketch and the DISTINCTCOUNTHLL path."""
 
+import math
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -75,6 +77,67 @@ class TestHyperLogLog:
         random.Random(0).shuffle(items)
         shuffled.add_many(items)
         assert ordered == shuffled
+
+
+class TestTypedHashing:
+    """Regression suite for the str-punning hash64 bug: values used to
+    hash through ``str(value)``, so ``1`` and ``"1"`` collided and
+    ``1.0`` / ``1`` diverged — HLL counts disagreed with the exact
+    DISTINCTCOUNT's Python-equality semantics on tiny cardinalities."""
+
+    def test_type_domains_disjoint(self):
+        assert hash64(1) != hash64("1")
+        assert hash64(0) != hash64("")
+        assert hash64(None) not in {hash64(0), hash64("None")}
+        assert hash64(b"x") != hash64("x")
+
+    def test_equal_numerics_collide_by_design(self):
+        # The exact DISTINCTCOUNT state is a set under Python equality
+        # (1 == 1.0 == True is ONE element), so the sketch must agree.
+        assert hash64(1) == hash64(1.0) == hash64(True)
+        assert hash64(-7) == hash64(-7.0)
+        assert hash64(np.int32(5)) == hash64(5) == hash64(np.float64(5.0))
+
+    def test_mixed_types_match_exact_distinctcount(self):
+        values = [1, "1", 1.0, True, 0, "", None, 2.5, "2.5", b"2.5",
+                  -3, -3.0, "abc", 17, 17.0]
+        sketch = HyperLogLog()
+        for value in values:
+            sketch.add(value)
+        assert sketch.cardinality() == len(set(values))
+
+    def test_hash64_array_matches_scalar_ints(self):
+        from repro.engine.sketches import hash64_array
+
+        rng = np.random.default_rng(5)
+        values = rng.integers(-2 ** 62, 2 ** 62, size=2000)
+        bulk = hash64_array(values)
+        scalar = np.array([hash64(int(v)) for v in values],
+                          dtype=np.uint64)
+        assert np.array_equal(bulk, scalar)
+
+    def test_hash64_array_matches_scalar_floats(self):
+        from repro.engine.sketches import hash64_array
+
+        values = np.array([1.5, -0.0, 2.0, math.inf, -math.inf,
+                           math.nan, 1e300, -7.25, 42.0, 1e19])
+        bulk = hash64_array(values)
+        scalar = np.array([hash64(float(v)) for v in values],
+                          dtype=np.uint64)
+        assert np.array_equal(bulk, scalar)
+
+    @pytest.mark.parametrize("precision", [4, 12, 16])
+    def test_add_many_register_identical_to_add(self, precision):
+        # precision 4 exercises the >52-bit payload fallback (binary
+        # reduction); 12/16 take the exact-float frexp fast path.
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 100_000, size=4000)
+        bulk = HyperLogLog(precision)
+        bulk.add_many(values)
+        scalar = HyperLogLog(precision)
+        for value in values:
+            scalar.add(int(value))
+        assert bulk == scalar
 
 
 class TestDistinctCountHllEndToEnd:

@@ -198,3 +198,63 @@ class TestClauses:
                 "LIMIT 5")
         query = parse(text)
         assert parse(str(query)) == query
+
+
+class TestTimeBucket:
+    def test_group_by_timebucket(self):
+        from repro.pql.ast_nodes import TimeBucket
+
+        query = parse("SELECT count(*) FROM t GROUP BY timebucket(day, 7)")
+        assert query.group_by == (TimeBucket("day", 7),)
+
+    def test_mixed_with_plain_columns(self):
+        from repro.pql.ast_nodes import TimeBucket
+
+        query = parse(
+            "SELECT count(*) FROM t GROUP BY country, timebucket(day, 5)"
+        )
+        assert query.group_by == ("country", TimeBucket("day", 5))
+
+    def test_case_insensitive_keyword(self):
+        from repro.pql.ast_nodes import TimeBucket
+
+        query = parse("SELECT count(*) FROM t GROUP BY TIMEBUCKET(day, 5)")
+        assert query.group_by == (TimeBucket("day", 5),)
+
+    def test_size_must_be_positive_integer(self):
+        for bad in ("0", "-2", "2.5"):
+            with pytest.raises(PQLSyntaxError):
+                parse(f"SELECT count(*) FROM t "
+                      f"GROUP BY timebucket(day, {bad})")
+
+    def test_str_round_trips(self):
+        text = ("SELECT sum(x) FROM t WHERE day >= 17000 "
+                "GROUP BY timebucket(day, 5) TOP 10")
+        query = parse(text)
+        assert parse(str(query)) == query
+
+    def test_plain_timebucket_identifier_still_a_column(self):
+        # Without parentheses, "timebucket" is just a column name.
+        query = parse("SELECT count(*) FROM t GROUP BY timebucket")
+        assert query.group_by == ("timebucket",)
+
+
+class TestApproximateOption:
+    def test_option_parses_as_boolean(self):
+        query = parse(
+            "SELECT distinctcount(a) FROM t "
+            "OPTION (useApproximateFunction = true)"
+        )
+        assert query.options == {"useApproximateFunction": True}
+
+    def test_option_combines_with_others(self):
+        query = parse(
+            "SELECT distinctcount(a) FROM t "
+            "OPTION (useApproximateFunction = false, skipCache = true)"
+        )
+        assert query.options == {"useApproximateFunction": False,
+                                 "skipCache": True}
+
+    def test_non_boolean_value_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT a FROM t OPTION (useApproximateFunction = 1)")

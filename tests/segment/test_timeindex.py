@@ -1,0 +1,160 @@
+"""Tests for the per-segment timestamp index (pre-aggregated rollups)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType, dimension, metric, time_column
+from repro.segment.builder import SegmentBuilder, SegmentConfig
+from repro.segment.io import load_segment, write_segment
+from repro.segment.timeindex import (
+    TimeIndex,
+    build_time_index,
+    time_index_from_bytes,
+    time_index_to_bytes,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        "events",
+        [
+            dimension("country"),
+            dimension("tags", DataType.STRING, multi_value=True),
+            metric("views", DataType.LONG),
+            metric("score", DataType.DOUBLE),
+            time_column("day", DataType.INT),
+        ],
+    )
+
+
+@pytest.fixture
+def records(schema):
+    rng = random.Random(3)
+    return [
+        {
+            "country": rng.choice(["us", "ca"]),
+            "tags": [],
+            "views": rng.randint(0, 100),
+            "score": round(rng.random(), 4),
+            "day": 17000 + rng.randrange(30),
+        }
+        for __ in range(500)
+    ]
+
+
+class TestBuild:
+    def test_rollup_matches_manual_groupby(self, schema, records):
+        index = build_time_index(schema, records, (1, 5))
+        assert index is not None
+        assert index.time_column == "day"
+        assert index.granularities == (1, 5)
+        # String and multi-value columns never get rollup arrays.
+        assert set(index.metric_columns) == {"views", "score", "day"}
+
+        for granularity in (1, 5):
+            rollup = index.rollups[granularity]
+            expected = {}
+            for record in records:
+                bucket = (record["day"] // granularity) * granularity
+                expected.setdefault(bucket, []).append(record)
+            assert rollup.buckets.tolist() == sorted(expected)
+            for i, bucket in enumerate(rollup.buckets.tolist()):
+                rows = expected[bucket]
+                assert rollup.counts[i] == len(rows)
+                views = [r["views"] for r in rows]
+                assert rollup.sums["views"][i] == pytest.approx(sum(views))
+                assert rollup.mins["views"][i] == min(views)
+                assert rollup.maxs["views"][i] == max(views)
+                scores = [r["score"] for r in rows]
+                assert rollup.sums["score"][i] == pytest.approx(sum(scores))
+
+    def test_no_time_column_returns_none(self, records):
+        schema = Schema("t", [dimension("country"),
+                              metric("views", DataType.LONG)])
+        assert build_time_index(schema, records, (1,)) is None
+
+    def test_no_granularities_returns_none(self, schema, records):
+        assert build_time_index(schema, records, ()) is None
+        assert build_time_index(schema, records, (0, -3)) is None
+
+
+class TestRollupFor:
+    @pytest.fixture
+    def index(self, schema, records):
+        return build_time_index(schema, records, (1, 5))
+
+    def test_prefers_coarsest_divisor(self, index):
+        assert index.rollup_for(10, None, None).granularity == 5
+        assert index.rollup_for(5, None, None).granularity == 5
+        assert index.rollup_for(3, None, None).granularity == 1
+        assert index.rollup_for(7, None, None).granularity == 1
+
+    def test_none_bucket_size_waives_divisibility(self, index):
+        assert index.rollup_for(None, None, None).granularity == 5
+
+    def test_unaligned_bounds_fall_back_or_fail(self, index):
+        # low=17000 is a multiple of 5; high=17004 means high+1=17005
+        # is too — the 5-rollup serves it.
+        assert index.rollup_for(5, 17000, 17004).granularity == 5
+        # low=17001 breaks 5-alignment, so the coarse rollup is out, but
+        # the 1-rollup still serves: its buckets re-aggregate into
+        # 5-buckets exactly and every bound sits on a 1-bucket edge.
+        assert index.rollup_for(5, 17001, 17004).granularity == 1
+        assert index.rollup_for(None, 17001, 17004).granularity == 1
+        # A fractional-bucket bound with only a coarse rollup has no
+        # server: partial buckets need the raw rows.
+        coarse_only = TimeIndex(index.time_column, index.metric_columns,
+                                {5: index.rollups[5]})
+        assert coarse_only.rollup_for(5, 17001, 17004) is None
+
+    def test_slice_range(self, index):
+        rollup = index.rollups[1]
+        buckets = rollup.buckets.tolist()
+        sliced = rollup.slice_range(buckets[2], buckets[5])
+        assert rollup.buckets[sliced].tolist() == buckets[2:6]
+        assert rollup.slice_range(None, None) == slice(0, len(buckets))
+        # Bounds outside the segment's range clamp to empty/full.
+        assert rollup.slice_range(buckets[-1] + 100, None).start == \
+            len(buckets)
+
+
+class TestSerialization:
+    def test_bytes_round_trip(self, schema, records):
+        index = build_time_index(schema, records, (1, 5))
+        restored = time_index_from_bytes(time_index_to_bytes(index))
+        assert restored == index
+        assert isinstance(restored, TimeIndex)
+        rollup = restored.rollups[5]
+        assert rollup.buckets.dtype == np.int64
+        assert rollup.counts.dtype == np.int64
+
+    def test_segment_io_round_trip(self, schema, records, tmp_path):
+        builder = SegmentBuilder(
+            "seg-ti", "events", schema,
+            SegmentConfig(timestamp_index=(1, 5)),
+        )
+        for record in records:
+            builder.add(record)
+        segment = builder.build()
+        assert segment.time_index is not None
+        assert segment.metadata.has_time_index
+        assert segment.metadata.time_index_bytes > 0
+
+        write_segment(segment, tmp_path)
+        loaded = load_segment(tmp_path)
+        assert loaded.time_index == segment.time_index
+        assert loaded.metadata.has_time_index
+
+    def test_segment_without_index_loads_without_one(self, schema,
+                                                     records, tmp_path):
+        builder = SegmentBuilder("seg-plain", "events", schema)
+        for record in records:
+            builder.add(record)
+        segment = builder.build()
+        assert segment.time_index is None
+        write_segment(segment, tmp_path)
+        assert load_segment(tmp_path).time_index is None

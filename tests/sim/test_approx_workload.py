@@ -1,0 +1,93 @@
+"""The sim harness's ``approx`` workload: sketch aggregations and the
+timestamp index under randomized hybrid-table traffic.
+
+Each ``approx_query`` op checks the response against the exact oracle
+with the sketches' declared error bounds (``repro.sim.oracle
+.approx_check``), verifies that ``OPTION(useApproximateFunction=true)``
+actually rewrites under the armed threshold, and that cached and
+uncached answers agree (sketches are deterministic, so approximate
+answers are still cache-coherent).
+"""
+
+import pytest
+
+from repro.sim.harness import (
+    SIM_TIME_GRANULARITIES,
+    SimulationHarness,
+    run_schedule,
+    run_seed,
+)
+from repro.sim.schedule import Op, Schedule
+
+STEPS = 40
+
+
+class TestApproxSweep:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_seed_sweep_stays_clean(self, seed):
+        result = run_seed(seed, num_steps=STEPS,
+                          config={"workload": "approx"})
+        assert result.ok, (
+            f"seed {seed} violated an invariant: "
+            f"{result.violations[0]}\n"
+            f"schedule:\n{result.schedule.to_json()}"
+        )
+
+    def test_replay_is_byte_identical(self):
+        generated = run_seed(13, num_steps=STEPS,
+                             config={"workload": "approx"})
+        replayed = run_schedule(generated.schedule)
+        assert replayed.digest == generated.digest
+
+    def test_tables_carry_timestamp_index(self):
+        harness = SimulationHarness(
+            Schedule(seed=3, config={"workload": "approx"}))
+        for table in ("events_OFFLINE", "events_REALTIME"):
+            config = harness.cluster.table_config(table)
+            assert config.segment_config.timestamp_index == \
+                SIM_TIME_GRANULARITIES
+
+    def test_default_workload_has_no_timestamp_index(self):
+        harness = SimulationHarness(Schedule(seed=3, config={}))
+        for table in ("events_OFFLINE", "events_REALTIME"):
+            config = harness.cluster.table_config(table)
+            assert config.segment_config.timestamp_index == ()
+
+    def test_rewrites_fire_during_run(self):
+        # Threshold 0 + per-query OPTION means some approx_query ops
+        # must observe rewrite metadata over a long enough run.
+        result = run_seed(2, num_steps=80, config={"workload": "approx"})
+        assert result.ok, str(result.violations[:1])
+        rewrote = [obs for obs in result.observations
+                   if "rewrites=(" in obs and "rewrites=()" not in obs]
+        assert rewrote, "no approx query ever carried rewrite metadata"
+
+
+class TestDirectedApproxOps:
+    """A hand-written schedule: ingest on both legs, then a burst of
+    approx queries, so the oracle check runs against known data rather
+    than whatever the RNG ingested."""
+
+    def directed_ops(self):
+        ops = []
+        for partition in range(2):
+            ops.append(Op("ingest", {"partition": partition, "count": 40,
+                                     "seed": 50 + partition}))
+            ops.append(Op("consume", {"partition": partition,
+                                      "max_rows": 40}))
+        for index in range(12):
+            ops.append(Op("approx_query", {"seed": 9000 + index}))
+        return ops
+
+    def test_directed_run_stays_clean(self):
+        schedule = Schedule(seed=21, config={"workload": "approx"},
+                            ops=self.directed_ops())
+        result = SimulationHarness(schedule).run()
+        assert result.ok, str(result.violations[0])
+
+    def test_directed_run_replays_identically(self):
+        schedule = Schedule(seed=21, config={"workload": "approx"},
+                            ops=self.directed_ops())
+        first = SimulationHarness(schedule).run()
+        second = run_schedule(first.schedule)
+        assert second.digest == first.digest
